@@ -1,0 +1,60 @@
+"""Ablation: the online adaptive controller vs fixed prefetch distances.
+
+Extension beyond the paper (its Section 6.4 tuning, automated online).
+The adaptive run must land within a few percent of the best fixed distance
+without being told which one that is — and far from the worst.
+"""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core.adaptive import AdaptiveController, run_adaptive_prefetch
+from repro.core.swpf import SWPrefetchConfig
+from repro.cpu.platform import get_platform
+from repro.engine.embedding_exec import PrefetchPlan, run_embedding_trace
+from repro.experiments.workloads import build_workload
+from repro.mem.hierarchy import build_hierarchy
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(
+        "rm2_1", "low", scale=0.015, batch_size=8, num_batches=4,
+        config=SimConfig(seed=59),
+    )
+
+
+def test_adaptive_vs_fixed_distances(benchmark, workload):
+    spec = get_platform("csl")
+
+    def run_all():
+        fixed = {}
+        for distance in (1, 4, 32):
+            hierarchy = build_hierarchy(spec.hierarchy)
+            fixed[distance] = run_embedding_trace(
+                workload.trace, workload.amap, spec.core, hierarchy,
+                plan=PrefetchPlan(distance, 8),
+            ).total_cycles
+        adaptive = run_adaptive_prefetch(
+            workload.trace, workload.amap, spec,
+            base=SWPrefetchConfig(distance=1),
+            controller=AdaptiveController(distance=1),
+        )
+        return fixed, adaptive
+
+    fixed, adaptive = benchmark.pedantic(
+        run_all, rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    for distance, cycles in sorted(fixed.items()):
+        print(f"  fixed distance {distance:>2}: {cycles:12.0f} cycles")
+    print(
+        f"  adaptive (start=1) : {adaptive.total_cycles:12.0f} cycles, "
+        f"trajectory={adaptive.distance_trajectory}"
+    )
+    best = min(fixed.values())
+    worst = max(fixed.values())
+    # The controller must not be stuck at its (bad) starting point...
+    assert adaptive.total_cycles < worst
+    # ...and should close most of the gap to the best fixed setting.
+    assert adaptive.total_cycles < best * 1.25

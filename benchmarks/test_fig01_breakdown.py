@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig 1 (stage breakdown per model)."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig1_breakdown(run_once, emit, bench_config):
+    report = emit(run_once(run_experiment, "fig1", config=bench_config))
+    by_model = {r["model"]: r for r in report.rows}
+    # Paper: rm2_1=98%, rm2_2=96%, rm2_3=95%, rm1=65% embedding.
+    assert by_model["rm2_1"]["embedding_pct"] > 90
+    assert by_model["rm2_2"]["embedding_pct"] > 90
+    assert by_model["rm2_3"]["embedding_pct"] > 88
+    assert 30 < by_model["rm1"]["embedding_pct"] < 85
+    # Ordering: every RMC2 model more embedding-bound than RM1.
+    assert by_model["rm2_1"]["embedding_pct"] > by_model["rm1"]["embedding_pct"]

@@ -1,0 +1,30 @@
+"""Bench: regenerate Fig 4 (embedding performance across datasets)."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig4_dataset_sweep(run_once, emit, bench_config):
+    report = emit(
+        run_once(
+            run_experiment, "fig4", config=bench_config,
+            scale=0.02, batch_size=8, num_batches=2,
+        )
+    )
+    by_ds = {r["dataset"]: r for r in report.rows}
+    # Fig 4(a): one-item is the fast extreme, random the slow extreme.
+    assert by_ds["one-item"]["batch_latency_ms"] < by_ds["high"]["batch_latency_ms"]
+    assert by_ds["random"]["batch_latency_ms"] >= by_ds["low"]["batch_latency_ms"] * 0.9
+    # Fig 4(b): load latency spreads by an order of magnitude (paper: 16x).
+    spread = (
+        by_ds["random"]["avg_load_latency_cycles"]
+        / by_ds["one-item"]["avg_load_latency_cycles"]
+    )
+    assert spread > 8
+    # Hit rates degrade monotonically with hotness.
+    assert (
+        by_ds["one-item"]["l1_hit_rate"]
+        > by_ds["high"]["l1_hit_rate"]
+        > by_ds["medium"]["l1_hit_rate"]
+        > by_ds["low"]["l1_hit_rate"]
+        >= by_ds["random"]["l1_hit_rate"]
+    )

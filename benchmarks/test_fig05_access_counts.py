@@ -1,0 +1,25 @@
+"""Bench: regenerate Fig 5 (sorted access-count curves)."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig5_access_counts(run_once, emit, bench_config):
+    report = emit(
+        run_once(
+            run_experiment, "fig5", config=bench_config,
+            scale=0.02, batch_size=32, num_batches=2,
+        )
+    )
+    by_ds = {r["dataset"]: r for r in report.rows}
+    # The power-law steepness orders the datasets (Fig 5's visual).
+    assert by_ds["high"]["max_count"] > by_ds["medium"]["max_count"]
+    assert by_ds["medium"]["max_count"] > by_ds["low"]["max_count"]
+    # Unique-access ordering matches Section 5 (3% < 24% < 60%).
+    assert (
+        by_ds["high"]["unique_fraction"]
+        < by_ds["medium"]["unique_fraction"]
+        < by_ds["low"]["unique_fraction"]
+    )
+    # High hot concentrates traffic in its hottest rows far more than Low.
+    assert by_ds["high"]["top_1pct_share"] > 2 * by_ds["low"]["top_1pct_share"]
+    assert by_ds["high"]["top_1pct_share"] > 0.3

@@ -1,0 +1,24 @@
+"""Bench: regenerate Fig 7 (reuse-distance study)."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig7_reuse_distance(run_once, emit, bench_config):
+    report = emit(
+        run_once(
+            run_experiment, "fig7", config=bench_config,
+            scale=0.02, batch_size=32, num_batches=3,
+        )
+    )
+    by_ds = {r["dataset"]: r for r in report.rows}
+    # Cold-miss headline: Low hot dominated by cold misses, High hot much
+    # less (paper: 72% vs ~22%).
+    assert by_ds["low"]["cold_miss_fraction"] > 0.45
+    assert by_ds["high"]["cold_miss_fraction"] < by_ds["low"]["cold_miss_fraction"]
+    # "L1D$ hit rates are very bad" for the production traces.
+    assert by_ds["low"]["l1_hit_rate_model"] < 0.35
+    # Capacity markers: 32KiB/512B = 64 vectors etc.
+    assert by_ds["low"]["l1_capacity_vectors"] == 64
+    assert by_ds["low"]["l2_capacity_vectors"] == 2048
+    # Even the LLC fails to capture the Low-hot working set (Section 3.3).
+    assert by_ds["low"]["l3_hit_rate_model"] < 0.55

@@ -1,0 +1,35 @@
+"""Bench: regenerate Fig 10 (compiler PF, distance sweep, amount sweep)."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig10_prefetch_design_space(run_once, emit, bench_config):
+    report = emit(
+        run_once(
+            run_experiment, "fig10", config=bench_config,
+            scale=0.02, batch_size=8, num_batches=2,
+            distances=(1, 2, 4, 8, 32), amounts=(1, 2, 4, 8),
+        )
+    )
+    # Panel (a): compiler prefetching shows limited benefit vs baseline.
+    panel_a = {r["setting"]: r["speedup"] for r in report.filter_rows(panel="a")}
+    assert 0.7 < panel_a["gcc"] < 1.15
+    assert 0.7 < panel_a["icc"] < 1.3
+    # Panel (b): tuned distances beat both extremes (the U-shape).
+    panel_b = {
+        int(r["setting"].split("=")[1]): r["speedup"]
+        for r in report.filter_rows(panel="b")
+    }
+    best = max(panel_b.values())
+    assert best > 1.25  # the tuned scheme is far better than compilers
+    assert best >= panel_b[1]    # too-late extreme loses
+    assert best >= panel_b[32]   # pollution extreme loses
+    # Panel (c): full-row amount maximizes hit rate and minimizes latency.
+    panel_c = {
+        int(r["setting"].split("=")[1]): r for r in report.filter_rows(panel="c")
+    }
+    assert panel_c[8]["l1_hit_rate"] >= panel_c[1]["l1_hit_rate"]
+    assert (
+        panel_c[8]["avg_load_latency_cycles"]
+        <= panel_c[1]["avg_load_latency_cycles"]
+    )

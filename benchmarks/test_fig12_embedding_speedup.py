@@ -1,0 +1,28 @@
+"""Bench: regenerate Fig 12 (embedding-only speedups)."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig12_embedding_speedups(run_once, emit, bench_config):
+    report = emit(
+        run_once(
+            run_experiment, "fig12", config=bench_config,
+            models=("rm2_1", "rm2_3"), core_counts=(1, 24),
+            scale=0.015, batch_size=8, num_batches=2,
+        )
+    )
+    # SW-PF wins everywhere (paper: 1.16-1.47x across the panel).
+    for row in report.rows:
+        assert row["sw_pf_speedup"] > 1.0, row
+    # Gains grow as hotness falls (paper: best on Low hot).
+    for model in ("rm2_1", "rm2_3"):
+        for cores in (1, 24):
+            by_ds = {
+                r["dataset"]: r["sw_pf_speedup"]
+                for r in report.filter_rows(model=model, cores=cores)
+            }
+            assert by_ds["low"] > by_ds["high"]
+    # w/o HW-PF stays near the baseline on the embedding stage (small
+    # impact, either direction).
+    for row in report.rows:
+        assert 0.7 < row["hw_pf_off_speedup"] < 1.2

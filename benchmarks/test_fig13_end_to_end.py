@@ -1,0 +1,29 @@
+"""Bench: regenerate Fig 13 (end-to-end speedups, embedding-heavy models)."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig13_end_to_end_speedups(run_once, emit, bench_config):
+    report = emit(
+        run_once(
+            run_experiment, "fig13", config=bench_config,
+            models=("rm2_1", "rm2_3"), datasets=("high", "low"),
+            core_counts=(1,), scale=0.015, batch_size=8, num_batches=2,
+        )
+    )
+    for row in report.rows:
+        # The paper's panel, qualitatively:
+        assert row["hw_pf_off_speedup"] < 1.0          # hurts in all cases
+        assert row["dp_ht_speedup"] < 0.95             # down to 0.62x
+        assert row["sw_pf_speedup"] > 1.0              # 1.21-1.46x
+        assert row["integrated_speedup"] > 1.2         # 1.40-1.59x
+        # Integrated is the best design point.
+        best_other = max(
+            row["sw_pf_speedup"], row["mp_ht_speedup"], row["dp_ht_speedup"]
+        )
+        assert row["integrated_speedup"] >= best_other * 0.98
+    # SW-PF gains larger at Low hot; MP-HT relatively better at High hot.
+    for model in ("rm2_1", "rm2_3"):
+        rows = {r["dataset"]: r for r in report.filter_rows(model=model, cores=1)}
+        assert rows["low"]["sw_pf_speedup"] > rows["high"]["sw_pf_speedup"]
+        assert rows["high"]["mp_ht_speedup"] >= rows["low"]["mp_ht_speedup"] * 0.95

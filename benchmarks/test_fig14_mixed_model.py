@@ -1,0 +1,24 @@
+"""Bench: regenerate Fig 14 (mixed-model RM1 speedups)."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig14_mixed_model(run_once, emit, bench_config):
+    report = emit(
+        run_once(
+            run_experiment, "fig14", config=bench_config,
+            num_cores=1, scale=0.02, batch_size=8, num_batches=2,
+        )
+    )
+    by_ds = {r["dataset"]: r for r in report.rows}
+    low = by_ds["low"]
+    # DP-HT degrades (paper: ~0.60x).
+    assert low["dp_ht_speedup"] < 0.9
+    # SW-PF modest on the mixed model (paper: ~1.1x average).
+    assert 1.0 <= low["sw_pf_speedup"] < 1.45
+    # MP-HT is the stronger single lever on RM1 (paper: 1.25-1.37x).
+    assert low["mp_ht_speedup"] > 1.1
+    assert low["mp_ht_speedup"] > low["sw_pf_speedup"] * 0.95
+    # Integrated collects both (paper: 1.37-1.54x).
+    assert low["integrated_speedup"] >= low["mp_ht_speedup"] * 0.98
+    assert low["integrated_speedup"] > 1.2

@@ -1,0 +1,27 @@
+"""Bench: regenerate Fig 15 (L1D hit rate + avg load latency per design)."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig15_l1_characterization(run_once, emit, bench_config):
+    report = emit(
+        run_once(
+            run_experiment, "fig15", config=bench_config,
+            models=("rm2_1", "rm2_2"), scale=0.015, batch_size=8,
+            num_batches=2,
+        )
+    )
+    for model in ("rm2_1", "rm2_2"):
+        rows = {r["scheme"]: r for r in report.filter_rows(model=model)}
+        base, swpf, integ = rows["baseline"], rows["sw_pf"], rows["integrated"]
+        # Paper: baseline 72-84% L1D and 23-90 cycles; SW-PF reaches
+        # 96.7-99.4% and 5.6-7.1 cycles.
+        assert base["l1_hit_rate"] < 0.93
+        assert base["avg_load_latency_cycles"] > 20
+        assert swpf["l1_hit_rate"] > 0.95
+        assert swpf["avg_load_latency_cycles"] < 15
+        # Integrated at least matches SW-PF.
+        assert integ["l1_hit_rate"] >= swpf["l1_hit_rate"] * 0.99
+        assert integ["avg_load_latency_cycles"] <= swpf[
+            "avg_load_latency_cycles"
+        ] * 1.05

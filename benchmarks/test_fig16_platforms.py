@@ -1,0 +1,25 @@
+"""Bench: regenerate Fig 16 (speedups across CPU platforms)."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig16_platform_sweep(run_once, emit, bench_config):
+    report = emit(
+        run_once(
+            run_experiment, "fig16", config=bench_config,
+            models=("rm2_1",), platforms=("skl", "csl", "icl", "zen3"),
+            scale=0.012, batch_size=8, num_batches=2, retune=True,
+        )
+    )
+    for row in report.rows:
+        # "Our optimizations consistently improve the performance over the
+        # baseline across a wide range of CPUs."
+        assert row["sw_pf_speedup"] > 1.0, row
+        assert row["integrated_speedup"] >= row["sw_pf_speedup"] * 0.95, row
+    # Multi-core speedups are lower than single-core (shared-resource
+    # interference, Section 6.4).
+    for platform in ("skl", "csl", "icl", "zen3"):
+        rows = report.filter_rows(platform=platform, model="rm2_1")
+        single = next(r for r in rows if r["cores"] == 1)
+        multi = next(r for r in rows if r["cores"] > 1)
+        assert multi["integrated_speedup"] <= single["integrated_speedup"] * 1.1

@@ -1,0 +1,36 @@
+"""Bench: regenerate Fig 17 (p95 tail latency vs arrival time)."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig17_tail_latency(run_once, emit, bench_config):
+    report = emit(
+        run_once(
+            run_experiment, "fig17", config=bench_config,
+            models=("rm2_1", "rm1"), num_cores=8, scale=0.015,
+            batch_size=8, num_batches=2, num_requests=800,
+        )
+    )
+    for model in ("rm2_1", "rm1"):
+        rows = report.filter_rows(model=model)
+        schemes = {r["scheme"] for r in rows}
+        assert {"baseline", "dp_ht", "sw_pf", "mp_ht", "integrated"} <= schemes
+
+        def fastest_ok(scheme):
+            return next(
+                r["fastest_compliant_arrival_ms"]
+                for r in rows
+                if r["scheme"] == scheme
+            )
+
+        # Integrated tolerates faster arrivals than the baseline while
+        # meeting the SLA (paper: 1.4x / 2.3x faster arrival rates).
+        assert fastest_ok("integrated") <= fastest_ok("baseline")
+        # DP-HT saturates earlier (worse) or equal.
+        assert fastest_ok("dp_ht") >= fastest_ok("baseline")
+
+        # Inside the compliant region the tail improves under Integrated.
+        base_rows = {r["arrival_ms"]: r for r in rows if r["scheme"] == "baseline"}
+        integ_rows = {r["arrival_ms"]: r for r in rows if r["scheme"] == "integrated"}
+        slowest = max(base_rows)
+        assert integ_rows[slowest]["p95_ms"] < base_rows[slowest]["p95_ms"]

@@ -1,0 +1,26 @@
+"""Bench: the continuous hotness sweep (extension of Figs 4/12)."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_hotness_sweep(run_once, emit, bench_config):
+    report = emit(
+        run_once(
+            run_experiment, "hotness_sweep", config=bench_config,
+            unique_fractions=(0.03, 0.24, 0.60, 0.85),
+            scale=0.012, batch_size=8, num_batches=2,
+        )
+    )
+    rows = sorted(report.rows, key=lambda r: r["unique_fraction"])
+    latency = [r["baseline_ms"] for r in rows]
+    l1 = [r["baseline_l1_hit"] for r in rows]
+    gain = [r["sw_pf_speedup"] for r in rows]
+    # Irregularity monotonically degrades the baseline...
+    assert latency == sorted(latency)
+    assert l1 == sorted(l1, reverse=True)
+    # ...and the SW-PF gain grows with it, then saturates near the
+    # MSHR-vs-load-queue concurrency ratio.
+    assert gain[-1] > gain[0]
+    assert gain[-1] < 2.2
+    # Even the hottest point keeps prefetching non-harmful.
+    assert gain[0] > 0.95

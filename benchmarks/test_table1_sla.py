@@ -1,0 +1,14 @@
+"""Bench: regenerate Table 1 (model classes and SLA targets)."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_table1_sla_targets(run_once, emit, bench_config):
+    report = emit(run_once(run_experiment, "table1", config=bench_config))
+    by_class = {r["model_class"]: r for r in report.rows}
+    assert by_class["RMC1"]["sla_ms"] == 100.0
+    assert by_class["RMC2"]["sla_ms"] == 400.0
+    assert by_class["RMC3"]["sla_ms"] == 100.0
+    assert by_class["RMC2"]["bottleneck"] == "embedding"
+    assert by_class["RMC2"]["bottleneck_share"] == 0.90
+    assert by_class["RMC3"]["bottleneck"] == "mlp"

@@ -1,0 +1,21 @@
+"""Bench: regenerate Table 2 (model architecture parameters)."""
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+
+def test_table2_model_parameters(run_once, emit, bench_config):
+    report = emit(run_once(run_experiment, "table2", config=bench_config))
+    by_model = {r["model"]: r for r in report.rows}
+    # Derived size columns must match the paper's printed values.
+    assert by_model["rm2_1"]["emb_size_gib"] == pytest.approx(28.6, abs=0.05)
+    assert by_model["rm2_2"]["emb_size_gib"] == pytest.approx(57.2, abs=0.05)
+    assert by_model["rm2_3"]["emb_size_gib"] == pytest.approx(81.1, abs=0.05)
+    assert by_model["rm1"]["emb_size_gib"] == pytest.approx(3.8, abs=0.05)
+    assert by_model["rm2_1"]["per_table_mib"] == pytest.approx(488.3, abs=0.1)
+    assert by_model["rm1"]["per_table_mib"] == pytest.approx(122.0, abs=0.1)
+    # Architecture columns, verbatim.
+    assert by_model["rm2_3"]["bottom_mlp"] == "2048-1024-256-128"
+    assert by_model["rm1"]["top_mlp"] == "768-384-1"
+    assert by_model["rm2_2"]["lookups_per_sample"] == 150

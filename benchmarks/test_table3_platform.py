@@ -1,0 +1,16 @@
+"""Bench: regenerate Table 3 (CPU configuration parameters)."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_table3_platform_parameters(run_once, emit, bench_config):
+    report = emit(run_once(run_experiment, "table3", config=bench_config))
+    params = {r["parameter"]: str(r["value"]) for r in report.rows}
+    assert params["Model"] == "Cascade Lake 6240R"
+    assert params["Frequency"] == "2.4GHz"
+    assert params["Sockets"] == "2"
+    assert params["L1D cache latency"] == "5 cycles"
+    assert params["L1D cache size"] == "32.0 KiB"
+    assert params["L2 cache size"] == "1.0 MiB"
+    assert params["L3 cache size"] == "35.8 MiB"
+    assert params["DDR bandwidth per socket"] == "140 GB/s"

@@ -1,0 +1,31 @@
+"""Bench: regenerate Table 4 (embedding-only batch ms, multi-core)."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_table4_batch_times(run_once, emit, bench_config):
+    report = emit(
+        run_once(
+            run_experiment, "table4", config=bench_config,
+            models=("rm2_1", "rm2_3", "rm1"), datasets=("low", "high"),
+            scale=0.015, batch_size=8, num_batches=2,
+        )
+    )
+
+    def cell(dataset, model):
+        return report.filter_rows(dataset=dataset, model=model)[0]
+
+    # Shape 1: batch time grows with model size (rm2_1 < rm2_3) and rm1 is
+    # far cheaper (paper row: 74 / 304 / 11 ms at Low hot).
+    for dataset in ("low", "high"):
+        assert cell(dataset, "rm2_1")["baseline_ms"] < cell(dataset, "rm2_3")["baseline_ms"]
+        assert cell(dataset, "rm1")["baseline_ms"] < cell(dataset, "rm2_1")["baseline_ms"]
+    # Shape 2: High hot is faster than Low hot for every model.
+    for model in ("rm2_1", "rm2_3", "rm1"):
+        assert cell("high", model)["baseline_ms"] < cell("low", model)["baseline_ms"]
+    # Shape 3: SW-PF cuts every cell (paper: 1.2-1.4x).
+    for row in report.rows:
+        assert row["sw_pf_ms"] < row["baseline_ms"]
+    # Shape 4: the rm2_3/rm2_1 ratio is roughly the paper's ~4x at Low hot.
+    ratio = cell("low", "rm2_3")["baseline_ms"] / cell("low", "rm2_1")["baseline_ms"]
+    assert 2.0 < ratio < 8.0

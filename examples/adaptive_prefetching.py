@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Online-adaptive prefetch distance across a hotness shift (extension).
+
+Production traffic drifts: a table that was High-hot during the day can
+turn Low-hot overnight.  The paper tunes its prefetch distance offline per
+platform; this example shows the repo's extension — a controller that
+re-tunes the distance *between batches* from two live signals (late
+prefetches, wasted prefetches) — converging on each regime without being
+told which trace it is serving.
+
+    python examples/adaptive_prefetching.py
+"""
+
+from repro.config import SimConfig
+from repro.core.adaptive import AdaptiveController, run_adaptive_prefetch
+from repro.core.swpf import SWPrefetchConfig
+from repro.cpu.platform import get_platform
+from repro.engine.embedding_exec import PrefetchPlan, run_embedding_trace
+from repro.experiments.workloads import build_workload
+from repro.mem.hierarchy import build_hierarchy
+
+
+def fixed_run(workload, spec, distance):
+    hierarchy = build_hierarchy(spec.hierarchy)
+    return run_embedding_trace(
+        workload.trace, workload.amap, spec.core, hierarchy,
+        plan=PrefetchPlan(distance, 8),
+    ).total_cycles
+
+
+def main() -> None:
+    config = SimConfig(seed=23)
+    spec = get_platform("csl")
+
+    for dataset in ("high", "low"):
+        workload = build_workload(
+            "rm2_1", dataset, scale=0.015, batch_size=8, num_batches=6,
+            config=config,
+        )
+        print(f"\n=== rm2_1 / {dataset}-hot ===")
+        for distance in (1, 4, 16):
+            cycles = fixed_run(workload, spec, distance)
+            print(f"  fixed distance {distance:>2}: {cycles / 1e6:8.2f} Mcycles")
+        adaptive = run_adaptive_prefetch(
+            workload.trace, workload.amap, spec,
+            base=SWPrefetchConfig(distance=1),
+            controller=AdaptiveController(distance=1),
+        )
+        print(
+            f"  adaptive (from 1) : {adaptive.total_cycles / 1e6:8.2f} Mcycles, "
+            f"distance trajectory {adaptive.distance_trajectory} "
+            f"-> {adaptive.final_distance}"
+        )
+
+
+if __name__ == "__main__":
+    main()

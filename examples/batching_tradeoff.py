@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""The batching trade-off: collection delay vs amortized inference.
+
+Queries arrive one by one (Section 2.1); the server chunks them into
+batches.  A larger batch-collection timeout raises occupancy (throughput)
+but taxes every query with waiting time — and the right setting depends on
+which execution scheme serves the batch.  This example sweeps the timeout
+for the baseline and the Integrated scheme and prints where each meets the
+RMC2 SLA.
+
+    python examples/batching_tradeoff.py
+"""
+
+import numpy as np
+
+from repro.config import SimConfig
+from repro.core.schemes import evaluate_scheme
+from repro.cpu.platform import get_platform
+from repro.experiments.workloads import build_workload
+from repro.serving.pipeline import serve_query_stream
+from repro.serving.sla import sla_for_model
+from repro.serving.workload import poisson_arrivals
+
+NUM_CORES = 24
+BATCH_SIZE = 16
+
+
+def main() -> None:
+    config = SimConfig(seed=37)
+    spec = get_platform("csl")
+    workload = build_workload(
+        "rm2_1", "low", scale=0.02, batch_size=BATCH_SIZE, num_batches=2,
+        config=config,
+    )
+    sla = sla_for_model(workload.model)
+
+    service_ms = {}
+    for scheme in ("baseline", "integrated"):
+        result = evaluate_scheme(
+            scheme, workload.model, workload.trace, workload.amap, spec,
+            num_cores=NUM_CORES,
+        )
+        service_ms[scheme] = result.batch_ms
+        print(f"{scheme}: full-batch service {result.batch_ms:.1f} ms")
+
+    # Light load (well inside the SLA region) so the batching timeout is
+    # the binding knob: batches fill in ~BATCH_SIZE * 2 ms without it.
+    rng = config.rng("batching")
+    queries = poisson_arrivals(
+        mean_interarrival_ms=2.0,
+        num_requests=4000,
+        rng=rng,
+    )
+    print(
+        f"\nquery rate: {1000 / np.mean(np.diff(queries)):.0f}/s, "
+        f"SLA p95 <= {sla.sla_ms:.0f} ms\n"
+    )
+    print(f"{'timeout':>8} {'scheme':<11} {'batch occ.':>10} {'p95':>9} {'SLA':>5}")
+    print("-" * 48)
+    for timeout in (2.0, 10.0, 50.0, 200.0):
+        for scheme in ("baseline", "integrated"):
+            result = serve_query_stream(
+                queries, BATCH_SIZE, timeout, service_ms[scheme], NUM_CORES,
+                config.rng(f"pipe:{scheme}:{timeout}"),
+            )
+            ok = "yes" if result.p95_ms <= sla.sla_ms else "NO"
+            print(
+                f"{timeout:>6.0f}ms {scheme:<11} {result.mean_batch_size:>10.1f} "
+                f"{result.p95_ms:>7.1f}ms {ok:>5}"
+            )
+
+
+if __name__ == "__main__":
+    main()

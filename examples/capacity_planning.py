@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Capacity planning: how many requests can a socket serve under its SLA?
+
+The operational question behind the paper's Section 6.5: given a model, a
+trace hotness, and the Table 1 SLA, what request rate can a 24-core socket
+sustain at p95 — and how much does each optimization raise that ceiling?
+This is the workflow a serving-infrastructure owner would run before
+choosing between buying machines and deploying the software schemes.
+
+    python examples/capacity_planning.py
+"""
+
+from repro.config import SimConfig
+from repro.core.schemes import evaluate_scheme
+from repro.cpu.platform import get_platform
+from repro.experiments.workloads import build_workload
+from repro.serving.latency import sla_compliant_region, sweep_arrival_times
+from repro.serving.sla import sla_for_model
+
+SCHEMES = ("baseline", "sw_pf", "mp_ht", "integrated")
+NUM_CORES = 24
+
+
+def plan(model_name: str, dataset: str, config: SimConfig) -> None:
+    spec = get_platform("csl")
+    workload = build_workload(
+        model_name, dataset, scale=0.02, batch_size=16, num_batches=2,
+        config=config,
+    )
+    sla = sla_for_model(workload.model)
+    print(
+        f"\n=== {model_name} on {dataset}-hot, {NUM_CORES} cores, "
+        f"SLA p95 <= {sla.sla_ms:.0f} ms ==="
+    )
+
+    # Per-scheme mean batch service time from the simulator.
+    service_ms = {}
+    for scheme in SCHEMES:
+        result = evaluate_scheme(
+            scheme, workload.model, workload.trace, workload.amap, spec,
+            num_cores=NUM_CORES,
+        )
+        service_ms[scheme] = result.batch_ms
+
+    # Sweep arrival times around every scheme's knee: faster schemes stay
+    # compliant at arrival rates the baseline cannot touch, so the grid
+    # must extend well below the baseline's saturation point.
+    per_core = service_ms["baseline"] / NUM_CORES
+    grid = [per_core * f for f in (0.3, 0.5, 0.6, 0.7, 0.8, 0.9, 1.1, 1.4, 2.0, 3.0)]
+    print(f"{'scheme':<12} {'service':>9} {'max rate':>10} {'headroom':>9}")
+    print("-" * 44)
+    baseline_rate = None
+    for scheme in SCHEMES:
+        sweep = sweep_arrival_times(
+            service_ms[scheme], grid, NUM_CORES, num_requests=1200, config=config
+        )
+        fastest_ok, _ = sla_compliant_region(sweep, sla.sla_ms)
+        rate = 1000.0 / fastest_ok if fastest_ok != float("inf") else 0.0
+        if scheme == "baseline":
+            baseline_rate = rate
+        headroom = rate / baseline_rate if baseline_rate else float("nan")
+        print(
+            f"{scheme:<12} {service_ms[scheme]:>7.1f}ms {rate:>7.0f}/s "
+            f"{headroom:>8.2f}x"
+        )
+
+
+def main() -> None:
+    config = SimConfig(seed=29)
+    plan("rm2_1", "low", config)   # embedding-heavy, 400 ms SLA
+    plan("rm1", "low", config)     # mixed model, 100 ms SLA
+
+
+if __name__ == "__main__":
+    main()

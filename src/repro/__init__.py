@@ -1,0 +1,79 @@
+"""repro — reproduction of "Optimizing CPU Performance for Recommendation
+Systems At-Scale" (ISCA 2023).
+
+The package is organized as the paper's system stack:
+
+* :mod:`repro.trace` — embedding-lookup trace synthesis (Meta-trace
+  statistics: High/Medium/Low hotness, one-item, random),
+* :mod:`repro.mem` — trace-driven cache hierarchy + DRAM simulator,
+* :mod:`repro.cpu` — CPU platform registry, analytic OoO core, SMT model,
+* :mod:`repro.model` — from-scratch numpy DLRM (Table 2 model zoo),
+* :mod:`repro.engine` — execution/timing engines (embedding, MLP roofline,
+  end-to-end, multi-core),
+* :mod:`repro.core` — the paper's contribution: application-initiated
+  software prefetching, MP-HT hyperthreading, the Integrated scheme,
+* :mod:`repro.analysis` — reuse-distance / hotness / breakdown tooling,
+* :mod:`repro.serving` — Poisson load + M/G/c tail-latency simulation,
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro import quick_eval
+    results = quick_eval(model="rm2_1", dataset="low")
+    print(results["sw_pf"].speedup_over(results["baseline"]))
+"""
+
+from typing import Dict, Optional, Tuple
+
+from .config import DEFAULT_CONFIG, SimConfig
+from .core.schemes import SCHEME_NAMES, SchemeResult, evaluate_all_schemes
+from .cpu.platform import get_platform
+from .model.configs import get_model
+from .trace.production import make_trace
+from .trace.stream import AddressMap
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "SCHEME_NAMES",
+    "SchemeResult",
+    "SimConfig",
+    "__version__",
+    "quick_eval",
+]
+
+
+def quick_eval(
+    model: str = "rm2_1",
+    dataset: str = "low",
+    platform: str = "csl",
+    num_cores: int = 1,
+    scale: float = 0.02,
+    batch_size: int = 16,
+    num_batches: int = 2,
+    schemes: Tuple[str, ...] = SCHEME_NAMES,
+    config: Optional[SimConfig] = None,
+) -> Dict[str, SchemeResult]:
+    """Evaluate the paper's design points on one workload, in one call.
+
+    This is the README's one-liner: it builds the scaled model, synthesizes
+    a trace at the requested hotness, and runs every scheme on the chosen
+    platform.  Defaults are sized to finish in seconds on a laptop.
+    """
+    config = config or SimConfig()
+    spec = get_platform(platform)
+    cfg = get_model(model).scaled(scale)
+    trace = make_trace(
+        dataset,
+        num_tables=cfg.num_tables,
+        rows_per_table=cfg.rows,
+        batch_size=batch_size,
+        num_batches=num_batches,
+        lookups_per_sample=cfg.lookups_per_sample,
+        config=config,
+    )
+    amap = AddressMap([cfg.rows] * cfg.num_tables, cfg.embedding_dim)
+    return evaluate_all_schemes(
+        cfg, trace, amap, spec, num_cores=num_cores, schemes=schemes
+    )

@@ -1,0 +1,40 @@
+"""Characterization tooling (Section 3 of the paper).
+
+* :mod:`repro.analysis.reuse` — exact LRU stack-distance computation
+  (Olken's algorithm on a Fenwick tree),
+* :mod:`repro.analysis.cache_model` — the paper's Fig 6 pipeline: trace ->
+  reuse-distance bins -> per-cache-level hit rates and cold-miss fractions,
+* :mod:`repro.analysis.histogram` — access-count histograms and hotness
+  metrics (Fig 5),
+* :mod:`repro.analysis.working_set` — working-set and cold-miss accounting,
+* :mod:`repro.analysis.breakdown` — analytic stage-time breakdown at paper
+  scale (Fig 1).
+"""
+
+from .bandwidth import BandwidthReport, bandwidth_report, memory_boundedness
+from .breakdown import estimate_stage_breakdown
+from .cache_model import CacheHitModel, ReuseModelReport, analyze_trace_reuse
+from .histogram import access_count_histogram, hotness_summary, top_share
+from .interference import InterferenceReport, intercore_sharing_study
+from .reuse import ReuseDistanceCounter, reuse_distances
+from .working_set import cold_miss_fraction, unique_rows, working_set_bytes
+
+__all__ = [
+    "BandwidthReport",
+    "CacheHitModel",
+    "InterferenceReport",
+    "ReuseDistanceCounter",
+    "ReuseModelReport",
+    "access_count_histogram",
+    "analyze_trace_reuse",
+    "bandwidth_report",
+    "cold_miss_fraction",
+    "estimate_stage_breakdown",
+    "hotness_summary",
+    "intercore_sharing_study",
+    "memory_boundedness",
+    "reuse_distances",
+    "top_share",
+    "unique_rows",
+    "working_set_bytes",
+]

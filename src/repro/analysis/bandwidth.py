@@ -1,0 +1,68 @@
+"""Bandwidth-boundedness reporting (Section 3.2's VTune numbers).
+
+The paper reports that at 24 cores the Low-hot execution "does remain
+memory bandwidth bound by 80% ... but the bandwidth does not get fully
+utilized" — the observation motivating software prefetching as a way to
+*spend* the idle bandwidth.  These helpers compute the same two quantities
+from simulator results: how memory-bound the execution is, and how much
+channel headroom remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cpu.platform import CPUSpec
+from ..engine.embedding_exec import EmbeddingRunResult
+from ..engine.multicore import MulticoreResult
+from ..errors import ConfigError
+
+__all__ = ["BandwidthReport", "memory_boundedness", "bandwidth_report"]
+
+
+def memory_boundedness(result: EmbeddingRunResult) -> float:
+    """Fraction of execution the core spends waiting on memory.
+
+    VTune's "memory bound" metric approximated by the simulator's stall
+    share (window + load-queue + fill-buffer waits are all memory waits in
+    this kernel).
+    """
+    return min(1.0, result.stall_fraction)
+
+
+@dataclass(frozen=True)
+class BandwidthReport:
+    """Section 3.2's pair of observations for one multi-core run."""
+
+    memory_bound_fraction: float
+    achieved_gb_s: float
+    peak_gb_s: float
+
+    @property
+    def utilization(self) -> float:
+        """Achieved / peak channel bandwidth."""
+        return self.achieved_gb_s / self.peak_gb_s if self.peak_gb_s else 0.0
+
+    @property
+    def headroom_gb_s(self) -> float:
+        """Idle bandwidth available for prefetch traffic."""
+        return max(0.0, self.peak_gb_s - self.achieved_gb_s)
+
+    @property
+    def motivates_prefetching(self) -> bool:
+        """The paper's Section 3.2 condition: memory-bound yet headroom left."""
+        return self.memory_bound_fraction > 0.5 and self.utilization < 0.9
+
+
+def bandwidth_report(
+    mc: MulticoreResult, platform: CPUSpec, sockets_used: int = 1
+) -> BandwidthReport:
+    """Build the Section 3.2 report from a multi-core run."""
+    if sockets_used <= 0:
+        raise ConfigError("sockets_used must be positive")
+    peak = platform.peak_dram_bw_bytes_s * min(sockets_used, platform.sockets) / 1e9
+    return BandwidthReport(
+        memory_bound_fraction=min(1.0, mc.emb_stall_fraction),
+        achieved_gb_s=mc.bandwidth_gb_s(platform.frequency_hz),
+        peak_gb_s=peak,
+    )

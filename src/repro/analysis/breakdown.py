@@ -1,0 +1,119 @@
+"""Analytic stage-time breakdown at paper scale (Fig 1).
+
+Fig 1 reports the embedding share of end-to-end execution for each model.
+At paper scale (1M-row tables, 60-170 tables) trace-driven simulation is
+infeasible, but the breakdown only needs *average* per-stage costs, so this
+module combines:
+
+* the reuse-distance hit-rate model (Fig 6 pipeline) on a sampled
+  paper-scale index stream -> per-level service fractions,
+* an exposed-latency model consistent with the detailed engine
+  (misses overlap up to the core's demand concurrency),
+* the roofline timings of the dense stages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..config import SimConfig
+from ..cpu.core import CoreModel
+from ..cpu.platform import CPUSpec
+from ..engine.inference import StageTimes
+from ..engine.kernels import KernelCostModel
+from ..engine.mlp_exec import time_interaction, time_mlp, time_top_mlp
+from ..errors import ConfigError
+from ..model.configs import ModelConfig
+from ..trace.production import make_trace
+from ..units import CACHE_LINE_BYTES, FLOAT32_BYTES
+from .cache_model import analyze_trace_reuse
+
+__all__ = ["estimate_stage_breakdown", "estimate_embedding_cycles"]
+
+#: Cost of a pipelined (L1-hit) load, cycles of critical path per line.
+HIT_COST_CYCLES = 0.5
+
+
+def estimate_embedding_cycles(
+    model: ModelConfig,
+    level_fractions: Dict[str, float],
+    platform: CPUSpec,
+    batch_size: int,
+    cost: KernelCostModel = KernelCostModel(),
+) -> float:
+    """Embedding-stage cycles for one batch from per-level hit fractions.
+
+    Per line: hits are pipelined; misses expose ``latency / concurrency``
+    where concurrency is the demand MLP the core sustains — the same
+    mechanism the detailed engine produces, in closed form.
+    """
+    if batch_size <= 0:
+        raise ConfigError("batch_size must be positive")
+    hier = platform.hierarchy
+    spec = platform.core
+    level_latency = {
+        "l1": hier.l1_latency,
+        "l2": hier.l2_latency,
+        "l3": hier.l3_latency,
+        "dram": hier.l3_latency + hier.dram.base_latency_cycles,
+    }
+    threshold = CoreModel.HIT_PIPELINE_THRESHOLD
+    exposed_per_line = 0.0
+    for level, fraction in level_fractions.items():
+        latency = level_latency[level]
+        if latency <= threshold:
+            exposed_per_line += fraction * HIT_COST_CYCLES
+        else:
+            exposed_per_line += fraction * latency / spec.demand_concurrency
+    row_lines = -(-model.embedding_dim * FLOAT32_BYTES // CACHE_LINE_BYTES)
+    issue_cycles = cost.instructions_per_lookup(row_lines) / spec.issue_width
+    per_lookup = issue_cycles + row_lines * exposed_per_line
+    return model.lookups_for_batch(batch_size) * per_lookup
+
+
+def estimate_stage_breakdown(
+    model: ModelConfig,
+    dataset: str,
+    platform: CPUSpec,
+    batch_size: int = 64,
+    sample_tables: int = 3,
+    sample_batches: int = 4,
+    config: Optional[SimConfig] = None,
+) -> StageTimes:
+    """Fig 1's quantity: per-stage cycles at paper scale.
+
+    A small sample of paper-scale tables is synthesized for ``dataset``;
+    its reuse profile generalizes across tables because tables are i.i.d.
+    at a given hotness.  Row-granularity reuse distances stand in for line
+    granularity (lines of one row behave identically).
+    """
+    config = config or SimConfig()
+    sample_tables = min(sample_tables, model.num_tables)
+    trace = make_trace(
+        dataset,
+        num_tables=sample_tables,
+        rows_per_table=model.rows,
+        batch_size=batch_size,
+        num_batches=sample_batches,
+        lookups_per_sample=model.lookups_per_sample,
+        config=config,
+    )
+    report = analyze_trace_reuse(
+        trace, platform.hierarchy, model.embedding_dim, dataset=dataset
+    )
+    embedding = estimate_embedding_cycles(
+        model, report.level_fractions, platform, batch_size
+    )
+    bottom = time_mlp(model.dense_features, model.bottom_mlp, batch_size, platform.core)
+    interaction = time_interaction(
+        batch_size, model.num_tables, model.embedding_dim, platform.core
+    )
+    top = time_top_mlp(
+        model.num_tables, model.embedding_dim, model.top_mlp, batch_size, platform.core
+    )
+    return StageTimes(
+        bottom_mlp=bottom.cycles,
+        embedding=embedding,
+        interaction=interaction.cycles,
+        top_mlp=top.cycles,
+    )

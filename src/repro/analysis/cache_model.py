@@ -1,0 +1,132 @@
+"""The paper's Fig 6 modeling pipeline: trace -> reuse bins -> hit rates.
+
+Given an embedding access trace and a cache hierarchy's capacities, the
+model predicts per-level hit rates by comparing every access's stack
+distance against how many embedding *vectors* each level can hold
+(``capacity_bytes / row_bytes``, the paper's 32 KiB L1D = 64 vectors at
+dim 128 example), assuming full associativity and LRU — exactly the
+simplifications stated in Section 3.1.2.
+
+This analytic path runs at paper scale (1M-row tables) because it only
+needs index streams, not cache-line simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..mem.hierarchy import HierarchyConfig
+from ..trace.dataset import EmbeddingTrace
+from ..units import FLOAT32_BYTES
+from .reuse import ReuseResult, reuse_distances
+
+__all__ = ["CacheHitModel", "ReuseModelReport", "analyze_trace_reuse"]
+
+
+@dataclass(frozen=True)
+class CacheHitModel:
+    """Cache levels expressed in embedding-vector capacities."""
+
+    vectors_l1: int
+    vectors_l2: int
+    vectors_l3: int
+
+    @classmethod
+    def from_hierarchy(
+        cls, config: HierarchyConfig, embedding_dim: int, dtype_bytes: int = FLOAT32_BYTES
+    ) -> "CacheHitModel":
+        """Convert byte capacities to embedding-vector counts."""
+        if embedding_dim <= 0:
+            raise ConfigError("embedding_dim must be positive")
+        row_bytes = embedding_dim * dtype_bytes
+        return cls(
+            vectors_l1=max(1, config.l1_size // row_bytes),
+            vectors_l2=max(1, config.l2_size // row_bytes),
+            vectors_l3=max(1, config.l3_size // row_bytes),
+        )
+
+    def hit_rates(self, reuse: ReuseResult) -> Dict[str, float]:
+        """Cumulative hit rate at each level (L1 ⊆ L2 ⊆ L3)."""
+        return {
+            "l1": reuse.hit_rate_at_capacity(self.vectors_l1),
+            "l2": reuse.hit_rate_at_capacity(self.vectors_l2),
+            "l3": reuse.hit_rate_at_capacity(self.vectors_l3),
+        }
+
+    def level_fractions(self, reuse: ReuseResult) -> Dict[str, float]:
+        """Fraction of accesses served at each level, DRAM included."""
+        rates = self.hit_rates(reuse)
+        return {
+            "l1": rates["l1"],
+            "l2": rates["l2"] - rates["l1"],
+            "l3": rates["l3"] - rates["l2"],
+            "dram": 1.0 - rates["l3"],
+        }
+
+
+@dataclass
+class ReuseModelReport:
+    """Everything Fig 7 plots for one dataset."""
+
+    dataset: str
+    reuse: ReuseResult
+    hit_rates: Dict[str, float]
+    level_fractions: Dict[str, float]
+    cold_fraction: float
+    capacities: CacheHitModel
+
+    def distance_cdf(
+        self, points: Optional[Sequence[int]] = None
+    ) -> "List[tuple[int, float]]":
+        """(capacity, cumulative-hit-rate) series for plotting Fig 7.
+
+        The CDF is over *all* accesses, so it asymptotes to
+        ``1 - cold_fraction`` — the yellow cold-miss region of Fig 7.
+        """
+        if points is None:
+            points = [2**k for k in range(1, 27)]
+        return [(int(p), self.reuse.hit_rate_at_capacity(int(p))) for p in points]
+
+
+def analyze_trace_reuse(
+    trace: EmbeddingTrace,
+    hierarchy: HierarchyConfig,
+    embedding_dim: int,
+    tables: Optional[Sequence[int]] = None,
+    dataset: str = "unnamed",
+) -> ReuseModelReport:
+    """Run the Fig 6 pipeline on (a subset of) a trace.
+
+    The access stream follows Algorithm 1's execution order — for each
+    batch, tables in order, each table's pooled lookups in order — with
+    keys namespaced per table (no sharing across tables, the inter-table
+    class of Section 3.1).  ``tables`` restricts the stream to a sample of
+    tables to bound analysis cost on very wide models.
+    """
+    table_ids = list(tables) if tables is not None else list(range(trace.num_tables))
+    if not table_ids:
+        raise ConfigError("need at least one table to analyze")
+    for t in table_ids:
+        if not 0 <= t < trace.num_tables:
+            raise ConfigError(f"table {t} out of range")
+    streams: List[np.ndarray] = []
+    for b in range(trace.num_batches):
+        for t in table_ids:
+            tb = trace.table_batch(b, t)
+            # Namespace keys per table: tables never share rows.
+            streams.append(tb.indices.astype(np.int64) + t * (2**34))
+    stream = np.concatenate(streams)
+    reuse = reuse_distances(stream.tolist(), length_hint=stream.size)
+    capacities = CacheHitModel.from_hierarchy(hierarchy, embedding_dim)
+    return ReuseModelReport(
+        dataset=dataset,
+        reuse=reuse,
+        hit_rates=capacities.hit_rates(reuse),
+        level_fractions=capacities.level_fractions(reuse),
+        cold_fraction=reuse.cold_fraction,
+        capacities=capacities,
+    )

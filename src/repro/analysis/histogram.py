@@ -1,0 +1,77 @@
+"""Access-count histograms and hotness metrics (Fig 5).
+
+Fig 5 plots, per dataset, the per-row access counts sorted descending —
+the visual signature of the power-law "hot embedding" behaviour.  The
+helpers here compute that series plus the scalar hotness summaries the
+paper quotes (unique-access fraction, share of accesses absorbed by the
+hottest rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..trace.dataset import EmbeddingTrace
+
+__all__ = ["access_count_histogram", "top_share", "hotness_summary", "HotnessReport"]
+
+
+def access_count_histogram(
+    trace: EmbeddingTrace, table: Optional[int] = None
+) -> np.ndarray:
+    """Sorted-descending per-row access counts (Fig 5's y-series).
+
+    With ``table=None`` the counts aggregate across all tables, each
+    table's rows kept distinct.
+    """
+    if table is not None:
+        return trace.access_counts(table)
+    parts = [trace.access_counts(t) for t in range(trace.num_tables)]
+    merged = np.concatenate(parts)
+    return np.sort(merged)[::-1]
+
+
+def top_share(counts: np.ndarray, fraction: float = 0.01) -> float:
+    """Share of all accesses going to the hottest ``fraction`` of rows.
+
+    The quantity behind "a small fraction of embedding entries contribute
+    to a major fraction of accesses" (Section 2.3).
+    """
+    if counts.size == 0:
+        raise ConfigError("empty access-count array")
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigError(f"fraction must be in (0,1], got {fraction}")
+    ordered = np.sort(counts)[::-1]
+    k = max(1, int(round(ordered.size * fraction)))
+    return float(ordered[:k].sum() / ordered.sum())
+
+
+@dataclass(frozen=True)
+class HotnessReport:
+    """Scalar hotness description of one trace."""
+
+    dataset: str
+    unique_fraction: float
+    top_1pct_share: float
+    top_10pct_share: float
+    max_count: int
+    accessed_rows: int
+    total_lookups: int
+
+
+def hotness_summary(trace: EmbeddingTrace, dataset: str = "unnamed") -> HotnessReport:
+    """Summarize the hotness of a trace across all tables."""
+    counts = access_count_histogram(trace)
+    return HotnessReport(
+        dataset=dataset,
+        unique_fraction=trace.mean_unique_fraction(),
+        top_1pct_share=top_share(counts, 0.01),
+        top_10pct_share=top_share(counts, 0.10),
+        max_count=int(counts[0]) if counts.size else 0,
+        accessed_rows=int(counts.size),
+        total_lookups=trace.total_lookups(),
+    )

@@ -1,0 +1,144 @@
+"""Exact LRU stack-distance (reuse-distance) computation.
+
+The paper's Fig 6/7 methodology: collect the index access trace, compute
+the stack distance of every access, and compare distances against cache
+capacities to predict hit rates.  The classical algorithm is Olken's: keep
+the last access position of every key and a Fenwick (binary indexed) tree
+marking which positions are the *most recent* access of their key; the
+stack distance of an access is the number of marked positions after the
+key's previous access.
+
+Cold (first-ever) accesses have infinite distance, reported separately —
+these are the cold misses that reach 72% in the paper's Low-hot traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["ReuseDistanceCounter", "ReuseResult", "reuse_distances"]
+
+
+class _Fenwick:
+    """Prefix-sum tree over positions 1..n."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.tree = np.zeros(n + 1, dtype=np.int64)
+
+    def add(self, i: int, delta: int) -> None:
+        while i <= self.n:
+            self.tree[i] += delta
+            i += i & (-i)
+
+    def prefix(self, i: int) -> int:
+        total = 0
+        while i > 0:
+            total += self.tree[i]
+            i -= i & (-i)
+        return int(total)
+
+
+@dataclass
+class ReuseResult:
+    """Stack distances of one access stream."""
+
+    distances: np.ndarray  # finite distances only, one per reuse access
+    cold_accesses: int
+    total_accesses: int
+
+    @property
+    def cold_fraction(self) -> float:
+        """Fraction of accesses that are cold (infinite distance)."""
+        return self.cold_accesses / self.total_accesses if self.total_accesses else 0.0
+
+    def hit_rate_at_capacity(self, capacity: int) -> float:
+        """Predicted fully-associative LRU hit rate for ``capacity`` entries.
+
+        An access hits iff its stack distance is strictly less than the
+        cache capacity (in the same units as the stream's keys — embedding
+        vectors when the stream is row ids).
+        """
+        if capacity <= 0:
+            raise ConfigError(f"capacity must be positive, got {capacity}")
+        if self.total_accesses == 0:
+            return 0.0
+        hits = int(np.count_nonzero(self.distances < capacity))
+        return hits / self.total_accesses
+
+    def histogram(self, log2_bins: int = 32) -> "tuple[np.ndarray, np.ndarray]":
+        """(bin_edges, counts) of distances in log2 bins; cold excluded."""
+        if self.distances.size == 0:
+            return np.array([0]), np.array([0])
+        edges = 2 ** np.arange(log2_bins + 1)
+        counts, _ = np.histogram(np.maximum(self.distances, 1), bins=edges)
+        return edges, counts
+
+    def percentile(self, q: float) -> float:
+        """Distance percentile over finite distances."""
+        if self.distances.size == 0:
+            raise ConfigError("no finite reuse distances")
+        return float(np.percentile(self.distances, q))
+
+
+class ReuseDistanceCounter:
+    """Streaming stack-distance counter (Olken / Fenwick)."""
+
+    def __init__(self, expected_length: int) -> None:
+        if expected_length <= 0:
+            raise ConfigError("expected stream length must be positive")
+        self._tree = _Fenwick(expected_length)
+        self._last_pos: Dict[int, int] = {}
+        self._t = 0
+        self._distances: List[int] = []
+        self._cold = 0
+
+    def access(self, key: int) -> int:
+        """Record one access; return its stack distance (-1 when cold)."""
+        self._t += 1
+        t = self._t
+        if t > self._tree.n:
+            raise ConfigError("stream longer than declared expected_length")
+        previous = self._last_pos.get(key)
+        if previous is None:
+            distance = -1
+            self._cold += 1
+        else:
+            # Distinct keys accessed strictly between previous and now.
+            distance = self._tree.prefix(t - 1) - self._tree.prefix(previous)
+            self._distances.append(distance)
+            self._tree.add(previous, -1)
+        self._tree.add(t, 1)
+        self._last_pos[key] = t
+        return distance
+
+    def result(self) -> ReuseResult:
+        """Finish the stream and return distances + cold counts."""
+        return ReuseResult(
+            distances=np.asarray(self._distances, dtype=np.int64),
+            cold_accesses=self._cold,
+            total_accesses=self._t,
+        )
+
+
+def reuse_distances(stream: Iterable[int], length_hint: int = 0) -> ReuseResult:
+    """Compute stack distances of a full access stream.
+
+    ``stream`` may be any iterable of hashable integer keys (row ids or
+    cache-line numbers).  ``length_hint`` sizes the Fenwick tree; when 0
+    the stream is materialized first.
+    """
+    if length_hint <= 0:
+        stream = list(stream)
+        length_hint = len(stream)
+        if length_hint == 0:
+            return ReuseResult(np.empty(0, dtype=np.int64), 0, 0)
+    counter = ReuseDistanceCounter(length_hint)
+    for key in stream:
+        counter.access(int(key))
+    return counter.result()

@@ -1,0 +1,50 @@
+"""The paper's contribution: software prefetching + smart hyperthreading.
+
+* :mod:`repro.core.swpf` — application-initiated software prefetching for
+  ``embedding_bag`` (Section 4.2's what/when/how/where design space),
+* :mod:`repro.core.compiler_pf` — the compiler-inserted prefetching
+  baselines of Fig 10a (gcc ``-fprefetch-loop-arrays``, icc
+  ``-qopt-prefetch=5``),
+* :mod:`repro.core.hyperthread` — Sequential / DP-HT / MP-HT scheduling on
+  the SMT model (Fig 11),
+* :mod:`repro.core.integrated` — SW-PF + MP-HT with the window-stall
+  synergy coupling (Section 4.4),
+* :mod:`repro.core.tuner` — prefetch distance/amount auto-tuning
+  (Fig 10b/c, Section 6.4's per-platform tuning),
+* :mod:`repro.core.schemes` — the six evaluated design points behind
+  Figs 12-16 and Table 4.
+"""
+
+from .adaptive import AdaptiveController, AdaptiveRunResult, run_adaptive_prefetch
+from .compiler_pf import COMPILER_STYLES, compiler_prefetch_plan
+from .hyperthread import (
+    dp_ht_batch_cycles,
+    halved_smt_hierarchy_config,
+    mp_ht_batch_cycles,
+    sequential_batch_cycles,
+)
+from .integrated import integrated_batch_cycles
+from .schemes import SCHEME_NAMES, SchemeResult, evaluate_all_schemes, evaluate_scheme
+from .swpf import PAPER_SWPF, SWPrefetchConfig
+from .tuner import PrefetchTuningResult, tune_prefetch
+
+__all__ = [
+    "AdaptiveController",
+    "AdaptiveRunResult",
+    "COMPILER_STYLES",
+    "run_adaptive_prefetch",
+    "PAPER_SWPF",
+    "PrefetchTuningResult",
+    "SCHEME_NAMES",
+    "SWPrefetchConfig",
+    "SchemeResult",
+    "compiler_prefetch_plan",
+    "dp_ht_batch_cycles",
+    "evaluate_all_schemes",
+    "evaluate_scheme",
+    "halved_smt_hierarchy_config",
+    "integrated_batch_cycles",
+    "mp_ht_batch_cycles",
+    "sequential_batch_cycles",
+    "tune_prefetch",
+]

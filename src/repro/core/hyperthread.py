@@ -1,0 +1,135 @@
+"""Hyperthreading schedulers: Sequential, DP-HT, MP-HT (Fig 11).
+
+* **Sequential** — the common DLRM deployment: one thread per core runs
+  bottom MLP, embedding, interaction, top MLP back to back.
+* **DP-HT** (data-parallel, the naive scheme prior work evaluated and
+  dismissed) — two *complete inference instances* share one physical
+  core's SMT threads.  Their embedding phases thrash the shared L1/L2
+  (memory-memory overlap) and their MLP phases oversubscribe the issue
+  ports (compute-compute overlap); per-inference latency degrades to the
+  0.5-0.62x the paper reports.
+* **MP-HT** (model-parallel, the paper's scheme) — the two SMT threads of
+  one core split *one batch*: embedding on one thread, bottom MLP on the
+  other.  The memory-bound and compute-bound threads overlap favourably,
+  then interaction + top MLP run after the join.
+
+In the simulator, thread interference goes through
+:class:`~repro.cpu.smt.SMTModel`; DP-HT's cache thrash is captured by
+running the embedding stage against statically halved L1/L2 capacities
+(competitive sharing between two symmetric memory-bound threads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..cpu.smt import SMTModel, ThreadProfile
+from ..engine.inference import InferenceTiming
+from ..errors import ConfigError
+from ..mem.hierarchy import HierarchyConfig
+
+__all__ = [
+    "sequential_batch_cycles",
+    "mp_ht_batch_cycles",
+    "mp_two_core_batch_cycles",
+    "dp_ht_batch_cycles",
+    "halved_smt_hierarchy_config",
+]
+
+
+def sequential_batch_cycles(timing: InferenceTiming) -> float:
+    """Baseline: all four stages back to back on one thread."""
+    return timing.stages.total
+
+
+def mp_ht_batch_cycles(timing: InferenceTiming, smt: SMTModel = SMTModel()) -> float:
+    """MP-HT: embedding ∥ bottom MLP, then interaction + top MLP.
+
+    ``timing``'s embedding profile must come from the scheme's embedding
+    run (baseline for plain MP-HT, prefetched for Integrated) — the
+    profile's stall fraction is what sets the sibling's contention
+    penalty, which is where the SW-PF synergy enters.
+    """
+    overlapped = smt.overlapped_time(timing.embedding_profile, timing.bottom_mlp_profile)
+    return overlapped + timing.stages.interaction + timing.stages.top_mlp
+
+
+def dp_ht_batch_cycles(
+    timing_halved_cache: InferenceTiming, smt: SMTModel = SMTModel()
+) -> float:
+    """DP-HT: per-inference batch latency with a symmetric sibling.
+
+    ``timing_halved_cache`` must be built from an embedding run against
+    :func:`halved_smt_hierarchy_config` caches — the static-partition model
+    of two memory threads sharing L1/L2.  On top of the cache thrash, each
+    phase pays SMT interference from the *same* phase of the sibling
+    inference (the unsynchronized instances drift, but embedding dominates
+    so embedding-embedding and MLP-MLP overlap is the expected case).
+    """
+    stages = timing_halved_cache.stages
+    emb = timing_halved_cache.embedding_profile
+    mlp = timing_halved_cache.bottom_mlp_profile
+    emb_inflation = smt.inflation(emb, emb, identical=True)
+    mlp_inflation = smt.inflation(mlp, mlp, identical=True)
+    return (
+        stages.embedding * emb_inflation
+        + (stages.bottom_mlp + stages.interaction + stages.top_mlp) * mlp_inflation
+    )
+
+
+def halved_smt_hierarchy_config(config: HierarchyConfig) -> HierarchyConfig:
+    """Private caches as seen by one of two symmetric SMT memory threads.
+
+    L1D and L2 halve (capacity *and* ways, keeping the set count — how
+    competitive sharing between two identical thrashing threads behaves);
+    the shared L3 is unchanged (both threads of one core share it either
+    way).
+    """
+    if config.l1_ways < 2 or config.l2_ways < 2:
+        raise ConfigError("cannot halve a direct-mapped cache for SMT sharing")
+    return replace(
+        config,
+        l1_size=config.l1_size // 2,
+        l1_ways=config.l1_ways // 2,
+        l2_size=config.l2_size // 2,
+        l2_ways=config.l2_ways // 2,
+    )
+
+
+#: Cross-core synchronization cost of splitting one batch over two cores
+#: (thread wake + cacheline handoff of the bottom-MLP output), cycles.
+TWO_CORE_SYNC_CYCLES = 5000.0
+
+
+def mp_two_core_batch_cycles(
+    timing: InferenceTiming, sync_cycles: float = TWO_CORE_SYNC_CYCLES
+) -> float:
+    """The alternative Section 4.3 dismisses: embedding and bottom MLP on
+    *separate physical cores*.
+
+    No SMT interference (each thread runs at solo speed), but the split
+    "would cost double the CPU cores, and synchronization overheads" — the
+    bottom-MLP output crosses the LLC to the interaction stage and the
+    join pays a wakeup.  Use with :func:`mp_ht_batch_cycles` to quantify
+    the paper's argument that MP-HT gets most of the overlap at half the
+    core cost.
+    """
+    if sync_cycles < 0:
+        raise ConfigError("sync overhead must be non-negative")
+    stages = timing.stages
+    overlapped = max(stages.embedding, stages.bottom_mlp)
+    return overlapped + sync_cycles + stages.interaction + stages.top_mlp
+
+
+def mp_ht_thread_slowdowns(
+    timing: InferenceTiming, smt: SMTModel = SMTModel()
+) -> "tuple[float, float]":
+    """(embedding, bottom-MLP) inflation factors under MP-HT colocation.
+
+    Exposed for the characterization benchmarks: the embedding thread is
+    barely slowed (the MLP sibling leaves the memory pipeline alone) while
+    the MLP thread pays for the embedding thread's window pressure.
+    """
+    emb = timing.embedding_profile
+    mlp = timing.bottom_mlp_profile
+    return smt.inflation(emb, mlp), smt.inflation(mlp, emb)

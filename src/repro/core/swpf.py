@@ -1,0 +1,88 @@
+"""Application-initiated software prefetching (Section 4.2).
+
+The paper answers four questions; this module encodes each answer:
+
+* **What to prefetch?**  The embedding row of a *future* lookup, whose
+  address the application can compute exactly by looking ahead in the
+  indices array — :attr:`SWPrefetchConfig.distance` lookups ahead.
+* **When to prefetch?**  At lookup granularity; the paper finds distance 4
+  optimal on Cascade Lake (~200 instructions of lead time).
+* **How to prefetch?**  ``_mm_prefetch`` per cache line — in the simulator,
+  :meth:`repro.mem.hierarchy.MemoryHierarchy.prefetch` calls issued by the
+  engine, each occupying an issue slot and a fill buffer.
+* **Where to prefetch?**  ``_MM_HINT_T0`` = into L1D
+  (:attr:`SWPrefetchConfig.target_level`), covering
+  :attr:`SWPrefetchConfig.amount_lines` of the row's 8 lines (amount 8 is
+  the paper's optimum for dim-128 rows).
+
+The mechanism (timeliness, pollution, MSHR sharing) lives in
+:mod:`repro.engine.embedding_exec`; this module is the policy layer plus
+the budget arithmetic the paper uses to argue the design is safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine.embedding_exec import PrefetchPlan
+from ..errors import ConfigError
+from ..units import CACHE_LINE_BYTES, kib
+
+__all__ = ["SWPrefetchConfig", "PAPER_SWPF", "prefetch_injection_bytes", "l1_occupancy_fraction"]
+
+
+@dataclass(frozen=True)
+class SWPrefetchConfig:
+    """Tunable knobs of the software-prefetch design."""
+
+    distance: int = 4
+    amount_lines: int = 8
+    target_level: str = "l1"
+
+    def __post_init__(self) -> None:
+        if self.distance <= 0:
+            raise ConfigError(f"distance must be positive, got {self.distance}")
+        if self.amount_lines <= 0:
+            raise ConfigError(f"amount must be positive, got {self.amount_lines}")
+        if self.target_level not in ("l1", "l2", "l3"):
+            raise ConfigError(f"bad target level {self.target_level!r}")
+
+    def plan(self) -> PrefetchPlan:
+        """The engine-level mechanism object."""
+        return PrefetchPlan(
+            distance=self.distance,
+            amount_lines=self.amount_lines,
+            target_level=self.target_level,
+        )
+
+    def with_distance(self, distance: int) -> "SWPrefetchConfig":
+        """Copy with a different look-ahead distance (Fig 10b sweeps)."""
+        return SWPrefetchConfig(distance, self.amount_lines, self.target_level)
+
+    def with_amount(self, amount_lines: int) -> "SWPrefetchConfig":
+        """Copy with a different per-row line count (Fig 10c sweeps)."""
+        return SWPrefetchConfig(self.distance, amount_lines, self.target_level)
+
+
+#: The paper's chosen configuration for Cascade Lake (Algorithm 3).
+PAPER_SWPF = SWPrefetchConfig(distance=4, amount_lines=8, target_level="l1")
+
+
+def prefetch_injection_bytes(config: SWPrefetchConfig) -> int:
+    """Bytes in flight between prefetch and demand use.
+
+    The paper's safety argument: distance 4 x 512 B = 2 KB, "reasonably
+    low compared to the L1D$ cache capacity" of 32 KiB.
+    """
+    return config.distance * config.amount_lines * CACHE_LINE_BYTES
+
+
+def l1_occupancy_fraction(config: SWPrefetchConfig, l1_bytes: int = kib(32)) -> float:
+    """Fraction of L1D the in-flight prefetch window occupies.
+
+    Values approaching 1 indicate the pollution regime that makes large
+    distances lose (the right side of Fig 10b's U-shape).
+    """
+    if l1_bytes <= 0:
+        raise ConfigError("l1 capacity must be positive")
+    return prefetch_injection_bytes(config) / l1_bytes

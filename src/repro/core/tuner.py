@@ -1,0 +1,108 @@
+"""Prefetch distance/amount tuning (Fig 10b, Fig 10c, Section 6.4).
+
+The paper tunes two knobs empirically:
+
+* **distance** (look-ahead in lookups): too small leaves latency exposed
+  (late prefetches), too large pollutes the 32 KiB L1D — the U-shape of
+  Fig 10b with the optimum at 4 on Cascade Lake;
+* **amount** (lines per row): covering all 8 lines of a dim-128 row
+  maximizes hit rate and minimizes load latency (Fig 10c).
+
+Section 6.4 repeats the tuning per platform and lands on amount 2 for
+Ice Lake / Sapphire Rapids and 4 for Zen3; :func:`tune_prefetch` is that
+procedure automated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+from ..cpu.platform import CPUSpec
+from ..engine.embedding_exec import EmbeddingRunResult, run_embedding_trace
+from ..errors import ConfigError
+from ..mem.hierarchy import build_hierarchy
+from ..trace.dataset import EmbeddingTrace
+from ..trace.stream import AddressMap
+from .swpf import PAPER_SWPF, SWPrefetchConfig
+
+__all__ = ["PrefetchTuningResult", "tune_prefetch", "DEFAULT_DISTANCES", "DEFAULT_AMOUNTS"]
+
+#: Fig 10b's sweep points.
+DEFAULT_DISTANCES: Tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+
+#: Fig 10c's sweep points (lines of an 8-line row).
+DEFAULT_AMOUNTS: Tuple[int, ...] = (1, 2, 4, 8)
+
+
+@dataclass
+class PrefetchTuningResult:
+    """Outcome of the two-phase sweep."""
+
+    distance_cycles: Dict[int, float] = field(default_factory=dict)
+    amount_metrics: Dict[int, "tuple[float, float, float]"] = field(
+        default_factory=dict
+    )  # amount -> (cycles, l1 hit rate, avg load latency)
+    best_distance: int = 0
+    best_amount: int = 0
+    baseline_cycles: float = 0.0
+
+    def distance_speedups(self) -> Dict[int, float]:
+        """Fig 10b's series: speedup over baseline per distance."""
+        return {
+            d: self.baseline_cycles / c for d, c in self.distance_cycles.items()
+        }
+
+    def best_config(self) -> SWPrefetchConfig:
+        """The tuned configuration."""
+        return SWPrefetchConfig(distance=self.best_distance, amount_lines=self.best_amount)
+
+
+def _run(
+    trace: EmbeddingTrace,
+    amap: AddressMap,
+    platform: CPUSpec,
+    config: "SWPrefetchConfig | None",
+) -> EmbeddingRunResult:
+    hierarchy = build_hierarchy(platform.hierarchy)
+    plan = config.plan() if config is not None else None
+    return run_embedding_trace(trace, amap, platform.core, hierarchy, plan=plan)
+
+
+def tune_prefetch(
+    trace: EmbeddingTrace,
+    amap: AddressMap,
+    platform: CPUSpec,
+    distances: Sequence[int] = DEFAULT_DISTANCES,
+    amounts: Sequence[int] = DEFAULT_AMOUNTS,
+    base: SWPrefetchConfig = PAPER_SWPF,
+) -> PrefetchTuningResult:
+    """Sweep distance (at the base amount), then amount (at best distance).
+
+    Mirrors the paper's procedure: Fig 10b fixes amount=8 and sweeps
+    distance; Fig 10c fixes the chosen distance and sweeps amount.
+    """
+    if not distances or not amounts:
+        raise ConfigError("sweeps must be non-empty")
+    result = PrefetchTuningResult()
+    result.baseline_cycles = _run(trace, amap, platform, None).total_cycles
+
+    for distance in distances:
+        run = _run(trace, amap, platform, base.with_distance(distance))
+        result.distance_cycles[distance] = run.total_cycles
+    result.best_distance = min(
+        result.distance_cycles, key=lambda d: result.distance_cycles[d]
+    )
+
+    tuned = base.with_distance(result.best_distance)
+    for amount in amounts:
+        run = _run(trace, amap, platform, tuned.with_amount(amount))
+        result.amount_metrics[amount] = (
+            run.total_cycles,
+            run.l1_hit_rate,
+            run.avg_load_latency,
+        )
+    result.best_amount = min(
+        result.amount_metrics, key=lambda a: result.amount_metrics[a][0]
+    )
+    return result

@@ -1,0 +1,33 @@
+"""CPU platform and core models.
+
+* :mod:`repro.cpu.platform` — the registry of evaluated CPUs: the paper's
+  primary Cascade Lake 6240R (Table 3) plus the Section 6.4 sweep platforms
+  (Skylake, Ice Lake, Sapphire Rapids, Zen3).
+* :mod:`repro.cpu.core` — an analytic out-of-order core: instruction window,
+  issue width, and MSHR-limited memory-level parallelism.
+* :mod:`repro.cpu.smt` — the simultaneous-multithreading contention model
+  used by the hyperthreading schedulers.
+"""
+
+from .core import CoreModel, CoreSpec
+from .platform import (
+    CPUSpec,
+    PLATFORM_NAMES,
+    get_platform,
+    list_platforms,
+    register_platform,
+)
+from .smt import SMTContention, SMTModel, ThreadProfile
+
+__all__ = [
+    "CPUSpec",
+    "CoreModel",
+    "CoreSpec",
+    "PLATFORM_NAMES",
+    "SMTContention",
+    "SMTModel",
+    "ThreadProfile",
+    "get_platform",
+    "list_platforms",
+    "register_platform",
+]

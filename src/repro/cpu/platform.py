@@ -1,0 +1,238 @@
+"""CPU platform registry.
+
+The paper evaluates on Cascade Lake 6240R (Table 3) and, in Section 6.4, on
+Skylake, Ice Lake, Sapphire Rapids and AMD Zen3.  A :class:`CPUSpec` carries
+everything the simulator needs: frequency, core/SMT counts, the memory
+hierarchy geometry, out-of-order resources, and peak SIMD throughput.
+
+Microarchitectural parameters come from vendor documentation; the relative
+window sizes match the paper's Section 6.4 note that Ice Lake and Sapphire
+Rapids have instruction windows 58% / 129% larger than Cascade Lake.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..errors import ConfigError, UnknownPlatformError
+from ..mem.dram import DRAMConfig
+from ..mem.hierarchy import HierarchyConfig
+from ..units import gb_per_s, ghz, kib, mib
+from .core import CoreSpec
+
+__all__ = [
+    "CPUSpec",
+    "get_platform",
+    "list_platforms",
+    "register_platform",
+    "PLATFORM_NAMES",
+]
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Everything the simulator needs to know about one CPU platform."""
+
+    name: str
+    display_name: str
+    frequency_hz: float
+    cores_per_socket: int
+    sockets: int
+    smt_per_core: int
+    core: CoreSpec
+    hierarchy: HierarchyConfig
+    peak_dram_bw_bytes_s: float
+    #: Cores sharing one last-level cache slice (Zen3 CCX = 8; Intel = all).
+    llc_shared_cores: int = 0
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ConfigError("frequency must be positive")
+        if self.cores_per_socket <= 0 or self.sockets <= 0:
+            raise ConfigError("core/socket counts must be positive")
+        if self.smt_per_core not in (1, 2):
+            raise ConfigError("smt_per_core must be 1 or 2")
+
+    @property
+    def total_cores(self) -> int:
+        """Physical cores across all sockets."""
+        return self.cores_per_socket * self.sockets
+
+    @property
+    def peak_dram_bw_bytes_per_cycle(self) -> float:
+        """Per-socket DRAM peak expressed in bytes per core cycle."""
+        return self.peak_dram_bw_bytes_s / self.frequency_hz
+
+    def llc_group_size(self) -> int:
+        """Number of cores sharing one LLC instance."""
+        return self.llc_shared_cores or self.cores_per_socket
+
+
+def _dram(base_ns: float, peak_gb_s: float, frequency_hz: float) -> DRAMConfig:
+    cycles = base_ns * 1e-9 * frequency_hz
+    return DRAMConfig(
+        base_latency_cycles=cycles,
+        peak_bandwidth_bytes_per_cycle=gb_per_s(peak_gb_s) / frequency_hz,
+        row_hit_latency_cycles=cycles * 0.5,
+    )
+
+
+def _make_registry() -> Dict[str, CPUSpec]:
+    registry: Dict[str, CPUSpec] = {}
+
+    # --- Cascade Lake 6240R: the paper's Table 3 machine -------------------
+    csl_freq = ghz(2.4)
+    registry["csl"] = CPUSpec(
+        name="csl",
+        display_name="Cascade Lake 6240R",
+        frequency_hz=csl_freq,
+        cores_per_socket=24,
+        sockets=2,
+        smt_per_core=2,
+        core=CoreSpec(
+            rob_entries=224,
+            issue_width=4,
+            l1_mshrs=12,
+            fp32_flops_per_cycle=64.0,  # 2x AVX-512 FMA ports
+            frequency_hz=csl_freq,
+        ),
+        hierarchy=HierarchyConfig(
+            l1_size=kib(32), l1_ways=8, l1_latency=5.0,
+            l2_size=mib(1), l2_ways=16, l2_latency=14.0,
+            l3_size=int(mib(35.75)), l3_ways=11, l3_latency=50.0,
+            dram=_dram(95.0, 140.0, csl_freq),
+        ),
+        peak_dram_bw_bytes_s=gb_per_s(140.0),
+    )
+
+    # --- Skylake (Xeon Gold class, 24 cores) --------------------------------
+    skl_freq = ghz(3.0)
+    registry["skl"] = CPUSpec(
+        name="skl",
+        display_name="Skylake",
+        frequency_hz=skl_freq,
+        cores_per_socket=24,
+        sockets=1,
+        smt_per_core=2,
+        core=CoreSpec(
+            rob_entries=224,
+            issue_width=4,
+            l1_mshrs=12,
+            fp32_flops_per_cycle=64.0,
+            frequency_hz=skl_freq,
+        ),
+        hierarchy=HierarchyConfig(
+            l1_size=kib(32), l1_ways=8, l1_latency=5.0,
+            l2_size=mib(1), l2_ways=16, l2_latency=14.0,
+            l3_size=int(mib(24.75)), l3_ways=11, l3_latency=44.0,
+            dram=_dram(90.0, 128.0, skl_freq),
+        ),
+        peak_dram_bw_bytes_s=gb_per_s(128.0),
+    )
+
+    # --- Ice Lake (window +58% vs CSL, per Section 6.4) ---------------------
+    icl_freq = ghz(2.4)
+    registry["icl"] = CPUSpec(
+        name="icl",
+        display_name="Ice Lake",
+        frequency_hz=icl_freq,
+        cores_per_socket=32,
+        sockets=1,
+        smt_per_core=2,
+        core=CoreSpec(
+            rob_entries=352,
+            issue_width=5,
+            l1_mshrs=16,
+            fp32_flops_per_cycle=64.0,
+            frequency_hz=icl_freq,
+        ),
+        hierarchy=HierarchyConfig(
+            l1_size=kib(48), l1_ways=12, l1_latency=5.0,
+            l2_size=int(mib(1.25)), l2_ways=20, l2_latency=14.0,
+            l3_size=mib(48), l3_ways=12, l3_latency=52.0,
+            dram=_dram(100.0, 204.0, icl_freq),
+        ),
+        peak_dram_bw_bytes_s=gb_per_s(204.0),
+    )
+
+    # --- Sapphire Rapids (window +129% vs CSL) -------------------------------
+    spr_freq = ghz(2.0)
+    registry["spr"] = CPUSpec(
+        name="spr",
+        display_name="Sapphire Rapids",
+        frequency_hz=spr_freq,
+        cores_per_socket=56,
+        sockets=1,
+        smt_per_core=2,
+        core=CoreSpec(
+            rob_entries=512,
+            issue_width=6,
+            l1_mshrs=16,
+            fp32_flops_per_cycle=64.0,
+            frequency_hz=spr_freq,
+        ),
+        hierarchy=HierarchyConfig(
+            l1_size=kib(48), l1_ways=12, l1_latency=5.0,
+            l2_size=mib(2), l2_ways=16, l2_latency=15.0,
+            l3_size=int(mib(105)), l3_ways=15, l3_latency=55.0,
+            dram=_dram(105.0, 307.0, spr_freq),
+        ),
+        peak_dram_bw_bytes_s=gb_per_s(307.0),
+    )
+
+    # --- AMD Zen3 (EPYC 7763): 8-core CCX slices of L3 -----------------------
+    zen3_freq = ghz(2.45)
+    registry["zen3"] = CPUSpec(
+        name="zen3",
+        display_name="AMD Zen3 EPYC 7763",
+        frequency_hz=zen3_freq,
+        cores_per_socket=64,
+        sockets=2,
+        smt_per_core=2,
+        core=CoreSpec(
+            rob_entries=256,
+            issue_width=4,
+            l1_mshrs=16,
+            fp32_flops_per_cycle=32.0,  # 2x AVX2 FMA ports
+            frequency_hz=zen3_freq,
+        ),
+        hierarchy=HierarchyConfig(
+            l1_size=kib(32), l1_ways=8, l1_latency=4.0,
+            l2_size=kib(512), l2_ways=8, l2_latency=12.0,
+            l3_size=mib(32), l3_ways=16, l3_latency=46.0,  # per-CCX slice
+            dram=_dram(105.0, 204.0, zen3_freq),
+        ),
+        peak_dram_bw_bytes_s=gb_per_s(204.0),
+        llc_shared_cores=8,
+    )
+
+    return registry
+
+
+_REGISTRY = _make_registry()
+
+#: Names of the built-in platforms, in the paper's Fig 16 order.
+PLATFORM_NAMES: Tuple[str, ...] = ("skl", "csl", "icl", "spr", "zen3")
+
+
+def get_platform(name: str) -> CPUSpec:
+    """Look up a platform by short name (case-insensitive)."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise UnknownPlatformError(
+            f"unknown platform {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_platforms() -> Dict[str, CPUSpec]:
+    """A copy of the whole registry keyed by short name."""
+    return dict(_REGISTRY)
+
+
+def register_platform(spec: CPUSpec, overwrite: bool = False) -> None:
+    """Add a custom platform to the registry (for what-if studies)."""
+    if spec.name in _REGISTRY and not overwrite:
+        raise ConfigError(f"platform {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec

@@ -1,0 +1,136 @@
+"""Simultaneous multithreading (hyperthreading) contention model.
+
+Two hardware threads on one physical core share the issue ports, the memory
+pipeline, and (competitively) structures like reservation stations and fill
+buffers.  The model here predicts each thread's slowdown when colocated,
+from two measurable properties of each thread running alone:
+
+* ``utilization`` — issue-slot utilization (IPC / width),
+* ``stall_fraction`` — fraction of cycles in full-window / MSHR stalls.
+
+The slowdown of thread *i* colocated with sibling *j* is::
+
+    inflation_i = max(1, util_i + port_overlap * util_j)   # issue contention
+                + window_pressure * stall_frac_j           # shared-entry pressure
+
+The first term is the SMT bandwidth argument with a twist: only the
+fraction ``port_overlap`` of the sibling's issue demand lands on ports
+thread *i* also needs — a GEMM lives on the FMA ports while the embedding
+kernel lives on the load ports, which is exactly why the paper's MP-HT
+pairing is favourable while DP-HT's symmetric pairings (GEMM+GEMM,
+memory+memory) collide head-on.  The second term encodes the paper's
+synergy mechanism: a sibling that spends most of its time in full-window
+stalls ties down shared pipeline resources; software prefetching shrinks
+``stall_frac`` of the embedding thread, which *lowers the inflation of the
+MLP sibling* — this is why Integrated beats the product of SW-PF and
+MP-HT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["ThreadProfile", "SMTContention", "SMTModel"]
+
+
+@dataclass(frozen=True)
+class ThreadProfile:
+    """Solo-execution profile of one software thread."""
+
+    name: str
+    time_cycles: float
+    utilization: float
+    stall_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.time_cycles < 0:
+            raise ConfigError("time must be non-negative")
+        if not 0.0 <= self.utilization <= 1.0:
+            raise ConfigError(f"utilization must be in [0,1], got {self.utilization}")
+        if not 0.0 <= self.stall_fraction <= 1.0:
+            raise ConfigError(
+                f"stall fraction must be in [0,1], got {self.stall_fraction}"
+            )
+
+
+@dataclass(frozen=True)
+class SMTContention:
+    """Tunable contention coefficients (calibrated in tests/benchmarks)."""
+
+    #: Weight of the sibling's stall fraction (shared-entry pressure).
+    window_pressure: float = 0.35
+    #: Fraction of the sibling's issue demand contending for the same
+    #: execution ports.  1.0 = identical kernels (DP-HT's symmetric
+    #: phases); heterogeneous pairs (GEMM vs. gather) overlap less.
+    port_overlap: float = 0.5
+    #: Extra inflation both threads pay for sharing the L1/L2 when both are
+    #: memory-intensive (cache thrash; DP-HT's embedding phases).  Applied
+    #: by callers that do not simulate the shared caches directly.
+    cache_share_penalty: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.window_pressure < 0 or self.cache_share_penalty < 0:
+            raise ConfigError("contention coefficients must be non-negative")
+        if not 0.0 <= self.port_overlap <= 1.0:
+            raise ConfigError(
+                f"port_overlap must be in [0,1], got {self.port_overlap}"
+            )
+
+
+class SMTModel:
+    """Predicts colocated run times for a pair of thread profiles."""
+
+    def __init__(self, contention: SMTContention = SMTContention()) -> None:
+        self.contention = contention
+
+    def inflation(
+        self, thread: ThreadProfile, sibling: ThreadProfile, identical: bool = False
+    ) -> float:
+        """Slowdown factor of ``thread`` when colocated with ``sibling``.
+
+        ``identical=True`` marks siblings running the *same* kernel
+        (DP-HT's symmetric phases), whose issue demand lands on exactly the
+        same execution ports — full port overlap instead of the partial
+        overlap of heterogeneous pairs.
+        """
+        overlap = 1.0 if identical else self.contention.port_overlap
+        issue_term = max(1.0, thread.utilization + overlap * sibling.utilization)
+        pressure_term = self.contention.window_pressure * sibling.stall_fraction
+        return issue_term + pressure_term
+
+    def colocated_times(
+        self, a: ThreadProfile, b: ThreadProfile
+    ) -> "tuple[float, float]":
+        """Run times of ``a`` and ``b`` when sharing one physical core."""
+        return (
+            a.time_cycles * self.inflation(a, b),
+            b.time_cycles * self.inflation(b, a),
+        )
+
+    def overlapped_time(self, a: ThreadProfile, b: ThreadProfile) -> float:
+        """Makespan of running ``a`` and ``b`` in parallel on SMT siblings.
+
+        Contention only applies while *both* threads are live: the threads
+        co-run at their inflated rates until the faster one completes, then
+        the survivor finishes at solo speed.  (A naive ``max`` of fully
+        inflated times would charge a long thread for a sibling that
+        retired almost immediately — badly wrong for unbalanced pairs like
+        an MLP-heavy model's giant bottom MLP next to a tiny embedding
+        stage.)
+        """
+        infl_a = self.inflation(a, b)
+        infl_b = self.inflation(b, a)
+        wall_a = a.time_cycles * infl_a
+        wall_b = b.time_cycles * infl_b
+        if wall_a <= wall_b:
+            first_done, survivor_total, survivor_infl = wall_a, b.time_cycles, infl_b
+        else:
+            first_done, survivor_total, survivor_infl = wall_b, a.time_cycles, infl_a
+        progressed = first_done / survivor_infl
+        return first_done + (survivor_total - progressed)
+
+    def serialized_time(self, a: ThreadProfile, b: ThreadProfile) -> float:
+        """Makespan of running the two threads back to back (no SMT)."""
+        return a.time_cycles + b.time_cycles

@@ -1,0 +1,32 @@
+"""Execution and timing engines.
+
+* :mod:`repro.engine.kernels` — expands ``embedding_bag`` calls into the
+  micro-op / cache-line stream of the paper's Algorithm 1,
+* :mod:`repro.engine.embedding_exec` — trace-driven execution of the
+  embedding stage on a core + hierarchy (the measured stage),
+* :mod:`repro.engine.mlp_exec` — roofline timing of the MLP/interaction
+  stages (compute-bound and regular, so analytic),
+* :mod:`repro.engine.inference` — end-to-end single-batch composition,
+* :mod:`repro.engine.multicore` — many cores sharing LLC + DRAM bandwidth.
+"""
+
+from .embedding_exec import EmbeddingRunResult, run_embedding_trace
+from .inference import InferenceTiming, StageTimes, time_inference_sequential
+from .kernels import KernelCostModel
+from .mlp_exec import MLPTiming, time_interaction, time_mlp, time_top_mlp
+from .multicore import MulticoreResult, run_embedding_multicore
+
+__all__ = [
+    "EmbeddingRunResult",
+    "InferenceTiming",
+    "KernelCostModel",
+    "MLPTiming",
+    "MulticoreResult",
+    "StageTimes",
+    "run_embedding_multicore",
+    "run_embedding_trace",
+    "time_inference_sequential",
+    "time_interaction",
+    "time_mlp",
+    "time_top_mlp",
+]

@@ -1,0 +1,358 @@
+"""Trace-driven execution of the embedding stage.
+
+This engine plays Algorithm 1 against a simulated core + memory hierarchy:
+every pooled lookup expands to its cache-line loads, every load walks
+L1D/L2/L3/DRAM, and the :class:`~repro.cpu.core.CoreModel` converts the
+resulting latencies into cycles with window/MSHR-limited overlap.
+
+The engine also owns the *mechanism* of software prefetching: a
+:class:`PrefetchPlan` (policy comes from :mod:`repro.core.swpf`) makes the
+engine issue look-ahead prefetches ``distance`` lookups ahead, covering
+``amount_lines`` of the future row.  Timeliness is handled exactly:
+a prefetched line that has landed in L1 but whose fetch has not yet
+*completed* exposes the residual latency to the demand load (late
+prefetch); a prefetched line evicted before use simply misses again
+(pollution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..cpu.core import CoreModel, CoreSpec
+from ..errors import ConfigError
+from ..mem.hierarchy import AccessResult, MemoryHierarchy
+from ..mem.tlb import TLBModel
+from ..trace.dataset import EmbeddingTrace
+from ..trace.stream import AddressMap
+from .kernels import KernelCostModel
+
+__all__ = ["PrefetchPlan", "EmbeddingRunResult", "run_embedding_trace"]
+
+
+@dataclass(frozen=True)
+class PrefetchPlan:
+    """Mechanism-level description of application-initiated prefetching.
+
+    Mirrors Algorithm 3 of the paper: at lookup ``i``, prefetch
+    ``amount_lines`` cache lines of the row used by lookup
+    ``i + distance``, into ``target_level``.
+    """
+
+    distance: int = 4
+    amount_lines: int = 8
+    target_level: str = "l1"
+
+    def __post_init__(self) -> None:
+        if self.distance <= 0:
+            raise ConfigError(f"prefetch distance must be positive, got {self.distance}")
+        if self.amount_lines <= 0:
+            raise ConfigError(
+                f"prefetch amount must be positive, got {self.amount_lines}"
+            )
+        if self.target_level not in ("l1", "l2", "l3"):
+            raise ConfigError(f"bad prefetch target {self.target_level!r}")
+
+
+@dataclass
+class EmbeddingRunResult:
+    """Measured outcome of running the embedding stage of a trace."""
+
+    total_cycles: float
+    batch_cycles: List[float]
+    loads: int
+    effective_latency_sum: float
+    instr_count: int
+    utilization: float
+    stall_fraction: float
+    window_stall_cycles: float
+    mshr_stall_cycles: float
+    l1_hit_rate: float
+    l2_hit_rate: float
+    l3_hit_rate: float
+    dram_fraction: float
+    dram_bytes: int
+    prefetches_issued: int
+    level_fractions: Dict[str, float] = field(default_factory=dict)
+    issue_cycles: float = 0.0
+
+    @property
+    def avg_load_latency(self) -> float:
+        """Average *effective* demand-load latency in cycles.
+
+        Effective means after prefetch hiding and including late-prefetch
+        residuals — the quantity VTune's average load latency reports.
+        """
+        return self.effective_latency_sum / self.loads if self.loads else 0.0
+
+    @property
+    def mean_batch_cycles(self) -> float:
+        """Average cycles per batch."""
+        if not self.batch_cycles:
+            return 0.0
+        return sum(self.batch_cycles) / len(self.batch_cycles)
+
+    def cpi_stack(self) -> Dict[str, float]:
+        """Where the cycles went, as fractions of the total.
+
+        ``issue`` is the ideal front-end time (instructions / width);
+        ``window_stall`` and ``queue_stall`` are the two memory-stall
+        classes the core model distinguishes (full-window vs load-queue /
+        fill-buffer waits); ``drain`` is everything else — mostly the
+        end-of-batch waits for in-flight misses.  A VTune-style top-down
+        view of the simulated execution.
+        """
+        if self.total_cycles <= 0:
+            return {"issue": 0.0, "window_stall": 0.0, "queue_stall": 0.0, "drain": 0.0}
+        total = self.total_cycles
+        issue = min(self.issue_cycles, total)
+        window = self.window_stall_cycles
+        queue = self.mshr_stall_cycles
+        drain = max(0.0, total - issue - window - queue)
+        return {
+            "issue": issue / total,
+            "window_stall": window / total,
+            "queue_stall": queue / total,
+            "drain": drain / total,
+        }
+
+
+def _build_lookup_stream(
+    trace: EmbeddingTrace,
+    amap: AddressMap,
+    batch: int,
+    loop_order: str,
+    output_base_line: int,
+    model_stores: bool,
+):
+    """Flatten one batch's lookups into execution order.
+
+    Returns ``(first_lines, sample_flags, out_bases)``: the row first-line
+    per lookup, whether a (table, sample) segment starts at that position
+    (per-sample kernel overhead is charged there), and — when stores are
+    modeled — the output row's first line for that segment (-1 elsewhere).
+    """
+    import numpy as np
+
+    row_lines = amap.row_lines
+    num_tables = trace.num_tables
+    line_parts = []
+    flag_parts = []
+    out_parts = []
+
+    def segment(t: int, tb, k_first: int, k_last: int):
+        """Lines + flags for samples [k_first, k_last) of table t."""
+        offsets = tb.offsets
+        lines = amap.batch_first_lines(t, tb)[offsets[k_first] : offsets[k_last]]
+        flags = np.zeros(lines.size, dtype=bool)
+        outs = np.full(lines.size, -1, dtype=np.int64)
+        base0 = int(offsets[k_first])
+        region = output_base_line + (
+            (batch * num_tables + t) * tb.batch_size * row_lines
+        )
+        for k in range(k_first, k_last):
+            start = int(offsets[k]) - base0
+            if start < lines.size and int(offsets[k + 1]) > int(offsets[k]):
+                flags[start] = True
+                if model_stores and outs[start] < 0:
+                    outs[start] = region + k * row_lines
+        return lines, flags, outs
+
+    if loop_order == "table_major":
+        for t in range(num_tables):
+            tb = trace.table_batch(batch, t)
+            lines, flags, outs = segment(t, tb, 0, tb.batch_size)
+            line_parts.append(lines)
+            flag_parts.append(flags)
+            out_parts.append(outs)
+    else:  # sample_major
+        batch_size = trace.table_batch(batch, 0).batch_size
+        for k in range(batch_size):
+            for t in range(num_tables):
+                tb = trace.table_batch(batch, t)
+                lines, flags, outs = segment(t, tb, k, k + 1)
+                line_parts.append(lines)
+                flag_parts.append(flags)
+                out_parts.append(outs)
+
+    if not line_parts:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, np.empty(0, dtype=bool), empty
+    return (
+        np.concatenate(line_parts),
+        np.concatenate(flag_parts),
+        np.concatenate(out_parts),
+    )
+
+
+def run_embedding_trace(
+    trace: EmbeddingTrace,
+    amap: AddressMap,
+    core_spec: CoreSpec,
+    hierarchy: MemoryHierarchy,
+    plan: Optional[PrefetchPlan] = None,
+    cost: KernelCostModel = KernelCostModel(),
+    batch_indices: Optional[Sequence[int]] = None,
+    tlb: Optional[TLBModel] = None,
+    model_stores: bool = False,
+    loop_order: str = "table_major",
+) -> EmbeddingRunResult:
+    """Execute the embedding stage of ``trace`` and measure it.
+
+    Parameters
+    ----------
+    trace, amap:
+        The lookups and the physical table layout.
+    core_spec, hierarchy:
+        The core resources and the (possibly shared) memory system.
+    plan:
+        Optional software-prefetch plan (None = baseline demand loads).
+    batch_indices:
+        Subset of batches to execute (multi-core strides the trace across
+        cores); default is every batch in order.
+    tlb:
+        Optional address-translation model; a row's translation cost is
+        added to its first line's load latency.  Off by default (the
+        paper's characterization does not isolate translation).
+    model_stores:
+        Also execute the output-vector stores of Algorithm 1
+        (``vec.st accm``): one write-allocated output row per (sample,
+        table) in a region past the tables.  Off by default.
+    loop_order:
+        ``"table_major"`` (the paper's Algorithm 1 and PyTorch's
+        per-table ``embedding_bag`` calls: all of table t's lookups, then
+        table t+1) or ``"sample_major"`` (all tables for sample k, then
+        sample k+1) — the ordering that trades intra-table reuse for
+        per-sample output locality.  Section 3.1's inter-table thrash
+        discussion is about exactly this choice.
+    """
+    if loop_order not in ("table_major", "sample_major"):
+        raise ConfigError(f"unknown loop order {loop_order!r}")
+    if amap.num_tables != trace.num_tables:
+        raise ConfigError("address map and trace disagree on table count")
+    core = CoreModel(core_spec)
+    row_lines = amap.row_lines
+    if plan and plan.amount_lines > row_lines:
+        plan = PrefetchPlan(plan.distance, row_lines, plan.target_level)
+    # Output buffers live past the last table, 1 GiB away — far enough
+    # that they never alias table lines in any cache.
+    output_base_line = (
+        amap.table_bases[-1]
+        + amap.rows_per_table[-1] * amap.row_bytes
+        + (1 << 30)
+    ) // 64
+
+    batch_cycles: List[float] = []
+    effective_latency_sum = 0.0
+    demand_loads = 0
+    hit_threshold = CoreModel.HIT_PIPELINE_THRESHOLD
+    # line -> completion time of an in-flight prefetch of that line.
+    pf_completion: Dict[int, float] = {}
+
+    which_batches = batch_indices if batch_indices is not None else range(trace.num_batches)
+    for b in which_batches:
+        batch_start = core.now
+        stream_lines, sample_flags, out_bases = _build_lookup_stream(
+            trace, amap, b, loop_order, output_base_line, model_stores
+        )
+        n_lookups = stream_lines.size
+        for pos in range(n_lookups):
+            if sample_flags[pos]:
+                core.issue_compute(cost.uops_per_sample_base)
+                if model_stores and out_bases[pos] >= 0:
+                    # Write-allocate the sample's output row (zeroing
+                    # kernel + final vec.st of the accumulators).
+                    out_first = int(out_bases[pos])
+                    for cb in range(row_lines):
+                        store_result = hierarchy.load(out_first + cb)
+                        core.issue_compute(1)
+                        core.issue_load(
+                            store_result.latency,
+                            is_miss=store_result.latency > hit_threshold,
+                        )
+            core.issue_compute(cost.uops_per_lookup_base)
+            if tlb is not None:
+                tlb_penalty = tlb.translate_line(int(stream_lines[pos]))
+            else:
+                tlb_penalty = 0.0
+            if plan is not None:
+                j = pos + plan.distance
+                if j < n_lookups:
+                    pf_first = int(stream_lines[j])
+                    for cb in range(plan.amount_lines):
+                        line = pf_first + cb
+                        pending = pf_completion.get(line, 0.0)
+                        if pending > core.now:
+                            # Already in flight; the intrinsic is a no-op
+                            # but still occupies an issue slot.
+                            core.issue_compute(1)
+                            continue
+                        result = hierarchy.prefetch(line, plan.target_level)
+                        core.issue_prefetch(result.latency)
+                        if result.latency > hit_threshold:
+                            pf_completion[line] = core.now + result.latency
+            base_line = int(stream_lines[pos])
+            for cb in range(row_lines):
+                line = base_line + cb
+                core.issue_compute(cost.uops_per_line)
+                result = hierarchy.load(line)
+                if cb == 0 and tlb_penalty > 0.0:
+                    # Translation delays the row's first access.
+                    result = AccessResult(
+                        result.level, result.latency + tlb_penalty, line
+                    )
+                pending = pf_completion.pop(line, None)
+                if pending is not None and pending > core.now:
+                    # The prefetch of this line is still in flight: the
+                    # demand load merges into its MSHR entry and waits
+                    # only for the residual (late prefetch), consuming
+                    # no extra fill buffer.
+                    effective_latency_sum += pending - core.now
+                    demand_loads += 1
+                    core.issue_merged_load(pending)
+                else:
+                    latency = result.latency
+                    effective_latency_sum += latency
+                    demand_loads += 1
+                    core.issue_load(latency, is_miss=latency > hit_threshold)
+                # Hardware prefetches ride the L2-side superqueue, not
+                # the core's L1 fill buffers, so they never throttle
+                # demand concurrency — but their *arrival time* still
+                # gates later demand loads (merged waits), which is why
+                # they cannot rescue the irregular row accesses.
+                for cand, target in hierarchy.hw_prefetch_candidates(
+                    line, result.level == "l1"
+                ):
+                    if pf_completion.get(cand, 0.0) > core.now:
+                        continue
+                    pf_result = hierarchy.prefetch(cand, target)
+                    if pf_result.latency > hit_threshold:
+                        pf_completion[cand] = core.now + pf_result.latency
+        core.drain()
+        batch_cycles.append(core.now - batch_start)
+        pf_completion.clear()
+
+    total = core.now
+    hstats = hierarchy.stats
+    return EmbeddingRunResult(
+        total_cycles=total,
+        batch_cycles=batch_cycles,
+        loads=demand_loads,
+        effective_latency_sum=effective_latency_sum,
+        instr_count=core.instr_count,
+        utilization=core.utilization,
+        stall_fraction=core.stall_fraction,
+        window_stall_cycles=core.window_stall_cycles,
+        mshr_stall_cycles=core.mshr_stall_cycles,
+        l1_hit_rate=hierarchy.l1.stats.hit_rate,
+        l2_hit_rate=hierarchy.l2.stats.hit_rate,
+        l3_hit_rate=hierarchy.l3.stats.hit_rate,
+        dram_fraction=hstats.hit_fraction("dram"),
+        dram_bytes=hstats.dram_bytes,
+        prefetches_issued=core.prefetches,
+        level_fractions={
+            level: hstats.hit_fraction(level) for level in ("l1", "l2", "l3", "dram")
+        },
+        issue_cycles=core.instr_count / core_spec.issue_width,
+    )

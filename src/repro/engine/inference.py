@@ -1,0 +1,126 @@
+"""End-to-end single-batch inference timing.
+
+Composes the measured embedding stage with the analytic dense stages into
+the sequential (baseline) execution of Fig 11's left-hand design:
+bottom MLP -> embedding -> interaction -> top MLP on one core.
+
+The hyperthreading schedulers in :mod:`repro.core.hyperthread` reuse the
+:class:`StageTimes` produced here and re-compose the stages onto SMT
+threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..cpu.core import CoreSpec
+from ..cpu.smt import ThreadProfile
+from ..errors import ConfigError
+from ..model.configs import ModelConfig
+from ..units import cycles_to_ms
+from .embedding_exec import EmbeddingRunResult
+from .mlp_exec import MLPTiming, time_interaction, time_mlp, time_top_mlp
+
+__all__ = ["StageTimes", "InferenceTiming", "time_inference_sequential"]
+
+
+@dataclass(frozen=True)
+class StageTimes:
+    """Per-stage cycles for one batch."""
+
+    bottom_mlp: float
+    embedding: float
+    interaction: float
+    top_mlp: float
+
+    @property
+    def total(self) -> float:
+        """Sequential batch time."""
+        return self.bottom_mlp + self.embedding + self.interaction + self.top_mlp
+
+    @property
+    def embedding_fraction(self) -> float:
+        """Embedding share of the sequential time (Fig 1's quantity)."""
+        return self.embedding / self.total if self.total > 0 else 0.0
+
+    def breakdown(self) -> Dict[str, float]:
+        """Stage-name -> fraction-of-total mapping (sums to 1)."""
+        total = self.total
+        if total <= 0:
+            raise ConfigError("cannot break down a zero-time inference")
+        return {
+            "bottom_mlp": self.bottom_mlp / total,
+            "embedding": self.embedding / total,
+            "interaction": self.interaction / total,
+            "top_mlp": self.top_mlp / total,
+        }
+
+
+@dataclass(frozen=True)
+class InferenceTiming:
+    """Full description of one batch's sequential execution."""
+
+    model: str
+    stages: StageTimes
+    frequency_hz: float
+    embedding_profile: ThreadProfile
+    bottom_mlp_profile: ThreadProfile
+
+    @property
+    def batch_cycles(self) -> float:
+        """Sequential cycles for the batch."""
+        return self.stages.total
+
+    @property
+    def batch_ms(self) -> float:
+        """Sequential batch latency in milliseconds."""
+        return cycles_to_ms(self.stages.total, self.frequency_hz)
+
+
+def time_inference_sequential(
+    model: ModelConfig,
+    emb_result: EmbeddingRunResult,
+    core_spec: CoreSpec,
+    batch_size: int,
+) -> InferenceTiming:
+    """Compose measured embedding + analytic dense stages for one batch.
+
+    ``emb_result`` must come from running the *same* model/trace shape; its
+    mean batch cycles become the embedding stage time, and its utilization
+    and stall fraction feed the SMT thread profile.
+    """
+    if batch_size <= 0:
+        raise ConfigError("batch_size must be positive")
+    bottom = time_mlp(model.dense_features, model.bottom_mlp, batch_size, core_spec)
+    interaction = time_interaction(
+        batch_size, model.num_tables, model.embedding_dim, core_spec
+    )
+    top = time_top_mlp(
+        model.num_tables, model.embedding_dim, model.top_mlp, batch_size, core_spec
+    )
+    stages = StageTimes(
+        bottom_mlp=bottom.cycles,
+        embedding=emb_result.mean_batch_cycles,
+        interaction=interaction.cycles,
+        top_mlp=top.cycles,
+    )
+    emb_profile = ThreadProfile(
+        name="embedding",
+        time_cycles=emb_result.mean_batch_cycles,
+        utilization=emb_result.utilization,
+        stall_fraction=min(1.0, emb_result.stall_fraction),
+    )
+    bottom_profile = ThreadProfile(
+        name="bottom_mlp",
+        time_cycles=bottom.cycles,
+        utilization=bottom.utilization,
+        stall_fraction=bottom.stall_fraction,
+    )
+    return InferenceTiming(
+        model=model.name,
+        stages=stages,
+        frequency_hz=core_spec.frequency_hz,
+        embedding_profile=emb_profile,
+        bottom_mlp_profile=bottom_profile,
+    )

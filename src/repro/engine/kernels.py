@@ -1,0 +1,54 @@
+"""Micro-op cost model of the embedding kernel (Algorithm 1).
+
+Per pooled lookup, the AVX-512 kernel executes, for each 64-byte block of
+the embedding row:
+
+* one vector load of the row block (``vec.ld row_block``),
+* an accumulate and bookkeeping (``vec.add``, pointer arithmetic) —
+  modeled as :attr:`KernelCostModel.uops_per_line` non-memory micro-ops;
+
+plus per-lookup overhead (index fetch, address computation, loop control).
+With dim=128 (8 lines) the default model charges ``6 + 8 * (4 + 1) = 46``
+instructions per lookup, consistent with the paper's observation that a
+prefetch distance of 4 lookups corresponds to roughly 200 instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["KernelCostModel"]
+
+
+@dataclass(frozen=True)
+class KernelCostModel:
+    """Instruction costs of one pooled embedding lookup."""
+
+    #: Non-memory uops per cache-line block (accumulate + address math).
+    uops_per_line: int = 4
+    #: Per-lookup overhead uops (index load, bounds, loop control).
+    uops_per_lookup_base: int = 6
+    #: Per-sample overhead uops (offsets fetch, output zeroing per block).
+    uops_per_sample_base: int = 12
+
+    def __post_init__(self) -> None:
+        if min(self.uops_per_line, self.uops_per_lookup_base, self.uops_per_sample_base) < 0:
+            raise ConfigError("kernel uop costs must be non-negative")
+
+    def instructions_per_lookup(self, row_lines: int) -> int:
+        """Total instructions per lookup including the line loads."""
+        if row_lines <= 0:
+            raise ConfigError("row_lines must be positive")
+        return self.uops_per_lookup_base + row_lines * (self.uops_per_line + 1)
+
+    def prefetch_distance_instructions(self, distance: int, row_lines: int) -> int:
+        """Instructions between a look-ahead prefetch and its demand load.
+
+        The paper: "a prefetch distance of 4 ... corresponds to about 200
+        instructions between look-ahead prefetch and demand load".
+        """
+        if distance < 0:
+            raise ConfigError("distance must be non-negative")
+        return distance * self.instructions_per_lookup(row_lines)

@@ -1,0 +1,114 @@
+"""Roofline timing of the dense stages (bottom MLP, interaction, top MLP).
+
+These stages are compute-bound with regular, prefetcher-friendly access
+patterns (the paper never needs to instrument them internally), so they are
+timed analytically:
+
+``cycles = max(flops / (peak_flops_per_cycle * efficiency),
+               streamed_bytes / stream_bandwidth) + per-layer overhead``
+
+The weight footprints are a few MB (Section 4.4), resident in L2/L3, which
+is why the embedding stage's cache pressure and the MLP stage barely
+interact — the property MP-HT exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..cpu.core import CoreSpec
+from ..errors import ConfigError
+from ..model.interaction import interaction_flops, interaction_output_dim
+from ..units import FLOAT32_BYTES
+
+__all__ = ["MLPTiming", "time_mlp", "time_interaction", "time_top_mlp"]
+
+#: Fraction of peak FMA throughput a well-tuned GEMM kernel achieves at
+#: inference batch sizes (IPEX/oneDNN territory).
+GEMM_EFFICIENCY = 0.55
+
+#: Sustained L2/L3 streaming bandwidth for weight reads, bytes per cycle.
+STREAM_BYTES_PER_CYCLE = 32.0
+
+#: Fixed overhead per layer (dispatch, edge handling), cycles.
+LAYER_OVERHEAD_CYCLES = 300.0
+
+#: Issue utilization of a dense GEMM kernel (feeds the SMT model).
+GEMM_UTILIZATION = 0.85
+
+#: Stall fraction of a dense GEMM kernel (almost never window-stalled).
+GEMM_STALL_FRACTION = 0.03
+
+
+@dataclass(frozen=True)
+class MLPTiming:
+    """Analytic timing of one dense stage for one batch."""
+
+    cycles: float
+    flops: int
+    weight_bytes: int
+    utilization: float = GEMM_UTILIZATION
+    stall_fraction: float = GEMM_STALL_FRACTION
+
+    @property
+    def achieved_flops_per_cycle(self) -> float:
+        """Flops per cycle actually sustained."""
+        return self.flops / self.cycles if self.cycles > 0 else 0.0
+
+
+def time_mlp(
+    in_features: int,
+    widths: Sequence[int],
+    batch_size: int,
+    core_spec: CoreSpec,
+    efficiency: float = GEMM_EFFICIENCY,
+) -> MLPTiming:
+    """Roofline time of an MLP stack for one batch."""
+    if in_features <= 0 or batch_size <= 0:
+        raise ConfigError("MLP shape must be positive")
+    if not widths:
+        raise ConfigError("an MLP needs at least one layer")
+    if not 0.0 < efficiency <= 1.0:
+        raise ConfigError(f"efficiency must be in (0,1], got {efficiency}")
+    flops = 0
+    weight_bytes = 0
+    previous = in_features
+    for width in widths:
+        if width <= 0:
+            raise ConfigError("layer widths must be positive")
+        flops += 2 * batch_size * previous * width
+        weight_bytes += (previous * width + width) * FLOAT32_BYTES
+        previous = width
+    compute_cycles = flops / (core_spec.fp32_flops_per_cycle * efficiency)
+    # Weights are streamed once per batch; activations are negligible.
+    memory_cycles = weight_bytes / STREAM_BYTES_PER_CYCLE
+    cycles = max(compute_cycles, memory_cycles) + LAYER_OVERHEAD_CYCLES * len(widths)
+    return MLPTiming(cycles=cycles, flops=flops, weight_bytes=weight_bytes)
+
+
+def time_interaction(
+    batch_size: int, num_tables: int, embedding_dim: int, core_spec: CoreSpec
+) -> MLPTiming:
+    """Roofline time of the pairwise-dot interaction stage."""
+    if batch_size <= 0 or num_tables < 0 or embedding_dim <= 0:
+        raise ConfigError("interaction shape must be positive")
+    flops = interaction_flops(batch_size, num_tables, embedding_dim)
+    # Interaction reads the (batch, tables+1, dim) activations once.
+    bytes_read = batch_size * (num_tables + 1) * embedding_dim * FLOAT32_BYTES
+    compute_cycles = flops / (core_spec.fp32_flops_per_cycle * GEMM_EFFICIENCY)
+    memory_cycles = bytes_read / STREAM_BYTES_PER_CYCLE
+    cycles = max(compute_cycles, memory_cycles) + LAYER_OVERHEAD_CYCLES
+    return MLPTiming(cycles=cycles, flops=flops, weight_bytes=0)
+
+
+def time_top_mlp(
+    num_tables: int,
+    embedding_dim: int,
+    top_widths: Sequence[int],
+    batch_size: int,
+    core_spec: CoreSpec,
+) -> MLPTiming:
+    """Roofline time of the top MLP, whose input is the interaction output."""
+    top_in = interaction_output_dim(num_tables, embedding_dim)
+    return time_mlp(top_in, top_widths, batch_size, core_spec)

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, out of range, or inconsistent."""
+
+
+class TraceError(ReproError):
+    """A trace is malformed (offsets not monotone, indices out of range...)."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an impossible state (internal invariant broken)."""
+
+
+class UnknownModelError(ConfigError):
+    """Requested model name is not in the model zoo."""
+
+
+class UnknownPlatformError(ConfigError):
+    """Requested CPU platform name is not in the platform registry."""
+
+
+class UnknownSchemeError(ConfigError):
+    """Requested optimization scheme name is not registered."""

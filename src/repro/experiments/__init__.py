@@ -1,0 +1,21 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every experiment module exposes ``run(config=None, **overrides)`` returning
+an :class:`~repro.experiments.base.ExperimentReport` whose rows/series are
+the same quantities the paper's artifact plots.  The registry
+(:mod:`repro.experiments.registry`) maps experiment ids (``fig12``,
+``table4``...) to these runners, and ``repro-experiment <id>`` on the
+command line pretty-prints any of them.
+"""
+
+from .base import ExperimentReport, format_report
+from .registry import EXPERIMENT_IDS, get_experiment, list_experiments, run_experiment
+
+__all__ = [
+    "EXPERIMENT_IDS",
+    "ExperimentReport",
+    "format_report",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+]

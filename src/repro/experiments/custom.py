@@ -1,0 +1,95 @@
+"""Experiment customization (the artifact's Appendix A.7).
+
+"The models or dataset can be customized by changing the parameters passed
+in the inference launch script."  This module is that launch script as a
+library function: build an arbitrary DLRM shape, pick any dataset and
+platform, and evaluate any subset of the design points — without going
+through the Table 2 zoo.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..config import SimConfig
+from ..core.schemes import SCHEME_NAMES, SchemeResult, evaluate_all_schemes
+from ..core.swpf import PAPER_SWPF, SWPrefetchConfig
+from ..cpu.platform import get_platform
+from ..errors import ConfigError
+from ..model.configs import ModelConfig
+from ..trace.production import make_trace
+from ..trace.stream import AddressMap
+
+__all__ = ["custom_model", "run_custom"]
+
+
+def custom_model(
+    name: str = "custom",
+    rows: int = 100_000,
+    embedding_dim: int = 128,
+    num_tables: int = 8,
+    lookups_per_sample: int = 20,
+    bottom_mlp: Optional[Tuple[int, ...]] = None,
+    top_mlp: Tuple[int, ...] = (128, 64, 1),
+    dense_features: int = 256,
+    embedding_heavy: bool = True,
+) -> ModelConfig:
+    """Build a one-off :class:`ModelConfig` with sensible defaults.
+
+    The bottom MLP defaults to ending at ``embedding_dim`` (required for
+    the interaction shapes to line up), and the model class (hence SLA)
+    follows ``embedding_heavy``.
+    """
+    if bottom_mlp is None:
+        bottom_mlp = (256, embedding_dim, embedding_dim)
+    if bottom_mlp[-1] != embedding_dim:
+        raise ConfigError(
+            f"bottom MLP must end at embedding_dim={embedding_dim}, "
+            f"got {bottom_mlp[-1]}"
+        )
+    return ModelConfig(
+        name=name,
+        category="RMC2" if embedding_heavy else "RMC1",
+        rows=rows,
+        embedding_dim=embedding_dim,
+        num_tables=num_tables,
+        lookups_per_sample=lookups_per_sample,
+        bottom_mlp=tuple(bottom_mlp),
+        top_mlp=tuple(top_mlp),
+        dense_features=dense_features,
+        sla_ms=400.0 if embedding_heavy else 100.0,
+    )
+
+
+def run_custom(
+    model: ModelConfig,
+    dataset: str = "low",
+    platform: str = "csl",
+    num_cores: int = 1,
+    batch_size: int = 16,
+    num_batches: int = 2,
+    schemes: Sequence[str] = SCHEME_NAMES,
+    swpf: SWPrefetchConfig = PAPER_SWPF,
+    config: Optional[SimConfig] = None,
+) -> Dict[str, SchemeResult]:
+    """Evaluate the design points on a custom model (A.7's workflow).
+
+    Unlike :func:`repro.quick_eval`, nothing is scaled — the model runs at
+    exactly the shape given, so keep ``rows * num_tables`` tractable.
+    """
+    config = config or SimConfig()
+    spec = get_platform(platform)
+    trace = make_trace(
+        dataset,
+        num_tables=model.num_tables,
+        rows_per_table=model.rows,
+        batch_size=batch_size,
+        num_batches=num_batches,
+        lookups_per_sample=model.lookups_per_sample,
+        config=config,
+    )
+    amap = AddressMap([model.rows] * model.num_tables, model.embedding_dim)
+    return evaluate_all_schemes(
+        model, trace, amap, spec,
+        num_cores=num_cores, schemes=schemes, swpf=swpf,
+    )

@@ -1,0 +1,60 @@
+"""Fig 1 — execution-time breakdown of different DLRMs.
+
+The paper's opening figure: per model, the fraction of end-to-end
+execution spent in each of the four stages, showing embedding dominance
+for the RMC2 family and a mixed profile for RM1 (Table 2's Emb% column:
+98 / 96 / 95 / 65).
+
+Runs the analytic paper-scale path (reuse-model hit rates + roofline dense
+stages), so no trace-driven simulation is needed and all four models run
+at their full Table 2 size.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..analysis.breakdown import estimate_stage_breakdown
+from ..config import SimConfig
+from ..cpu.platform import get_platform
+from ..model.configs import MODEL_NAMES, get_model
+from .base import ExperimentReport
+
+EXPERIMENT_ID = "fig1"
+TITLE = "Execution time breakdown of different DLRMs"
+PAPER_REFERENCE = "Figure 1; Table 2 Emb%% column: rm2_1=98, rm2_2=96, rm2_3=95, rm1=65"
+
+
+def run(
+    config: Optional[SimConfig] = None,
+    models: Sequence[str] = MODEL_NAMES,
+    dataset: str = "low",
+    platform: str = "csl",
+    batch_size: int = 64,
+) -> ExperimentReport:
+    """Compute the per-stage breakdown for every model."""
+    config = config or SimConfig()
+    spec = get_platform(platform)
+    report = ExperimentReport(
+        experiment_id=EXPERIMENT_ID, title=TITLE, paper_reference=PAPER_REFERENCE
+    )
+    for name in models:
+        model = get_model(name)
+        stages = estimate_stage_breakdown(
+            model, dataset, spec, batch_size=batch_size, config=config
+        )
+        breakdown = stages.breakdown()
+        report.rows.append(
+            {
+                "model": name,
+                "bottom_mlp_pct": 100 * breakdown["bottom_mlp"],
+                "embedding_pct": 100 * breakdown["embedding"],
+                "interaction_pct": 100 * breakdown["interaction"],
+                "top_mlp_pct": 100 * breakdown["top_mlp"],
+                "paper_emb_pct": model.reference_emb_pct,
+            }
+        )
+    report.notes.append(
+        f"dataset={dataset}, batch={batch_size}, analytic paper-scale path"
+    )
+    return report

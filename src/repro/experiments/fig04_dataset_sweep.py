@@ -1,0 +1,75 @@
+"""Fig 4 — RM2_1 embedding-stage performance across input datasets.
+
+(a) batch latency and (b) average load latency + L1D/L2/L3 hit rates for
+{one-item, High, Medium, Low, random}.  The paper's headline observations:
+one-item is an order of magnitude faster than everything else (up to 16x
+load-latency spread), and hit rates degrade monotonically with falling
+hotness.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..config import SimConfig
+from ..cpu.platform import get_platform
+from ..engine.embedding_exec import run_embedding_trace
+from ..mem.hierarchy import build_hierarchy
+from ..trace.production import DATASET_NAMES
+from ..units import cycles_to_ms
+from .base import ExperimentReport
+from .workloads import DEFAULT_BATCH, DEFAULT_NUM_BATCHES, DEFAULT_SCALE, build_workload
+
+EXPERIMENT_ID = "fig4"
+TITLE = "RM2_1 embedding-stage performance across datasets"
+PAPER_REFERENCE = "Figure 4(a,b)"
+
+
+def run(
+    config: Optional[SimConfig] = None,
+    model: str = "rm2_1",
+    datasets: Sequence[str] = DATASET_NAMES,
+    platform: str = "csl",
+    scale: float = DEFAULT_SCALE,
+    batch_size: int = DEFAULT_BATCH,
+    num_batches: int = DEFAULT_NUM_BATCHES,
+) -> ExperimentReport:
+    """Measure the embedding stage for each dataset."""
+    config = config or SimConfig()
+    spec = get_platform(platform)
+    report = ExperimentReport(
+        experiment_id=EXPERIMENT_ID, title=TITLE, paper_reference=PAPER_REFERENCE
+    )
+    for dataset in datasets:
+        wl = build_workload(
+            model, dataset, scale=scale, batch_size=batch_size,
+            num_batches=num_batches, config=config,
+        )
+        hierarchy = build_hierarchy(spec.hierarchy)
+        result = run_embedding_trace(wl.trace, wl.amap, spec.core, hierarchy)
+        report.rows.append(
+            {
+                "dataset": dataset,
+                "batch_latency_ms": cycles_to_ms(
+                    result.mean_batch_cycles, spec.frequency_hz
+                ),
+                "avg_load_latency_cycles": result.avg_load_latency,
+                "l1_hit_rate": result.l1_hit_rate,
+                "l2_hit_rate": result.l2_hit_rate,
+                "l3_hit_rate": result.l3_hit_rate,
+                "dram_fraction": result.dram_fraction,
+            }
+        )
+    one_item = report.filter_rows(dataset="one-item")
+    slowest = max(report.rows, key=lambda r: r["avg_load_latency_cycles"])
+    if one_item:
+        spread = (
+            slowest["avg_load_latency_cycles"]
+            / max(one_item[0]["avg_load_latency_cycles"], 1e-9)
+        )
+        report.notes.append(
+            f"load-latency spread one-item -> {slowest['dataset']}: {spread:.1f}x "
+            "(paper: up to 16x)"
+        )
+    report.notes.append(f"model={model}, scale={scale}, batch={batch_size}")
+    return report

@@ -1,0 +1,75 @@
+"""Fig 7 — reuse-distance study for the three datasets.
+
+The Fig 6 pipeline applied to rm2_1's access stream: stack-distance CDF
+with vertical markers at the L1/L2/L3 vector capacities, plus the cold-miss
+fraction (the yellow region; the paper reports up to 72% cold misses for
+Low hot and ~22% even for High hot).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..analysis.cache_model import analyze_trace_reuse
+from ..config import SimConfig
+from ..cpu.platform import get_platform
+from .base import ExperimentReport
+from .workloads import build_workload
+
+EXPERIMENT_ID = "fig7"
+TITLE = "Reuse-distance study per dataset (rm2_1)"
+PAPER_REFERENCE = "Figure 7; Figure 6 pipeline; Section 3.1.2"
+
+
+def run(
+    config: Optional[SimConfig] = None,
+    model: str = "rm2_1",
+    datasets: Sequence[str] = ("high", "medium", "low"),
+    platform: str = "csl",
+    scale: float = 0.02,
+    batch_size: int = 64,
+    num_batches: int = 4,
+    sample_tables: int = 3,
+) -> ExperimentReport:
+    """Compute reuse CDFs and model-predicted hit rates per dataset."""
+    config = config or SimConfig()
+    spec = get_platform(platform)
+    report = ExperimentReport(
+        experiment_id=EXPERIMENT_ID, title=TITLE, paper_reference=PAPER_REFERENCE
+    )
+    for dataset in datasets:
+        wl = build_workload(
+            model, dataset, scale=scale, batch_size=batch_size,
+            num_batches=num_batches, config=config,
+        )
+        tables = list(range(min(sample_tables, wl.model.num_tables)))
+        analysis = analyze_trace_reuse(
+            wl.trace, spec.hierarchy, wl.model.embedding_dim,
+            tables=tables, dataset=dataset,
+        )
+        caps = analysis.capacities
+        report.rows.append(
+            {
+                "dataset": dataset,
+                "cold_miss_fraction": analysis.cold_fraction,
+                "l1_hit_rate_model": analysis.hit_rates["l1"],
+                "l2_hit_rate_model": analysis.hit_rates["l2"],
+                "l3_hit_rate_model": analysis.hit_rates["l3"],
+                "l1_capacity_vectors": caps.vectors_l1,
+                "l2_capacity_vectors": caps.vectors_l2,
+                "l3_capacity_vectors": caps.vectors_l3,
+                "median_reuse_distance": (
+                    analysis.reuse.percentile(50.0)
+                    if analysis.reuse.distances.size
+                    else None
+                ),
+            }
+        )
+    report.notes.append(
+        "cold fraction rises as hotness falls (paper: High ~22%, Low up to 72%)"
+    )
+    report.notes.append(
+        "hit rates are the fully-associative LRU model of Fig 6, not the "
+        "set-associative simulator"
+    )
+    return report

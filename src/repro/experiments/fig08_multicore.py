@@ -1,0 +1,66 @@
+"""Fig 8 — multi-core scalability: execution time and memory bandwidth.
+
+The paper maps one batch per core and scales from 1 to 24 cores on the
+Cascade Lake socket: execution time rises only ~14% while consumed
+bandwidth rises ~15.5x — i.e. bandwidth headroom exists, motivating the
+software-prefetching design that spends it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..config import SimConfig
+from ..cpu.platform import get_platform
+from ..engine.multicore import run_embedding_multicore
+from ..units import cycles_to_ms
+from .base import ExperimentReport
+from .workloads import build_workload
+
+EXPERIMENT_ID = "fig8"
+TITLE = "Multi-core scaling: execution time and memory bandwidth"
+PAPER_REFERENCE = "Figure 8 (time +14%, bandwidth x15.5 at 24 cores)"
+
+
+def run(
+    config: Optional[SimConfig] = None,
+    model: str = "rm2_1",
+    dataset: str = "low",
+    platform: str = "csl",
+    core_counts: Sequence[int] = (1, 2, 4, 8, 16, 24),
+    scale: float = 0.02,
+    batch_size: int = 16,
+    num_batches: int = 4,
+    detailed_cores: int = 2,
+) -> ExperimentReport:
+    """Sweep the core count and record time + achieved bandwidth."""
+    config = config or SimConfig()
+    spec = get_platform(platform)
+    wl = build_workload(
+        model, dataset, scale=scale, batch_size=batch_size,
+        num_batches=num_batches, config=config,
+    )
+    report = ExperimentReport(
+        experiment_id=EXPERIMENT_ID, title=TITLE, paper_reference=PAPER_REFERENCE
+    )
+    for cores in core_counts:
+        mc = run_embedding_multicore(
+            wl.trace, wl.amap, spec, cores, detailed_cores=detailed_cores
+        )
+        report.rows.append(
+            {
+                "cores": cores,
+                "batch_time_ms": cycles_to_ms(mc.mean_batch_cycles, spec.frequency_hz),
+                "bandwidth_gb_s": mc.bandwidth_gb_s(spec.frequency_hz),
+                "dram_utilization": mc.utilization,
+                "avg_load_latency_cycles": mc.avg_load_latency,
+            }
+        )
+    first, last = report.rows[0], report.rows[-1]
+    time_growth = last["batch_time_ms"] / first["batch_time_ms"]
+    bw_growth = last["bandwidth_gb_s"] / max(first["bandwidth_gb_s"], 1e-9)
+    report.notes.append(
+        f"{last['cores']} vs 1 core: time x{time_growth:.2f} "
+        f"(paper +14%), bandwidth x{bw_growth:.1f} (paper x15.5)"
+    )
+    return report

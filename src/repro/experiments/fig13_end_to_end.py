@@ -1,0 +1,69 @@
+"""Fig 13 — end-to-end speedups on the embedding-heavy models.
+
+All six design points for rm2_1..rm2_3 across High/Medium/Low datasets on
+single- and multi-core.  The paper's headline ranges: SW-PF 1.21-1.46x
+(single) / 1.18-1.42x (multi), MP-HT up to 1.24x, DP-HT down to 0.62x,
+Integrated 1.40-1.59x (single) / 1.29-1.43x (multi).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..config import SimConfig
+from ..core.schemes import SCHEME_NAMES, evaluate_all_schemes
+from ..cpu.platform import get_platform
+from .base import ExperimentReport
+from .workloads import build_workload
+
+EXPERIMENT_ID = "fig13"
+TITLE = "End-to-end speedups, embedding-heavy models"
+PAPER_REFERENCE = "Figure 13(a,b); Integrated 1.40-1.59x single-core"
+
+
+def run(
+    config: Optional[SimConfig] = None,
+    models: Sequence[str] = ("rm2_1", "rm2_2", "rm2_3"),
+    datasets: Sequence[str] = ("high", "medium", "low"),
+    platform: str = "csl",
+    core_counts: Sequence[int] = (1, 24),
+    scale: float = 0.02,
+    batch_size: int = 16,
+    num_batches: int = 2,
+    detailed_cores: int = 2,
+    schemes: Sequence[str] = SCHEME_NAMES,
+) -> ExperimentReport:
+    """Evaluate every scheme end-to-end on the RMC2 grid."""
+    config = config or SimConfig()
+    spec = get_platform(platform)
+    report = ExperimentReport(
+        experiment_id=EXPERIMENT_ID, title=TITLE, paper_reference=PAPER_REFERENCE
+    )
+    for model_name in models:
+        for dataset in datasets:
+            wl = build_workload(
+                model_name, dataset, scale=scale, batch_size=batch_size,
+                num_batches=num_batches, config=config,
+            )
+            for cores in core_counts:
+                results = evaluate_all_schemes(
+                    wl.model, wl.trace, wl.amap, spec,
+                    num_cores=cores, schemes=schemes,
+                    detailed_cores=detailed_cores,
+                )
+                base = results["baseline"]
+                row = {
+                    "model": model_name,
+                    "dataset": dataset,
+                    "cores": cores,
+                    "baseline_ms": base.batch_ms,
+                }
+                for scheme in schemes:
+                    if scheme == "baseline":
+                        continue
+                    row[f"{scheme}_speedup"] = results[scheme].speedup_over(base)
+                report.rows.append(row)
+    report.notes.append(
+        "DP-HT speedups are per-inference latency (the paper's latency focus)"
+    )
+    return report

@@ -1,0 +1,97 @@
+"""Command-line entry point: ``repro-experiment <id> [options]``.
+
+Examples::
+
+    repro-experiment table2
+    repro-experiment fig12 --scale 0.03
+    repro-experiment all --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from ..config import SimConfig
+from .base import format_report
+from .registry import EXPERIMENT_IDS, list_experiments, run_experiment
+
+__all__ = ["main"]
+
+#: Numeric override flags forwarded to experiment runners when accepted.
+_FORWARDED_FLOATS = ("scale",)
+_FORWARDED_INTS = ("batch_size", "num_batches", "num_cores", "detailed_cores")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Regenerate a table/figure of the ISCA'23 paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (fig1, fig4, ... table4), or 'all', or 'list'",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="simulation seed")
+    parser.add_argument("--scale", type=float, default=None, help="model shrink factor")
+    parser.add_argument("--batch-size", type=int, default=None)
+    parser.add_argument("--num-batches", type=int, default=None)
+    parser.add_argument("--num-cores", type=int, default=None)
+    parser.add_argument("--detailed-cores", type=int, default=None)
+    parser.add_argument(
+        "--out", type=Path, default=None, help="directory to write reports into"
+    )
+    parser.add_argument(
+        "--plot", action="store_true",
+        help="also render an ASCII bar chart of the report",
+    )
+    return parser
+
+
+def _overrides(args: argparse.Namespace, runner) -> dict:
+    import inspect
+
+    accepted = inspect.signature(runner).parameters
+    out = {}
+    for flag in _FORWARDED_FLOATS + _FORWARDED_INTS:
+        value = getattr(args, flag, None)
+        if value is not None and flag in accepted:
+            out[flag] = value
+    return out
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI main; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for exp_id, title in list_experiments().items():
+            print(f"{exp_id:8s} {title}")
+        return 0
+    config = SimConfig() if args.seed is None else SimConfig(seed=args.seed)
+    targets = list(EXPERIMENT_IDS) if args.experiment == "all" else [args.experiment]
+    from .registry import get_experiment
+
+    for exp_id in targets:
+        runner = get_experiment(exp_id)
+        start = time.time()
+        report = run_experiment(exp_id, config=config, **_overrides(args, runner))
+        text = format_report(report)
+        elapsed = time.time() - start
+        print(text)
+        if args.plot:
+            from .viz import render_report_plot
+
+            print(render_report_plot(report))
+        print(f"[{exp_id} finished in {elapsed:.1f}s]\n")
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{exp_id}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Table 1 — model classes, bottlenecks, and SLA targets."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import SimConfig
+from ..serving.sla import SLA_TARGETS
+from .base import ExperimentReport
+
+EXPERIMENT_ID = "table1"
+TITLE = "Model class characteristics and SLA targets"
+PAPER_REFERENCE = "Table 1 (from Gupta et al. [17])"
+
+
+def run(config: Optional[SimConfig] = None) -> ExperimentReport:
+    """Dump the SLA registry in Table 1's layout."""
+    report = ExperimentReport(
+        experiment_id=EXPERIMENT_ID, title=TITLE, paper_reference=PAPER_REFERENCE
+    )
+    for target in SLA_TARGETS.values():
+        report.rows.append(
+            {
+                "model_class": target.model_class,
+                "bottleneck": target.bottleneck,
+                "bottleneck_share": target.bottleneck_share,
+                "model_size": target.model_size,
+                "sla_ms": target.sla_ms,
+            }
+        )
+    return report

@@ -1,0 +1,44 @@
+"""Table 2 — model architecture parameters, with derived size columns.
+
+Reproduces the table including the computed columns (embedding size in
+GiB, per-table capacity in MiB) so the registry's arithmetic is checked
+against the paper's printed values (28.6 / 57.2 / 81.1 / 3.8 GB and
+488.3 / 122.0 MB).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import SimConfig
+from ..model.configs import MODEL_NAMES, get_model
+from .base import ExperimentReport
+
+EXPERIMENT_ID = "table2"
+TITLE = "Model architecture parameters"
+PAPER_REFERENCE = "Table 2"
+
+
+def run(config: Optional[SimConfig] = None) -> ExperimentReport:
+    """Dump the model zoo in Table 2's layout."""
+    report = ExperimentReport(
+        experiment_id=EXPERIMENT_ID, title=TITLE, paper_reference=PAPER_REFERENCE
+    )
+    for name in MODEL_NAMES:
+        model = get_model(name)
+        report.rows.append(
+            {
+                "model": name,
+                "category": model.category,
+                "emb_size_gib": model.embedding_gib,
+                "rows": model.rows,
+                "emb_dim": model.embedding_dim,
+                "tables": model.num_tables,
+                "lookups_per_sample": model.lookups_per_sample,
+                "bottom_mlp": "-".join(str(w) for w in model.bottom_mlp),
+                "top_mlp": "-".join(str(w) for w in model.top_mlp),
+                "per_table_mib": model.table_bytes / 1024**2,
+                "paper_emb_pct": model.reference_emb_pct,
+            }
+        )
+    return report

@@ -1,0 +1,39 @@
+"""Table 3 — CPU configuration parameters of the primary platform."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import SimConfig
+from ..cpu.platform import get_platform
+from ..units import pretty_bytes
+from .base import ExperimentReport
+
+EXPERIMENT_ID = "table3"
+TITLE = "CPU configuration parameters (Cascade Lake 6240R)"
+PAPER_REFERENCE = "Table 3"
+
+
+def run(config: Optional[SimConfig] = None, platform: str = "csl") -> ExperimentReport:
+    """Dump the platform spec in Table 3's layout."""
+    spec = get_platform(platform)
+    hier = spec.hierarchy
+    report = ExperimentReport(
+        experiment_id=EXPERIMENT_ID, title=TITLE, paper_reference=PAPER_REFERENCE
+    )
+    rows = [
+        ("Model", spec.display_name),
+        ("Frequency", f"{spec.frequency_hz / 1e9:.1f}GHz"),
+        ("Sockets", spec.sockets),
+        ("Cores per socket", spec.cores_per_socket),
+        ("SMT threads per core", spec.smt_per_core),
+        ("L1D cache latency", f"{hier.l1_latency:.0f} cycles"),
+        ("L1D cache size", pretty_bytes(hier.l1_size)),
+        ("L2 cache size", pretty_bytes(hier.l2_size)),
+        ("L3 cache size", pretty_bytes(hier.l3_size)),
+        ("DDR bandwidth per socket", f"{spec.peak_dram_bw_bytes_s / 1e9:.0f} GB/s"),
+        ("ROB entries", spec.core.rob_entries),
+        ("L1 MSHRs", spec.core.l1_mshrs),
+    ]
+    report.rows.extend({"parameter": k, "value": v} for k, v in rows)
+    return report

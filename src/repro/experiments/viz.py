@@ -1,0 +1,130 @@
+"""Terminal visualization of experiment reports.
+
+Dependency-free ASCII rendering so ``repro-experiment <id> --plot`` can
+show the *shape* of a figure (bars per row, grouped bars, log sparklines)
+next to the exact table.  Not a plotting library — just enough to eyeball
+"who wins and by how much" in a terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ConfigError
+from .base import ExperimentReport
+
+__all__ = ["bar_chart", "grouped_bars", "sparkline", "render_report_plot"]
+
+#: Glyphs for the eighth-resolution sparkline.
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+    baseline: Optional[float] = None,
+) -> str:
+    """Horizontal bars, one per (label, value).
+
+    With ``baseline`` set, a ``|`` marks it on every bar's scale — handy
+    for speedup charts where 1.0 is the reference.
+    """
+    if len(labels) != len(values):
+        raise ConfigError("labels and values must align")
+    if not values:
+        return "(no data)"
+    if width < 8:
+        raise ConfigError("width must be at least 8")
+    peak = max(max(values), baseline or 0.0)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        filled = int(round(width * value / peak))
+        bar = "█" * filled + " " * (width - filled)
+        if baseline is not None:
+            mark = min(width - 1, int(round(width * baseline / peak)))
+            bar = bar[:mark] + "|" + bar[mark + 1 :]
+        lines.append(f"{str(label):>{label_width}}  {bar} {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    groups: Dict[str, Dict[str, float]],
+    width: int = 32,
+    unit: str = "",
+    baseline: Optional[float] = None,
+) -> str:
+    """Bars grouped by an outer key: {group: {series: value}}."""
+    if not groups:
+        return "(no data)"
+    lines = []
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        chart = bar_chart(
+            list(series.keys()), list(series.values()),
+            width=width, unit=unit, baseline=baseline,
+        )
+        lines.extend("  " + line for line in chart.splitlines())
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], log: bool = False) -> str:
+    """One-line trend glyph string (optionally on a log scale)."""
+    if not values:
+        return ""
+    vals = [math.log10(max(v, 1e-12)) for v in values] if log else list(values)
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return _SPARK[3] * len(vals)
+    out = []
+    for v in vals:
+        idx = int((v - lo) / (hi - lo) * (len(_SPARK) - 1))
+        out.append(_SPARK[idx])
+    return "".join(out)
+
+
+def render_report_plot(
+    report: ExperimentReport,
+    value_column: Optional[str] = None,
+    label_columns: Optional[Sequence[str]] = None,
+    width: int = 40,
+) -> str:
+    """Best-effort bar rendering of a report.
+
+    Picks the first ``*_speedup`` column (baseline mark at 1.0), else the
+    first numeric column; labels concatenate the leading string columns.
+    """
+    if not report.rows:
+        return "(no rows)"
+    columns = report.columns()
+    if value_column is None:
+        speedups = [c for c in columns if c.endswith("_speedup")]
+        if speedups:
+            value_column = speedups[0]
+        else:
+            for c in columns:
+                if isinstance(report.rows[0].get(c), (int, float)):
+                    value_column = c
+                    break
+    if value_column is None:
+        return "(no numeric column to plot)"
+    if label_columns is None:
+        label_columns = [
+            c for c in columns if isinstance(report.rows[0].get(c), str)
+        ][:3]
+    labels = []
+    values = []
+    for row in report.rows:
+        if not isinstance(row.get(value_column), (int, float)):
+            continue
+        label = " ".join(str(row[c]) for c in label_columns if c in row) or "row"
+        labels.append(label)
+        values.append(float(row[value_column]))
+    baseline = 1.0 if value_column.endswith("_speedup") else None
+    header = f"[{value_column}]"
+    return header + "\n" + bar_chart(labels, values, width=width, baseline=baseline)

@@ -1,0 +1,73 @@
+"""Workload construction shared by the experiment modules.
+
+Each experiment needs the same triple: a (scaled) model config, a trace at
+the requested hotness, and the address map laying that model's tables out
+in memory.  Defaults here set the simulation scale every trace-driven
+experiment uses unless overridden — small enough that the full suite runs
+in minutes on a laptop, large enough that cache behaviour is stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import SimConfig
+from ..model.configs import ModelConfig, get_model
+from ..trace.dataset import EmbeddingTrace
+from ..trace.production import make_trace
+from ..trace.stream import AddressMap
+
+__all__ = ["Workload", "build_workload", "DEFAULT_SCALE", "DEFAULT_BATCH", "DEFAULT_NUM_BATCHES"]
+
+#: Default shrink factor for trace-driven experiments.
+DEFAULT_SCALE = 0.02
+
+#: Default batch size for trace-driven experiments (paper uses 64; 16 keeps
+#: the per-run access count tractable while preserving per-batch structure).
+DEFAULT_BATCH = 16
+
+#: Default batches per measurement.
+DEFAULT_NUM_BATCHES = 2
+
+
+@dataclass
+class Workload:
+    """A ready-to-run (model, trace, address map) triple."""
+
+    model: ModelConfig
+    dataset: str
+    trace: EmbeddingTrace
+    amap: AddressMap
+    config: SimConfig
+
+    @property
+    def batch_size(self) -> int:
+        """Samples per batch in the trace."""
+        return self.trace.batch_size
+
+
+def build_workload(
+    model_name: str,
+    dataset: str,
+    scale: float = DEFAULT_SCALE,
+    batch_size: int = DEFAULT_BATCH,
+    num_batches: int = DEFAULT_NUM_BATCHES,
+    config: Optional[SimConfig] = None,
+) -> Workload:
+    """Build the standard experiment workload for one model + dataset."""
+    config = config or SimConfig()
+    model = get_model(model_name).scaled(scale)
+    trace = make_trace(
+        dataset,
+        num_tables=model.num_tables,
+        rows_per_table=model.rows,
+        batch_size=batch_size,
+        num_batches=num_batches,
+        lookups_per_sample=model.lookups_per_sample,
+        config=config,
+    )
+    return Workload(
+        model=model, dataset=dataset, trace=trace,
+        amap=model.address_map(), config=config,
+    )

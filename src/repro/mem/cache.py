@@ -1,0 +1,150 @@
+"""A single set-associative cache level.
+
+The cache operates on cache-line numbers (see :mod:`repro.mem.cacheline`);
+tags and set indices are derived from the line number.  Replacement is
+delegated to one :class:`~repro.mem.policies.SetPolicy` instance per set.
+
+The cache distinguishes demand accesses from prefetches so that prefetch
+usefulness / pollution can be measured (Fig 10c's trade-off).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import ConfigError
+from ..units import CACHE_LINE_BYTES
+from .policies import SetPolicy, make_policy
+from .stats import CacheStats
+
+__all__ = ["Cache"]
+
+
+class Cache:
+    """One cache level (L1D, L2, or L3).
+
+    Parameters
+    ----------
+    name:
+        Human-readable level name (``"l1"``, ``"l2"``, ``"l3"``).
+    size_bytes:
+        Total capacity.
+    ways:
+        Associativity.  ``size_bytes`` must be divisible by
+        ``ways * CACHE_LINE_BYTES``.
+    policy:
+        Replacement policy name, default ``"lru"``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        ways: int,
+        policy: str = "lru",
+        seed: int = 0,
+    ) -> None:
+        if size_bytes <= 0:
+            raise ConfigError(f"cache size must be positive, got {size_bytes}")
+        lines = size_bytes // CACHE_LINE_BYTES
+        if lines % ways:
+            raise ConfigError(
+                f"{name}: {size_bytes} bytes is not divisible into {ways}-way sets"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.num_sets = lines // ways
+        self.policy_name = policy
+        self.stats = CacheStats()
+        self._sets: List[SetPolicy] = [
+            make_policy(policy, ways, seed=seed + i) for i in range(self.num_sets)
+        ]
+        # Lines filled by prefetch and not yet demanded: line -> True.
+        self._pending_prefetched: Dict[int, bool] = {}
+
+    # -- geometry ---------------------------------------------------------
+
+    @property
+    def capacity_lines(self) -> int:
+        """Total number of lines the cache can hold."""
+        return self.num_sets * self.ways
+
+    def set_index(self, line: int) -> int:
+        """Set that line ``line`` maps to."""
+        return line % self.num_sets
+
+    def tag_of(self, line: int) -> int:
+        """Tag of line ``line`` within its set."""
+        return line // self.num_sets
+
+    # -- accesses ---------------------------------------------------------
+
+    def access(self, line: int, is_prefetch: bool = False) -> bool:
+        """Look up ``line``; return True on hit.
+
+        A hit updates recency state.  A miss does **not** fill — callers
+        (the hierarchy walk) fill explicitly via :meth:`fill` once the data
+        has been fetched from below, which keeps multi-level fill ordering
+        explicit.
+        """
+        hit = self._sets[self.set_index(line)].lookup(self.tag_of(line))
+        if is_prefetch:
+            if hit:
+                self.stats.prefetch_hits += 1
+        else:
+            if hit:
+                self.stats.demand_hits += 1
+                if self._pending_prefetched.pop(line, None):
+                    self.stats.prefetch_useful += 1
+            else:
+                self.stats.demand_misses += 1
+        return hit
+
+    def contains(self, line: int) -> bool:
+        """Residency probe without recency or stats side effects."""
+        return self._sets[self.set_index(line)].peek(self.tag_of(line))
+
+    def fill(self, line: int, from_prefetch: bool = False) -> Optional[int]:
+        """Install ``line``; return the evicted line number, if any."""
+        set_idx = self.set_index(line)
+        evicted_tag = self._sets[set_idx].insert(self.tag_of(line))
+        if from_prefetch:
+            self.stats.prefetch_fills += 1
+            self._pending_prefetched[line] = True
+        if evicted_tag is None:
+            return None
+        self.stats.evictions += 1
+        evicted_line = evicted_tag * self.num_sets + set_idx
+        if self._pending_prefetched.pop(evicted_line, None):
+            self.stats.prefetch_evicted_unused += 1
+        return evicted_line
+
+    def invalidate(self, line: int) -> bool:
+        """Drop ``line`` if resident; return whether it was resident."""
+        self._pending_prefetched.pop(line, None)
+        return self._sets[self.set_index(line)].invalidate(self.tag_of(line))
+
+    # -- maintenance ------------------------------------------------------
+
+    def flush(self) -> None:
+        """Empty the cache, keeping statistics."""
+        self._sets = [
+            make_policy(self.policy_name, self.ways, seed=i)
+            for i in range(self.num_sets)
+        ]
+        self._pending_prefetched.clear()
+
+    def reset_stats(self) -> None:
+        """Zero statistics, keeping contents (for warmup/measure splits)."""
+        self.stats.reset()
+
+    def occupancy(self) -> int:
+        """Number of currently resident lines."""
+        return sum(len(s) for s in self._sets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cache({self.name}, {self.size_bytes}B, {self.ways}-way, "
+            f"{self.num_sets} sets, {self.policy_name})"
+        )

@@ -1,0 +1,51 @@
+"""Address arithmetic: byte addresses, cache lines, pages.
+
+The simulator identifies memory by integer byte addresses and converts them
+to line numbers (address // 64) before they touch any cache.  Keeping the
+conversion in one module avoids scattering ``// 64`` magic through the code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..units import CACHE_LINE_BYTES
+
+#: Conventional 4 KiB page, used by the streamer prefetcher's page filter.
+PAGE_BYTES = 4096
+
+#: Alias clarifying intent in signatures: a byte address.
+Address = int
+
+
+def line_of(addr: Address) -> int:
+    """Cache-line number containing byte address ``addr``."""
+    if addr < 0:
+        raise ValueError(f"negative address: {addr}")
+    return addr // CACHE_LINE_BYTES
+
+
+def line_base(line: int) -> Address:
+    """First byte address of cache line ``line``."""
+    return line * CACHE_LINE_BYTES
+
+
+def page_of_line(line: int) -> int:
+    """Page number containing cache line ``line``."""
+    return (line * CACHE_LINE_BYTES) // PAGE_BYTES
+
+
+def lines_of_range(addr: Address, n_bytes: int) -> List[int]:
+    """All cache-line numbers touched by ``[addr, addr + n_bytes)``."""
+    if n_bytes <= 0:
+        raise ValueError(f"byte range must be positive, got {n_bytes}")
+    first = line_of(addr)
+    last = line_of(addr + n_bytes - 1)
+    return list(range(first, last + 1))
+
+
+def iter_lines(addr: Address, n_bytes: int) -> Iterator[int]:
+    """Iterator form of :func:`lines_of_range` (avoids the list)."""
+    first = line_of(addr)
+    last = line_of(addr + n_bytes - 1)
+    return iter(range(first, last + 1))

@@ -1,0 +1,253 @@
+"""The three-level cache walk: private L1D/L2, shared L3, DRAM.
+
+:class:`MemoryHierarchy` is what the execution engines talk to.  A demand
+load probes L1D, L2, L3 in order, pays the latency of the level that serves
+it (cumulative probe costs included), and fills the line into every level on
+the way back (mostly-inclusive, like the modeled Xeons).  Hardware
+prefetchers observe the demand stream at L1 and L2 and their candidate lines
+are fetched off the critical path.
+
+The L3 :class:`~repro.mem.cache.Cache` and :class:`~repro.mem.dram.DRAMModel`
+instances may be shared between per-core hierarchies, which is how the
+multi-core engine models constructive/destructive LLC sharing (Section 3.1
+inter-core reuse class) and bandwidth contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import ConfigError
+from ..units import kib, mib
+from .cache import Cache
+from .dram import DRAMConfig, DRAMModel
+from .prefetcher import (
+    CompositePrefetcher,
+    NextLinePrefetcher,
+    NullPrefetcher,
+    StreamerPrefetcher,
+    StridePrefetcher,
+)
+from .stats import HierarchyStats
+
+__all__ = ["AccessResult", "HierarchyConfig", "MemoryHierarchy", "build_hierarchy"]
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one load walking the hierarchy."""
+
+    level: str
+    latency: float
+    line: int
+    prefetch: bool = False
+
+    @property
+    def was_off_chip(self) -> bool:
+        """True when the access had to go to DRAM."""
+        return self.level == "dram"
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Geometry and latency of one core's view of the memory system.
+
+    Defaults follow the paper's Cascade Lake 6240R (Table 3) with L2/L3
+    latencies from Intel's published figures.
+    """
+
+    l1_size: int = kib(32)
+    l1_ways: int = 8
+    l1_latency: float = 5.0
+    l2_size: int = mib(1)
+    l2_ways: int = 16
+    l2_latency: float = 14.0
+    l3_size: int = int(mib(35.75))
+    l3_ways: int = 11
+    l3_latency: float = 50.0
+    policy: str = "lru"
+    #: Override for the L3 (e.g. keep LRU there when the private levels run
+    #: PLRU — real LLCs use different policies than L1/L2, and PLRU needs
+    #: power-of-two associativity which 11-way LLCs don't have).
+    l3_policy: Optional[str] = None
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+
+    def __post_init__(self) -> None:
+        if not self.l1_size < self.l2_size < self.l3_size:
+            raise ConfigError("cache sizes must strictly increase L1 < L2 < L3")
+        if not self.l1_latency < self.l2_latency < self.l3_latency:
+            raise ConfigError("cache latencies must strictly increase L1 < L2 < L3")
+
+
+class MemoryHierarchy:
+    """One core's L1D + L2, wired to a (possibly shared) L3 and DRAM."""
+
+    def __init__(
+        self,
+        l1: Cache,
+        l2: Cache,
+        l3: Cache,
+        dram: DRAMModel,
+        config: HierarchyConfig,
+        hw_prefetch: bool = True,
+    ) -> None:
+        self.l1 = l1
+        self.l2 = l2
+        self.l3 = l3
+        self.dram = dram
+        self.config = config
+        self.stats = HierarchyStats()
+        self.hw_prefetch_enabled = hw_prefetch
+        # Intel-style complement: next-line at L1, streamer + stride at L2.
+        self.l1_prefetcher = NextLinePrefetcher(degree=1)
+        self.l2_prefetcher = CompositePrefetcher(
+            StreamerPrefetcher(degree=2), StridePrefetcher(degree=2)
+        )
+        if not hw_prefetch:
+            self.l1_prefetcher = NullPrefetcher()
+            self.l2_prefetcher = NullPrefetcher()
+
+    # -- the walk ----------------------------------------------------------
+
+    def load(self, line: int) -> AccessResult:
+        """Demand-load one cache line; returns serving level and latency.
+
+        Hardware-prefetch *candidates* triggered by this access are not
+        fetched here — the execution engine asks for them via
+        :meth:`hw_prefetch_candidates` and issues the ones that win a fill
+        buffer, so their timeliness and MSHR occupancy are modeled like any
+        other fetch.
+        """
+        cfg = self.config
+        if self.l1.access(line):
+            result = AccessResult("l1", cfg.l1_latency, line)
+        elif self.l2.access(line):
+            self.l1.fill(line)
+            result = AccessResult("l2", cfg.l2_latency, line)
+        elif self.l3.access(line):
+            self.l2.fill(line)
+            self.l1.fill(line)
+            result = AccessResult("l3", cfg.l3_latency, line)
+        else:
+            dram_latency = self.dram.access(line)
+            self.l3.fill(line)
+            self.l2.fill(line)
+            self.l1.fill(line)
+            result = AccessResult("dram", cfg.l3_latency + dram_latency, line)
+            self.stats.dram_bytes += 64
+        self.stats.record(result.level, result.latency)
+        return result
+
+    def prefetch(self, line: int, target_level: str = "l1") -> AccessResult:
+        """Fetch ``line`` off the critical path into ``target_level``.
+
+        This is the mechanism behind both hardware prefetch candidates and
+        the paper's ``_mm_prefetch``-based software prefetching.  The
+        returned latency is the fetch's *completion* latency — the software
+        prefetch timeliness model compares it to the prefetch distance.
+        """
+        self.stats.prefetch_requests += 1
+        if target_level not in ("l1", "l2", "l3"):
+            raise ConfigError(f"unknown prefetch target level {target_level!r}")
+        cfg = self.config
+        if self.l1.access(line, is_prefetch=True):
+            return AccessResult("l1", cfg.l1_latency, line, prefetch=True)
+        if self.l2.access(line, is_prefetch=True):
+            latency, level = cfg.l2_latency, "l2"
+        elif self.l3.access(line, is_prefetch=True):
+            latency, level = cfg.l3_latency, "l3"
+        else:
+            latency, level = cfg.l3_latency + self.dram.access(line), "dram"
+            self.l3.fill(line, from_prefetch=True)
+            self.stats.dram_bytes += 64
+        if target_level in ("l1", "l2"):
+            self.l2.fill(line, from_prefetch=True)
+        if target_level == "l1":
+            self.l1.fill(line, from_prefetch=True)
+        return AccessResult(level, latency, line, prefetch=True)
+
+    def hw_prefetch_candidates(self, line: int, l1_hit: bool) -> List["tuple[int, str]"]:
+        """``(line, target_level)`` pairs the HW prefetchers want fetched.
+
+        The L1 next-line (DCU) prefetcher fills L1; the L2 streamer/stride
+        prefetchers fill L2 only — real streamers never pollute the L1D.
+        Already-resident and negative lines are filtered out.  Returns an
+        empty list when hardware prefetching is disabled (the paper's
+        "w/o HW-PF" design point via ``msr-tools``).
+        """
+        if not self.hw_prefetch_enabled:
+            return []
+        candidates: List["tuple[int, str]"] = [
+            (c, "l1")
+            for c in self.l1_prefetcher.observe(line, l1_hit)
+            if c >= 0 and not self.l1.contains(c)
+        ]
+        if not l1_hit:
+            candidates.extend(
+                (c, "l2")
+                for c in self.l2_prefetcher.observe(line, False)
+                if c >= 0 and not self.l2.contains(c)
+            )
+        return candidates
+
+    # -- probes and maintenance ---------------------------------------------
+
+    def resident_level(self, line: int) -> Optional[str]:
+        """Closest level currently holding ``line``; None if only in DRAM."""
+        if self.l1.contains(line):
+            return "l1"
+        if self.l2.contains(line):
+            return "l2"
+        if self.l3.contains(line):
+            return "l3"
+        return None
+
+    def latency_of_level(self, level: str) -> float:
+        """Nominal load latency for a hit at ``level``."""
+        cfg = self.config
+        if level == "l1":
+            return cfg.l1_latency
+        if level == "l2":
+            return cfg.l2_latency
+        if level == "l3":
+            return cfg.l3_latency
+        if level == "dram":
+            return cfg.l3_latency + cfg.dram.base_latency_cycles
+        raise ConfigError(f"unknown level {level!r}")
+
+    def flush(self) -> None:
+        """Empty every private level (the shared L3 is flushed by its owner)."""
+        self.l1.flush()
+        self.l2.flush()
+
+    def reset_stats(self) -> None:
+        """Zero hierarchy and per-level statistics; keep contents."""
+        self.stats = HierarchyStats()
+        self.l1.reset_stats()
+        self.l2.reset_stats()
+
+
+def build_hierarchy(
+    config: HierarchyConfig = HierarchyConfig(),
+    shared_l3: Optional[Cache] = None,
+    shared_dram: Optional[DRAMModel] = None,
+    hw_prefetch: bool = True,
+    seed: int = 0,
+) -> MemoryHierarchy:
+    """Construct one core's hierarchy.
+
+    Pass the same ``shared_l3`` / ``shared_dram`` objects to several calls to
+    model cores of one socket sharing their LLC and memory channels.
+    """
+    l1 = Cache("l1", config.l1_size, config.l1_ways, policy=config.policy, seed=seed)
+    l2 = Cache("l2", config.l2_size, config.l2_ways, policy=config.policy, seed=seed + 1)
+    l3 = shared_l3 or Cache(
+        "l3",
+        config.l3_size,
+        config.l3_ways,
+        policy=config.l3_policy or config.policy,
+        seed=seed + 2,
+    )
+    dram = shared_dram or DRAMModel(config.dram)
+    return MemoryHierarchy(l1, l2, l3, dram, config, hw_prefetch=hw_prefetch)

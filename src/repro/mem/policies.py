@@ -1,0 +1,279 @@
+"""Replacement policies for the set-associative cache.
+
+Each policy manages the contents of *one* cache set.  The cache owns one
+policy instance per set.  The interface is intentionally tiny and hot-path
+friendly:
+
+``lookup(tag)``
+    True and update recency state if ``tag`` is resident.
+``insert(tag)``
+    Install ``tag``; return the evicted tag, or ``None`` if a way was free.
+``peek(tag)``
+    Residency test with no recency side effects (used by prefetch filters).
+
+The paper's reuse-distance model assumes LRU ("caches employing LRU or its
+variants"); :class:`LRUPolicy` is the default everywhere.  The alternatives
+exist for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from ..errors import ConfigError
+
+__all__ = [
+    "SetPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "PLRUTreePolicy",
+    "make_policy",
+    "POLICY_NAMES",
+]
+
+
+class SetPolicy:
+    """Base class: a fixed-associativity set of tags."""
+
+    __slots__ = ("ways",)
+
+    def __init__(self, ways: int) -> None:
+        if ways <= 0:
+            raise ConfigError(f"associativity must be positive, got {ways}")
+        self.ways = ways
+
+    def lookup(self, tag: int) -> bool:
+        raise NotImplementedError
+
+    def insert(self, tag: int) -> Optional[int]:
+        raise NotImplementedError
+
+    def peek(self, tag: int) -> bool:
+        raise NotImplementedError
+
+    def invalidate(self, tag: int) -> bool:
+        """Drop ``tag`` if resident; return whether it was resident."""
+        raise NotImplementedError
+
+    def resident_tags(self) -> List[int]:
+        """Snapshot of resident tags (order unspecified)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return len(self.resident_tags())
+
+
+class LRUPolicy(SetPolicy):
+    """True least-recently-used replacement.
+
+    Tags are kept in a list ordered LRU-first.  Associativities are small
+    (8-20 ways), so the O(ways) ``list.remove`` is cheaper in practice than
+    an OrderedDict.
+    """
+
+    __slots__ = ("_order",)
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        self._order: List[int] = []
+
+    def lookup(self, tag: int) -> bool:
+        order = self._order
+        if tag in order:
+            order.remove(tag)
+            order.append(tag)
+            return True
+        return False
+
+    def insert(self, tag: int) -> Optional[int]:
+        order = self._order
+        if tag in order:
+            order.remove(tag)
+            order.append(tag)
+            return None
+        evicted = None
+        if len(order) >= self.ways:
+            evicted = order.pop(0)
+        order.append(tag)
+        return evicted
+
+    def peek(self, tag: int) -> bool:
+        return tag in self._order
+
+    def invalidate(self, tag: int) -> bool:
+        if tag in self._order:
+            self._order.remove(tag)
+            return True
+        return False
+
+    def resident_tags(self) -> List[int]:
+        return list(self._order)
+
+
+class FIFOPolicy(SetPolicy):
+    """First-in first-out: evict the oldest fill, ignore hits."""
+
+    __slots__ = ("_queue", "_resident")
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        self._queue: List[int] = []
+        self._resident: Dict[int, bool] = {}
+
+    def lookup(self, tag: int) -> bool:
+        return tag in self._resident
+
+    def insert(self, tag: int) -> Optional[int]:
+        if tag in self._resident:
+            return None
+        evicted = None
+        if len(self._queue) >= self.ways:
+            evicted = self._queue.pop(0)
+            del self._resident[evicted]
+        self._queue.append(tag)
+        self._resident[tag] = True
+        return evicted
+
+    def peek(self, tag: int) -> bool:
+        return tag in self._resident
+
+    def invalidate(self, tag: int) -> bool:
+        if tag in self._resident:
+            del self._resident[tag]
+            self._queue.remove(tag)
+            return True
+        return False
+
+    def resident_tags(self) -> List[int]:
+        return list(self._queue)
+
+
+class RandomPolicy(SetPolicy):
+    """Random replacement with a per-set deterministic RNG."""
+
+    __slots__ = ("_tags", "_rng")
+
+    def __init__(self, ways: int, seed: int = 0) -> None:
+        super().__init__(ways)
+        self._tags: List[int] = []
+        self._rng = random.Random(seed)
+
+    def lookup(self, tag: int) -> bool:
+        return tag in self._tags
+
+    def insert(self, tag: int) -> Optional[int]:
+        if tag in self._tags:
+            return None
+        evicted = None
+        if len(self._tags) >= self.ways:
+            victim = self._rng.randrange(len(self._tags))
+            evicted = self._tags.pop(victim)
+        self._tags.append(tag)
+        return evicted
+
+    def peek(self, tag: int) -> bool:
+        return tag in self._tags
+
+    def invalidate(self, tag: int) -> bool:
+        if tag in self._tags:
+            self._tags.remove(tag)
+            return True
+        return False
+
+    def resident_tags(self) -> List[int]:
+        return list(self._tags)
+
+
+class PLRUTreePolicy(SetPolicy):
+    """Tree pseudo-LRU, the approximation real L1/L2 caches implement.
+
+    Requires a power-of-two associativity.  A binary tree of direction bits
+    points away from recently used ways; the victim is found by following
+    the bits from the root.
+    """
+
+    __slots__ = ("_slots", "_bits", "_tag_to_way", "_levels")
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        if ways & (ways - 1):
+            raise ConfigError(f"PLRU requires power-of-two ways, got {ways}")
+        self._slots: List[Optional[int]] = [None] * ways
+        self._bits = [0] * max(ways - 1, 1)
+        self._tag_to_way: Dict[int, int] = {}
+        self._levels = ways.bit_length() - 1
+
+    def _touch(self, way: int) -> None:
+        """Flip tree bits so they point away from ``way``."""
+        node = 0
+        for level in range(self._levels):
+            bit = (way >> (self._levels - 1 - level)) & 1
+            self._bits[node] = 1 - bit
+            node = 2 * node + 1 + bit
+
+    def _victim_way(self) -> int:
+        node = 0
+        way = 0
+        for _ in range(self._levels):
+            bit = self._bits[node]
+            way = (way << 1) | bit
+            node = 2 * node + 1 + bit
+        return way
+
+    def lookup(self, tag: int) -> bool:
+        way = self._tag_to_way.get(tag)
+        if way is None:
+            return False
+        self._touch(way)
+        return True
+
+    def insert(self, tag: int) -> Optional[int]:
+        if tag in self._tag_to_way:
+            self._touch(self._tag_to_way[tag])
+            return None
+        for way, resident in enumerate(self._slots):
+            if resident is None:
+                self._slots[way] = tag
+                self._tag_to_way[tag] = way
+                self._touch(way)
+                return None
+        way = self._victim_way()
+        evicted = self._slots[way]
+        assert evicted is not None
+        del self._tag_to_way[evicted]
+        self._slots[way] = tag
+        self._tag_to_way[tag] = way
+        self._touch(way)
+        return evicted
+
+    def peek(self, tag: int) -> bool:
+        return tag in self._tag_to_way
+
+    def invalidate(self, tag: int) -> bool:
+        way = self._tag_to_way.pop(tag, None)
+        if way is None:
+            return False
+        self._slots[way] = None
+        return True
+
+    def resident_tags(self) -> List[int]:
+        return [tag for tag in self._slots if tag is not None]
+
+
+POLICY_NAMES = ("lru", "fifo", "random", "plru")
+
+
+def make_policy(name: str, ways: int, seed: int = 0) -> SetPolicy:
+    """Instantiate a per-set policy by name (see :data:`POLICY_NAMES`)."""
+    lowered = name.lower()
+    if lowered == "lru":
+        return LRUPolicy(ways)
+    if lowered == "fifo":
+        return FIFOPolicy(ways)
+    if lowered == "random":
+        return RandomPolicy(ways, seed=seed)
+    if lowered == "plru":
+        return PLRUTreePolicy(ways)
+    raise ConfigError(f"unknown replacement policy {name!r}; expected one of {POLICY_NAMES}")

@@ -1,0 +1,117 @@
+"""Counters reported by caches and hierarchies.
+
+These play the role of VTune's memory-access analysis in the paper: per-level
+hit rates (Fig 4b, Fig 15), average load latency (Fig 4b, Fig 10c, Fig 15),
+and prefetch accuracy for the prefetching ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CacheStats:
+    """Event counters for one cache level."""
+
+    demand_hits: int = 0
+    demand_misses: int = 0
+    prefetch_hits: int = 0
+    prefetch_fills: int = 0
+    prefetch_useful: int = 0
+    evictions: int = 0
+    prefetch_evicted_unused: int = 0
+
+    @property
+    def demand_accesses(self) -> int:
+        """Total demand (non-prefetch) lookups."""
+        return self.demand_hits + self.demand_misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Demand hit rate in [0, 1]; 0.0 when there were no accesses."""
+        total = self.demand_accesses
+        return self.demand_hits / total if total else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        """Demand miss rate in [0, 1]."""
+        total = self.demand_accesses
+        return self.demand_misses / total if total else 0.0
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Fraction of prefetch fills that served a later demand access."""
+        return self.prefetch_useful / self.prefetch_fills if self.prefetch_fills else 0.0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Return the elementwise sum of two counters."""
+        return CacheStats(
+            demand_hits=self.demand_hits + other.demand_hits,
+            demand_misses=self.demand_misses + other.demand_misses,
+            prefetch_hits=self.prefetch_hits + other.prefetch_hits,
+            prefetch_fills=self.prefetch_fills + other.prefetch_fills,
+            prefetch_useful=self.prefetch_useful + other.prefetch_useful,
+            evictions=self.evictions + other.evictions,
+            prefetch_evicted_unused=(
+                self.prefetch_evicted_unused + other.prefetch_evicted_unused
+            ),
+        )
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        self.demand_hits = 0
+        self.demand_misses = 0
+        self.prefetch_hits = 0
+        self.prefetch_fills = 0
+        self.prefetch_useful = 0
+        self.evictions = 0
+        self.prefetch_evicted_unused = 0
+
+
+@dataclass
+class HierarchyStats:
+    """Aggregated view over a full L1D/L2/L3/DRAM walk.
+
+    ``level_hits`` counts where each *demand* access was served:
+    keys ``"l1"``, ``"l2"``, ``"l3"``, ``"dram"``.
+    """
+
+    level_hits: Dict[str, int] = field(default_factory=dict)
+    total_latency_cycles: float = 0.0
+    demand_accesses: int = 0
+    prefetch_requests: int = 0
+    dram_bytes: int = 0
+
+    def record(self, level: str, latency: float) -> None:
+        """Account one demand access served at ``level`` with ``latency``."""
+        self.level_hits[level] = self.level_hits.get(level, 0) + 1
+        self.total_latency_cycles += latency
+        self.demand_accesses += 1
+
+    @property
+    def avg_load_latency(self) -> float:
+        """Average demand-load latency in cycles (the paper's key metric)."""
+        if not self.demand_accesses:
+            return 0.0
+        return self.total_latency_cycles / self.demand_accesses
+
+    def hit_fraction(self, level: str) -> float:
+        """Fraction of demand accesses served at ``level``."""
+        if not self.demand_accesses:
+            return 0.0
+        return self.level_hits.get(level, 0) / self.demand_accesses
+
+    def merge(self, other: "HierarchyStats") -> "HierarchyStats":
+        """Return the sum of two hierarchy-stat records."""
+        merged = HierarchyStats(
+            level_hits=dict(self.level_hits),
+            total_latency_cycles=self.total_latency_cycles + other.total_latency_cycles,
+            demand_accesses=self.demand_accesses + other.demand_accesses,
+            prefetch_requests=self.prefetch_requests + other.prefetch_requests,
+            dram_bytes=self.dram_bytes + other.dram_bytes,
+        )
+        for level, count in other.level_hits.items():
+            merged.level_hits[level] = merged.level_hits.get(level, 0) + count
+        return merged

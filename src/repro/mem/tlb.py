@@ -1,0 +1,128 @@
+"""TLB model (opt-in fidelity extension).
+
+Multi-GB embedding tables stress address translation: with 4 KiB pages a
+28 GB model needs 7M translations, and even the 2 MiB huge pages IPEX
+requests leave ~14K pages — far beyond L1 TLB reach.  A TLB miss costs a
+page walk (partially cached), adding tens of cycles to exactly the loads
+that already miss the caches.
+
+The model is a two-level TLB (L1 + shared STLB) with LRU replacement and a
+fixed walk cost, operating on page numbers.  It is **off by default** in
+the execution engine — the paper does not isolate translation effects and
+the default calibration excludes them — and enabled via
+``run_embedding_trace(..., tlb=TLBModel(...))`` or the ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from typing import Dict
+
+from ..errors import ConfigError
+
+__all__ = ["TLBConfig", "TLBModel"]
+
+
+class _DictLRU:
+    """O(1) fully-associative LRU over hashable keys (dict-ordered)."""
+
+    __slots__ = ("capacity", "_entries")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: Dict[int, None] = {}
+
+    def lookup(self, key: int) -> bool:
+        entries = self._entries
+        if key in entries:
+            del entries[key]
+            entries[key] = None  # move to MRU position
+            return True
+        return False
+
+    def insert(self, key: int) -> None:
+        entries = self._entries
+        if key in entries:
+            del entries[key]
+        elif len(entries) >= self.capacity:
+            del entries[next(iter(entries))]
+        entries[key] = None
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """Two-level TLB geometry (defaults: Cascade-Lake-like, 2 MiB pages)."""
+
+    page_bytes: int = 2 * 1024 * 1024
+    l1_entries: int = 32
+    stlb_entries: int = 1536
+    l1_hit_cycles: float = 0.0
+    stlb_hit_cycles: float = 7.0
+    walk_cycles: float = 35.0
+
+    def __post_init__(self) -> None:
+        if self.page_bytes <= 0 or self.page_bytes & (self.page_bytes - 1):
+            raise ConfigError("page size must be a positive power of two")
+        if self.l1_entries <= 0 or self.stlb_entries <= 0:
+            raise ConfigError("TLB entry counts must be positive")
+        if self.l1_entries > self.stlb_entries:
+            raise ConfigError("the STLB must be at least as large as the L1 TLB")
+        if min(self.l1_hit_cycles, self.stlb_hit_cycles, self.walk_cycles) < 0:
+            raise ConfigError("TLB latencies must be non-negative")
+
+
+class TLBModel:
+    """Fully-associative two-level TLB with LRU replacement."""
+
+    def __init__(self, config: TLBConfig = TLBConfig()) -> None:
+        self.config = config
+        self._l1 = _DictLRU(config.l1_entries)
+        self._stlb = _DictLRU(config.stlb_entries)
+        self.l1_hits = 0
+        self.stlb_hits = 0
+        self.walks = 0
+
+    def page_of_line(self, line: int) -> int:
+        """Page number containing cache line ``line``."""
+        return (line * 64) // self.config.page_bytes
+
+    def translate_line(self, line: int) -> float:
+        """Translate a cache-line access; return the added latency."""
+        return self.translate(self.page_of_line(line))
+
+    def translate(self, page: int) -> float:
+        """Translate a page number; return the added latency in cycles."""
+        if self._l1.lookup(page):
+            self.l1_hits += 1
+            return self.config.l1_hit_cycles
+        if self._stlb.lookup(page):
+            self.stlb_hits += 1
+            self._l1.insert(page)
+            return self.config.stlb_hit_cycles
+        self.walks += 1
+        self._stlb.insert(page)
+        self._l1.insert(page)
+        return self.config.walk_cycles
+
+    @property
+    def accesses(self) -> int:
+        """Total translations performed."""
+        return self.l1_hits + self.stlb_hits + self.walks
+
+    @property
+    def walk_rate(self) -> float:
+        """Fraction of translations requiring a page walk."""
+        return self.walks / self.accesses if self.accesses else 0.0
+
+    def reach_bytes(self) -> int:
+        """Bytes of address space the STLB can map at once."""
+        return self.config.stlb_entries * self.config.page_bytes
+
+    def reset(self) -> None:
+        """Empty both levels and zero counters."""
+        self._l1 = _DictLRU(self.config.l1_entries)
+        self._stlb = _DictLRU(self.config.stlb_entries)
+        self.l1_hits = 0
+        self.stlb_hits = 0
+        self.walks = 0

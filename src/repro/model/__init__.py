@@ -1,0 +1,36 @@
+"""From-scratch numpy DLRM.
+
+The four stages of Fig 2 — bottom MLP, embedding lookup, feature
+interaction, top MLP — implemented functionally so the execution engines
+can both *run* them (numerical outputs) and *time* them (flop / byte
+accounting).  :mod:`repro.model.configs` carries the paper's Table 2 model
+zoo (rm1, rm2_1..rm2_3) with a ``scaled`` view for tractable simulation.
+"""
+
+from .configs import (
+    EXTENDED_MODEL_NAMES,
+    MODEL_NAMES,
+    ModelConfig,
+    get_model,
+    list_models,
+)
+from .dlrm import DLRM
+from .embedding import EmbeddingTable, embedding_bag
+from .interaction import dot_interaction, interaction_output_dim
+from .layers import MLP, Linear, relu
+
+__all__ = [
+    "DLRM",
+    "EXTENDED_MODEL_NAMES",
+    "EmbeddingTable",
+    "Linear",
+    "MLP",
+    "MODEL_NAMES",
+    "ModelConfig",
+    "dot_interaction",
+    "embedding_bag",
+    "get_model",
+    "interaction_output_dim",
+    "list_models",
+    "relu",
+]

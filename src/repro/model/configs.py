@@ -1,0 +1,270 @@
+"""The paper's model zoo (Table 2) and scaling for simulation.
+
+Four models: three embedding-heavy RMC2 variants and one mixed RMC1 model.
+Column-for-column from Table 2::
+
+    name    type    emb%  size(GB)  rows  dim  tables  lookups  bottom-MLP          top-MLP
+    rm2_1   small   98    28.6      1M    128  60      120      256-128-128         128-64-1
+    rm2_2   medium  96    57.2      1M    128  120     150      1024-512-128-128    384-192-1
+    rm2_3   large   95    81.1      1M    128  170     180      2048-1024-256-128   512-256-1
+    rm1     -       65    3.8       500K  64   32      80       2048-2048-256-64    768-384-1
+
+``ModelConfig.scaled`` shrinks rows / tables / lookups for trace-driven
+simulation while keeping the MLP stacks (timed analytically) at paper size,
+so end-to-end stage *ratios* can be re-projected to paper scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+from ..errors import ConfigError, UnknownModelError
+from ..units import FLOAT32_BYTES
+
+__all__ = [
+    "EXTENDED_MODEL_NAMES",
+    "MODEL_NAMES",
+    "ModelConfig",
+    "get_model",
+    "list_models",
+]
+
+#: Dense-feature input width fed to the bottom MLP (not listed in Table 2;
+#: chosen to match the first bottom layer's scale, as in DeepRecSys configs).
+DEFAULT_DENSE_FEATURES = 256
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture parameters of one DLRM variant."""
+
+    name: str
+    category: str  # "RMC1" or "RMC2"
+    rows: int
+    embedding_dim: int
+    num_tables: int
+    lookups_per_sample: int
+    bottom_mlp: Tuple[int, ...]
+    top_mlp: Tuple[int, ...]
+    dense_features: int = DEFAULT_DENSE_FEATURES
+    #: Reference embedding share of execution time from Table 2 (percent).
+    reference_emb_pct: float = 0.0
+    #: SLA latency target from Table 1 (milliseconds).
+    sla_ms: float = 100.0
+    #: Bytes per embedding element.  The paper uses fp32 (4); quantized
+    #: deployments use fp16 (2) or int8 (1) rows — see :meth:`quantized`.
+    dtype_bytes: int = FLOAT32_BYTES
+
+    def __post_init__(self) -> None:
+        if min(self.rows, self.embedding_dim, self.num_tables) <= 0:
+            raise ConfigError("embedding shape must be positive")
+        if self.lookups_per_sample <= 0:
+            raise ConfigError("lookups_per_sample must be positive")
+        if not self.bottom_mlp or not self.top_mlp:
+            raise ConfigError("MLP stacks must be non-empty")
+        if self.bottom_mlp[-1] != self.embedding_dim:
+            raise ConfigError(
+                "bottom MLP must end at embedding_dim so interaction shapes match"
+            )
+        if self.top_mlp[-1] != 1:
+            raise ConfigError("top MLP must end in a single logit")
+        if self.dtype_bytes not in (1, 2, 4):
+            raise ConfigError(
+                f"dtype_bytes must be 1 (int8), 2 (fp16) or 4 (fp32), "
+                f"got {self.dtype_bytes}"
+            )
+
+    # -- derived sizes (Table 2's computed columns) ---------------------------
+
+    @property
+    def table_bytes(self) -> int:
+        """Per-table capacity (the 488.3 MB / 122.0 MB column)."""
+        return self.rows * self.embedding_dim * self.dtype_bytes
+
+    @property
+    def embedding_bytes(self) -> int:
+        """Total embedding footprint (the Emb. Size column)."""
+        return self.table_bytes * self.num_tables
+
+    @property
+    def embedding_gib(self) -> float:
+        """Embedding footprint in GiB (Table 2 reports GiB as 'GB')."""
+        return self.embedding_bytes / 1024**3
+
+    @property
+    def lookups_per_batch(self) -> int:
+        """Pooled lookups per (batch-size 1) sample across all tables."""
+        return self.num_tables * self.lookups_per_sample
+
+    def lookups_for_batch(self, batch_size: int) -> int:
+        """Pooled lookups an inference batch performs across all tables."""
+        return self.num_tables * self.lookups_per_sample * batch_size
+
+    @property
+    def is_embedding_heavy(self) -> bool:
+        """RMC2 models are embedding-dominated; RMC1 is mixed."""
+        return self.category == "RMC2"
+
+    # -- scaling ---------------------------------------------------------------
+
+    def scaled(self, scale: float, keep_rows: bool = True) -> "ModelConfig":
+        """A shrunken copy for tractable simulation.
+
+        Tables and lookups shrink with a soft (square-root) factor so the
+        inter-table and intra-sample reuse structure survives; MLPs and
+        embedding_dim are untouched.  By default **rows stay at paper
+        scale** — the timing engines only consume integer indices, and
+        keeping 1M-row tables keeps each hotness group's working set
+        faithful relative to real cache capacities.  Pass
+        ``keep_rows=False`` when table weights must actually be
+        materialized (running the numeric DLRM).  ``scale = 1.0`` returns
+        ``self``.
+        """
+        if not 0.0 < scale <= 1.0:
+            raise ConfigError(f"scale must be in (0, 1], got {scale}")
+        if scale == 1.0:
+            return self
+        soft = scale**0.5
+        return replace(
+            self,
+            name=f"{self.name}@{scale:g}",
+            rows=self.rows if keep_rows else max(2048, int(self.rows * scale)),
+            num_tables=max(2, int(round(self.num_tables * soft))),
+            lookups_per_sample=max(4, int(round(self.lookups_per_sample * soft))),
+        )
+
+    @property
+    def base_name(self) -> str:
+        """Name with any ``@scale`` suffix stripped."""
+        return self.name.split("@", 1)[0]
+
+    def quantized(self, dtype_bytes: int) -> "ModelConfig":
+        """A copy with compressed embedding rows (fp16/int8 deployment).
+
+        Quantization shrinks each row's cache-line footprint — a dim-128
+        row drops from 8 lines (fp32) to 4 (fp16) or 2 (int8) — directly
+        reducing the memory traffic the paper's bottleneck is made of.
+        """
+        if dtype_bytes == self.dtype_bytes:
+            return self
+        suffix = {1: "int8", 2: "fp16", 4: "fp32"}.get(dtype_bytes, str(dtype_bytes))
+        return replace(
+            self, name=f"{self.name}-{suffix}", dtype_bytes=dtype_bytes
+        )
+
+    def address_map(self):
+        """The physical table layout for this config's dtype."""
+        from ..trace.stream import AddressMap
+
+        return AddressMap(
+            [self.rows] * self.num_tables,
+            self.embedding_dim,
+            dtype_bytes=self.dtype_bytes,
+        )
+
+    def paper_scale_ratio(self) -> float:
+        """Lookup-count ratio of the paper-scale model to this config.
+
+        Embedding-stage cost is linear in pooled lookups, so measured
+        embedding cycles on a scaled config multiply by this ratio to
+        project paper-scale stage times (keeping dense-stage times
+        comparable).  Returns 1.0 for unscaled configs or names not in the
+        zoo (custom models).
+        """
+        if self.base_name == self.name:
+            return 1.0
+        base = _ZOO.get(self.base_name)
+        if base is None:
+            return 1.0
+        return base.lookups_per_batch / self.lookups_per_batch
+
+
+_ZOO: Dict[str, ModelConfig] = {
+    "rm2_1": ModelConfig(
+        name="rm2_1",
+        category="RMC2",
+        rows=1_000_000,
+        embedding_dim=128,
+        num_tables=60,
+        lookups_per_sample=120,
+        bottom_mlp=(256, 128, 128),
+        top_mlp=(128, 64, 1),
+        reference_emb_pct=98.0,
+        sla_ms=400.0,
+    ),
+    "rm2_2": ModelConfig(
+        name="rm2_2",
+        category="RMC2",
+        rows=1_000_000,
+        embedding_dim=128,
+        num_tables=120,
+        lookups_per_sample=150,
+        bottom_mlp=(1024, 512, 128, 128),
+        top_mlp=(384, 192, 1),
+        reference_emb_pct=96.0,
+        sla_ms=400.0,
+    ),
+    "rm2_3": ModelConfig(
+        name="rm2_3",
+        category="RMC2",
+        rows=1_000_000,
+        embedding_dim=128,
+        num_tables=170,
+        lookups_per_sample=180,
+        bottom_mlp=(2048, 1024, 256, 128),
+        top_mlp=(512, 256, 1),
+        reference_emb_pct=95.0,
+        sla_ms=400.0,
+    ),
+    "rm1": ModelConfig(
+        name="rm1",
+        category="RMC1",
+        rows=500_000,
+        embedding_dim=64,
+        num_tables=32,
+        lookups_per_sample=80,
+        bottom_mlp=(2048, 2048, 256, 64),
+        top_mlp=(768, 384, 1),
+        reference_emb_pct=65.0,
+        sla_ms=100.0,
+    ),
+    # Extension: an RMC3-class model (Table 1: MLP ≈ 80%, medium size,
+    # 100 ms SLA).  The paper's evaluation skips RMC3; this config follows
+    # the DeepRecSys RMC3 shape scaled with the same growth rules the
+    # paper applies to RMC1/RMC2.  Not part of Table 2 (MODEL_NAMES); see
+    # EXTENDED_MODEL_NAMES.
+    "rm3": ModelConfig(
+        name="rm3",
+        category="RMC3",
+        rows=250_000,
+        embedding_dim=32,
+        num_tables=10,
+        lookups_per_sample=20,
+        bottom_mlp=(2048, 4096, 1024, 32),
+        top_mlp=(4096, 4096, 1024, 1),
+        reference_emb_pct=20.0,
+        sla_ms=100.0,
+    ),
+}
+
+#: Model names in Table 2 order.
+MODEL_NAMES: Tuple[str, ...] = ("rm2_1", "rm2_2", "rm2_3", "rm1")
+
+#: Table 2 models plus the RMC3 extension.
+EXTENDED_MODEL_NAMES: Tuple[str, ...] = MODEL_NAMES + ("rm3",)
+
+
+def get_model(name: str) -> ModelConfig:
+    """Fetch a model config by name (case-insensitive)."""
+    try:
+        return _ZOO[name.lower()]
+    except KeyError:
+        raise UnknownModelError(
+            f"unknown model {name!r}; available: {sorted(_ZOO)}"
+        ) from None
+
+
+def list_models() -> Dict[str, ModelConfig]:
+    """A copy of the zoo keyed by name."""
+    return dict(_ZOO)

@@ -1,0 +1,123 @@
+"""The full DLRM module: Fig 2 end to end.
+
+Composes the four stages functionally on numpy.  Construction from a
+:class:`~repro.model.configs.ModelConfig` materializes real weights, so the
+model must be built from a *scaled* config when table footprints would
+otherwise be tens of GB; the timing engines only need the config, not the
+weights.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..config import SimConfig
+from ..errors import ConfigError
+from ..trace.dataset import TableBatch
+from .configs import ModelConfig
+from .embedding import EmbeddingTable, embedding_bag
+from .interaction import dot_interaction, interaction_output_dim
+from .layers import MLP
+
+__all__ = ["DLRM"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+class DLRM:
+    """A runnable DLRM instance."""
+
+    def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None):
+        self.config = config
+        rng = rng or np.random.default_rng(0)
+        self.bottom_mlp = MLP(config.dense_features, config.bottom_mlp, rng=rng)
+        self.tables: List[EmbeddingTable] = [
+            EmbeddingTable(config.rows, config.embedding_dim, rng=rng)
+            for _ in range(config.num_tables)
+        ]
+        top_in = interaction_output_dim(config.num_tables, config.embedding_dim)
+        self.top_mlp = MLP(top_in, config.top_mlp, rng=rng, final_relu=False)
+
+    @classmethod
+    def from_config(
+        cls,
+        config: ModelConfig,
+        sim: Optional[SimConfig] = None,
+        scale: Optional[float] = None,
+    ) -> "DLRM":
+        """Build a model, scaled for simulation.
+
+        ``scale`` overrides ``sim.scale``; weights are seeded from the
+        :class:`SimConfig` so runs are reproducible.
+        """
+        sim = sim or SimConfig()
+        effective_scale = scale if scale is not None else sim.scale
+        # keep_rows=False: weights are materialized, so rows must shrink too.
+        scaled = config.scaled(effective_scale, keep_rows=False)
+        return cls(scaled, rng=sim.rng(f"model:{scaled.name}"))
+
+    # -- stages ------------------------------------------------------------
+
+    def run_bottom_mlp(self, dense: np.ndarray) -> np.ndarray:
+        """Stage 1: dense features through the bottom MLP."""
+        return self.bottom_mlp(dense)
+
+    def run_embedding(self, table_batches: Sequence[TableBatch]) -> List[np.ndarray]:
+        """Stage 2: pooled lookups for every table."""
+        if len(table_batches) != self.config.num_tables:
+            raise ConfigError(
+                f"got {len(table_batches)} table batches, model has "
+                f"{self.config.num_tables} tables"
+            )
+        return [
+            embedding_bag(table, tb.indices, tb.offsets)
+            for table, tb in zip(self.tables, table_batches)
+        ]
+
+    def run_interaction(
+        self, bottom_out: np.ndarray, embedding_outs: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        """Stage 3: pairwise dot interaction."""
+        return dot_interaction(bottom_out, embedding_outs)
+
+    def run_top_mlp(self, interacted: np.ndarray) -> np.ndarray:
+        """Stage 4: top MLP to a CTR probability."""
+        logits = self.top_mlp(interacted)
+        return _sigmoid(logits).reshape(-1)
+
+    # -- end to end ----------------------------------------------------------
+
+    def forward(
+        self, dense: np.ndarray, table_batches: Sequence[TableBatch]
+    ) -> np.ndarray:
+        """Full inference for one batch; returns CTR probabilities."""
+        if dense.ndim != 2 or dense.shape[1] != self.config.dense_features:
+            raise ConfigError(
+                f"dense input must be (batch, {self.config.dense_features}), "
+                f"got {dense.shape}"
+            )
+        batch = dense.shape[0]
+        for tb in table_batches:
+            if tb.batch_size != batch:
+                raise ConfigError(
+                    "dense batch and embedding trace batch sizes disagree"
+                )
+        bottom_out = self.run_bottom_mlp(dense)
+        embedding_outs = self.run_embedding(table_batches)
+        interacted = self.run_interaction(bottom_out, embedding_outs)
+        return self.run_top_mlp(interacted)
+
+    __call__ = forward
+
+    def random_dense_batch(
+        self, batch_size: int, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Convenience: a random dense-feature batch of the right width."""
+        rng = rng or np.random.default_rng(0)
+        return rng.normal(0, 1, size=(batch_size, self.config.dense_features)).astype(
+            np.float32
+        )

@@ -1,0 +1,98 @@
+"""Embedding tables and the ``embedding_bag`` operator.
+
+This is Algorithm 2 of the paper reimplemented functionally: for each
+sample, the offsets array bounds a slice of the indices array, each index
+gathers one embedding row, and the rows are sum-pooled into the sample's
+output vector (the three levels of indirection in Fig 3).
+
+The numerical path here is what examples and tests exercise; the *timing*
+path lives in :mod:`repro.engine.kernels`, which expands the same loop into
+cache-line accesses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError, TraceError
+from ..trace.dataset import TableBatch
+from ..units import FLOAT32_BYTES
+
+__all__ = ["EmbeddingTable", "embedding_bag"]
+
+
+class EmbeddingTable:
+    """One embedding table with materialized fp32 weights."""
+
+    def __init__(
+        self,
+        rows: int,
+        dim: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if rows <= 0 or dim <= 0:
+            raise ConfigError("table shape must be positive")
+        self.rows = rows
+        self.dim = dim
+        rng = rng or np.random.default_rng(0)
+        bound = 1.0 / np.sqrt(dim)
+        self.weight = rng.uniform(-bound, bound, size=(rows, dim)).astype(np.float32)
+
+    def lookup(self, indices: np.ndarray) -> np.ndarray:
+        """Gather rows (no pooling)."""
+        if indices.size and (indices.min() < 0 or indices.max() >= self.rows):
+            raise TraceError("embedding index out of range")
+        return self.weight[indices]
+
+    @property
+    def nbytes(self) -> int:
+        """Table footprint in bytes."""
+        return self.rows * self.dim * FLOAT32_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EmbeddingTable(rows={self.rows}, dim={self.dim})"
+
+
+def embedding_bag(
+    table: EmbeddingTable,
+    indices: np.ndarray,
+    offsets: np.ndarray,
+    mode: str = "sum",
+) -> np.ndarray:
+    """Pooled embedding lookup, semantics of ``torch.nn.EmbeddingBag``.
+
+    Parameters
+    ----------
+    table:
+        The embedding table to gather from.
+    indices:
+        Flat row ids for the whole batch.
+    offsets:
+        ``batch_size + 1`` boundaries; sample ``k`` pools
+        ``indices[offsets[k]:offsets[k+1]]``.
+    mode:
+        ``"sum"`` (the DLRM default) or ``"mean"``.
+
+    Returns a ``(batch_size, dim)`` float32 array.  A sample with zero
+    lookups pools to the zero vector, matching PyTorch.
+    """
+    if mode not in ("sum", "mean"):
+        raise ConfigError(f"unsupported pooling mode {mode!r}")
+    tb = TableBatch(offsets=np.asarray(offsets), indices=np.asarray(indices))
+    if tb.indices.size and tb.indices.max() >= table.rows:
+        raise TraceError("embedding index out of range for table")
+    batch_size = tb.batch_size
+    out = np.zeros((batch_size, table.dim), dtype=np.float32)
+    gathered = table.weight[tb.indices] if tb.indices.size else None
+    for k in range(batch_size):
+        start, end = tb.offsets[k], tb.offsets[k + 1]
+        if end == start:
+            continue
+        assert gathered is not None
+        pooled = gathered[start:end].sum(axis=0)
+        if mode == "mean":
+            pooled = pooled / (end - start)
+        out[k] = pooled
+    return out

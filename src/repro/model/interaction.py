@@ -1,0 +1,68 @@
+"""The dot-product feature-interaction stage (Fig 2's third stage).
+
+DLRM's interaction concatenates the bottom-MLP output with every pooled
+embedding vector, forms all pairwise dot products, and concatenates the
+unique (lower-triangle) products back onto the bottom-MLP output.  This is
+the standard ``dot`` interaction of Naumov et al.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["dot_interaction", "interaction_output_dim", "interaction_flops"]
+
+
+def interaction_output_dim(num_embeddings: int, dim: int) -> int:
+    """Width of the interaction output fed to the top MLP.
+
+    ``dim`` (the pass-through bottom-MLP output) plus the
+    ``C(num_embeddings + 1, 2)`` unique pairwise dot products among the
+    ``num_embeddings`` pooled vectors and the bottom output.
+    """
+    if num_embeddings < 0 or dim <= 0:
+        raise ConfigError("invalid interaction shape")
+    vectors = num_embeddings + 1
+    return dim + vectors * (vectors - 1) // 2
+
+
+def interaction_flops(batch_size: int, num_embeddings: int, dim: int) -> int:
+    """Flops of the batched pairwise-dot computation."""
+    vectors = num_embeddings + 1
+    return 2 * batch_size * vectors * vectors * dim
+
+
+def dot_interaction(
+    bottom_out: np.ndarray, embedding_outs: Sequence[np.ndarray]
+) -> np.ndarray:
+    """Compute the interaction for a batch.
+
+    Parameters
+    ----------
+    bottom_out:
+        ``(batch, dim)`` bottom-MLP output.
+    embedding_outs:
+        One ``(batch, dim)`` pooled vector per table.
+
+    Returns ``(batch, interaction_output_dim)`` float32.
+    """
+    if bottom_out.ndim != 2:
+        raise ConfigError("bottom output must be (batch, dim)")
+    batch, dim = bottom_out.shape
+    for emb in embedding_outs:
+        if emb.shape != (batch, dim):
+            raise ConfigError(
+                f"embedding output shape {emb.shape} != bottom shape {bottom_out.shape}"
+            )
+    # (batch, vectors, dim)
+    stacked = np.stack([bottom_out, *embedding_outs], axis=1).astype(np.float32)
+    # (batch, vectors, vectors) Gram matrices.
+    gram = np.einsum("bvd,bwd->bvw", stacked, stacked)
+    vectors = stacked.shape[1]
+    li, lj = np.tril_indices(vectors, k=-1)
+    pairs = gram[:, li, lj]
+    return np.concatenate([bottom_out.astype(np.float32), pairs], axis=1)

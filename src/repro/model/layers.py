@@ -1,0 +1,122 @@
+"""Dense layers: Linear, ReLU, and MLP stacks.
+
+Implemented directly on numpy.  Besides ``forward``, every layer reports
+its flop count and weight footprint — the quantities the roofline timing
+model (:mod:`repro.engine.mlp_exec`) consumes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..units import FLOAT32_BYTES
+
+__all__ = ["Linear", "relu", "MLP"]
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Elementwise rectifier."""
+    return np.maximum(x, 0.0)
+
+
+class Linear:
+    """Fully connected layer ``y = x @ W + b`` with fp32 weights."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ConfigError("layer dimensions must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = rng or np.random.default_rng(0)
+        # He initialization, sensible for the ReLU stacks DLRM uses.
+        scale = np.sqrt(2.0 / in_features)
+        self.weight = rng.normal(0.0, scale, size=(in_features, out_features)).astype(
+            np.float32
+        )
+        self.bias = np.zeros(out_features, dtype=np.float32)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Apply the layer to a ``(batch, in_features)`` input."""
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ConfigError(
+                f"expected input (*, {self.in_features}), got {x.shape}"
+            )
+        return x.astype(np.float32) @ self.weight + self.bias
+
+    __call__ = forward
+
+    def flops(self, batch_size: int) -> int:
+        """Multiply-accumulate flops for one forward pass."""
+        return 2 * batch_size * self.in_features * self.out_features
+
+    @property
+    def weight_bytes(self) -> int:
+        """Footprint of weights plus bias."""
+        return (self.weight.size + self.bias.size) * FLOAT32_BYTES
+
+
+class MLP:
+    """A ReLU MLP defined by layer widths, e.g. ``(256, 128, 128)``.
+
+    ``widths`` are the *output* sizes of successive Linear layers starting
+    from ``in_features`` — the notation of the paper's Table 2
+    (``Bottom-MLP: 256-128-128``).  ReLU follows every layer except,
+    optionally, the last (the top MLP ends in a 1-wide sigmoid handled by
+    the caller).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        widths: Sequence[int],
+        rng: Optional[np.random.Generator] = None,
+        final_relu: bool = True,
+    ) -> None:
+        if not widths:
+            raise ConfigError("an MLP needs at least one layer")
+        self.in_features = in_features
+        self.widths = tuple(widths)
+        self.final_relu = final_relu
+        rng = rng or np.random.default_rng(0)
+        self.layers: List[Linear] = []
+        previous = in_features
+        for width in widths:
+            self.layers.append(Linear(previous, width, rng=rng))
+            previous = width
+
+    @property
+    def out_features(self) -> int:
+        """Width of the final layer."""
+        return self.widths[-1]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Apply all layers with interleaved ReLUs."""
+        for i, layer in enumerate(self.layers):
+            x = layer(x)
+            is_last = i == len(self.layers) - 1
+            if not is_last or self.final_relu:
+                x = relu(x)
+        return x
+
+    __call__ = forward
+
+    def flops(self, batch_size: int) -> int:
+        """Total flops for one batch forward pass."""
+        return sum(layer.flops(batch_size) for layer in self.layers)
+
+    @property
+    def weight_bytes(self) -> int:
+        """Total weight footprint — the "few MBs" of Section 4.4."""
+        return sum(layer.weight_bytes for layer in self.layers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        arch = "-".join(str(w) for w in (self.in_features,) + self.widths)
+        return f"MLP({arch})"

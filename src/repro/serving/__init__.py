@@ -1,0 +1,30 @@
+"""At-scale inference serving simulation (Section 6.5).
+
+Recommendation inference is user-facing and governed by SLAs (Table 1).
+This subpackage reproduces the paper's tail-latency methodology: a Poisson
+load generator (:mod:`repro.serving.workload`), a discrete-event multi-core
+inference server (:mod:`repro.serving.server`), and percentile / SLA-region
+analysis (:mod:`repro.serving.latency`, :mod:`repro.serving.sla`).
+"""
+
+from .batcher import Batch, chunk_queries
+from .latency import latency_percentile, sla_compliant_region
+from .pipeline import PipelineResult, serve_query_stream
+from .server import ServerResult, simulate_server
+from .sla import SLA_TARGETS, SLATarget, sla_for_model
+from .workload import poisson_arrivals
+
+__all__ = [
+    "Batch",
+    "PipelineResult",
+    "SLA_TARGETS",
+    "SLATarget",
+    "ServerResult",
+    "chunk_queries",
+    "serve_query_stream",
+    "latency_percentile",
+    "poisson_arrivals",
+    "simulate_server",
+    "sla_compliant_region",
+    "sla_for_model",
+]

@@ -1,0 +1,83 @@
+"""Query batching (Section 2.1: "the system chunks queries into batches").
+
+Queries arrive individually; the server accumulates them into inference
+batches that dispatch either when full or when the oldest queued query has
+waited ``timeout_ms`` — the standard latency/throughput trade-off knob in
+DLRM serving.  Each batch then becomes one quantum of work for the M/G/c
+server simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["Batch", "chunk_queries"]
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One dispatched inference batch."""
+
+    dispatch_ms: float
+    query_arrivals_ms: np.ndarray
+
+    @property
+    def size(self) -> int:
+        """Queries in the batch."""
+        return int(self.query_arrivals_ms.size)
+
+    @property
+    def max_queueing_delay_ms(self) -> float:
+        """Wait of the oldest query (bounded by the batcher timeout)."""
+        return float(self.dispatch_ms - self.query_arrivals_ms.min())
+
+    @property
+    def mean_queueing_delay_ms(self) -> float:
+        """Average pre-dispatch wait across the batch's queries."""
+        return float(np.mean(self.dispatch_ms - self.query_arrivals_ms))
+
+
+def chunk_queries(
+    arrivals_ms: np.ndarray,
+    batch_size: int,
+    timeout_ms: float,
+) -> List[Batch]:
+    """Greedy size-or-timeout batching of a query arrival stream.
+
+    A batch dispatches at the arrival completing it, or at
+    ``first_query_arrival + timeout_ms`` if it never fills (whichever is
+    earlier); queries arriving after a timeout dispatch start a new batch.
+    A trailing partial batch dispatches at its timeout.
+    """
+    if batch_size <= 0:
+        raise ConfigError("batch_size must be positive")
+    if timeout_ms <= 0:
+        raise ConfigError("timeout must be positive")
+    arrivals = np.asarray(arrivals_ms, dtype=float)
+    if arrivals.ndim != 1 or arrivals.size == 0:
+        raise ConfigError("need a non-empty 1-D arrival array")
+    if np.any(np.diff(arrivals) < 0):
+        raise ConfigError("arrivals must be non-decreasing")
+
+    batches: List[Batch] = []
+    current: List[float] = []
+    deadline = float("inf")
+    for arrival in arrivals:
+        if current and arrival > deadline:
+            batches.append(Batch(deadline, np.asarray(current)))
+            current = []
+        if not current:
+            deadline = arrival + timeout_ms
+        current.append(float(arrival))
+        if len(current) == batch_size:
+            batches.append(Batch(float(arrival), np.asarray(current)))
+            current = []
+            deadline = float("inf")
+    if current:
+        batches.append(Batch(deadline, np.asarray(current)))
+    return batches

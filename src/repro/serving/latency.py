@@ -1,0 +1,72 @@
+"""Percentiles and SLA-compliant-region analysis (Fig 17).
+
+The paper sweeps the mean arrival time and plots p95 latency per scheme;
+the *SLA-compliant region* is the range of arrival times whose p95 meets
+the model class's target, and a scheme's merit is (a) lower tail latency
+inside the region and (b) tolerating faster arrivals before leaving it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..config import SimConfig
+from ..errors import ConfigError
+from .server import ServerResult, simulate_server
+from .workload import poisson_arrivals
+
+__all__ = ["latency_percentile", "sweep_arrival_times", "sla_compliant_region"]
+
+
+def latency_percentile(latencies_ms: Sequence[float], q: float = 95.0) -> float:
+    """Percentile of a latency sample (default p95, the paper's metric)."""
+    arr = np.asarray(latencies_ms, dtype=float)
+    if arr.size == 0:
+        raise ConfigError("empty latency sample")
+    if not 0.0 <= q <= 100.0:
+        raise ConfigError(f"percentile must be in [0,100], got {q}")
+    return float(np.percentile(arr, q))
+
+
+def sweep_arrival_times(
+    mean_service_ms: float,
+    arrival_times_ms: Sequence[float],
+    num_cores: int,
+    num_requests: int = 2000,
+    config: SimConfig = SimConfig(),
+    service_cv: float = 0.10,
+) -> Dict[float, ServerResult]:
+    """Fig 17's x-axis sweep: one serving simulation per arrival time."""
+    if mean_service_ms <= 0:
+        raise ConfigError("service time must be positive")
+    results: Dict[float, ServerResult] = {}
+    for arrival_ms in arrival_times_ms:
+        rng = config.rng(f"serving:{arrival_ms}:{mean_service_ms}")
+        arrivals = poisson_arrivals(arrival_ms, num_requests, rng)
+        results[float(arrival_ms)] = simulate_server(
+            arrivals, mean_service_ms, num_cores, rng, service_cv=service_cv
+        )
+    return results
+
+
+def sla_compliant_region(
+    sweep: Dict[float, ServerResult], sla_ms: float, percentile: float = 95.0
+) -> "tuple[float, float]":
+    """(fastest compliant arrival time, slowest sampled arrival time).
+
+    Returns ``(inf, inf)`` when no sampled point meets the SLA.  The first
+    element is the paper's "tolerating faster arrival rates" headline —
+    smaller is better.
+    """
+    if sla_ms <= 0:
+        raise ConfigError("SLA must be positive")
+    compliant = [
+        arrival
+        for arrival, result in sweep.items()
+        if result.percentile(percentile) <= sla_ms
+    ]
+    if not compliant:
+        return (float("inf"), float("inf"))
+    return (min(compliant), max(sweep.keys()))

@@ -1,0 +1,55 @@
+"""Service-level-agreement targets (the paper's Table 1).
+
+============  ====================  ==========  ==========
+model class   execution bottleneck  model size  SLA target
+============  ====================  ==========  ==========
+RMC1          embedding ≈ 60%       small       100 ms
+RMC2          embedding ≈ 90%       large       400 ms
+RMC3          MLP ≈ 80%             medium      100 ms
+============  ====================  ==========  ==========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import ConfigError
+from ..model.configs import ModelConfig
+
+__all__ = ["SLATarget", "SLA_TARGETS", "sla_for_model"]
+
+
+@dataclass(frozen=True)
+class SLATarget:
+    """One model class's characteristics from Table 1."""
+
+    model_class: str
+    bottleneck: str
+    bottleneck_share: float
+    model_size: str
+    sla_ms: float
+
+    def meets(self, p95_latency_ms: float) -> bool:
+        """Whether a measured p95 latency satisfies this SLA."""
+        if p95_latency_ms < 0:
+            raise ConfigError("latency must be non-negative")
+        return p95_latency_ms <= self.sla_ms
+
+
+#: Table 1 verbatim.
+SLA_TARGETS: Dict[str, SLATarget] = {
+    "RMC1": SLATarget("RMC1", "embedding", 0.60, "small", 100.0),
+    "RMC2": SLATarget("RMC2", "embedding", 0.90, "large", 400.0),
+    "RMC3": SLATarget("RMC3", "mlp", 0.80, "medium", 100.0),
+}
+
+
+def sla_for_model(model: ModelConfig) -> SLATarget:
+    """The SLA target governing a model, by its Table 2 category."""
+    try:
+        return SLA_TARGETS[model.category]
+    except KeyError:
+        raise ConfigError(
+            f"model {model.name!r} has unknown category {model.category!r}"
+        ) from None

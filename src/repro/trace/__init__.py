@@ -1,0 +1,47 @@
+"""Embedding-lookup trace generation.
+
+The paper evaluates on Meta's released production traces
+(``dlrm_datasets``), binned by *hotness* into High / Medium / Low groups
+with unique-access fractions of 3% / 24% / 60%, plus two synthetic
+extremes: ``one-item`` (every lookup hits row 0) and ``random`` (uniform).
+We cannot ship the proprietary traces, so this subpackage synthesizes
+traces calibrated to exactly those published statistics:
+
+* :mod:`repro.trace.hotness` — hotness profiles and Zipf-exponent
+  calibration against a target unique-access fraction,
+* :mod:`repro.trace.synthetic` — one-item / uniform / Zipf index streams,
+* :mod:`repro.trace.dataset` — the :class:`EmbeddingTrace` container
+  (offsets + indices per batch and table, the Fig 3 layout),
+* :mod:`repro.trace.production` — full dataset synthesis with per-table
+  hotness variation, mirroring the released traces' structure,
+* :mod:`repro.trace.stream` — table address maps and cache-line streams.
+"""
+
+from .dataset import EmbeddingTrace, TableBatch
+from .hotness import (
+    HOTNESS_PROFILES,
+    HotnessProfile,
+    expected_unique_fraction,
+    fit_zipf_alpha,
+)
+from .io import load_trace, save_trace
+from .production import make_production_trace, make_trace
+from .stream import AddressMap
+from .synthetic import one_item_indices, uniform_indices, zipf_indices
+
+__all__ = [
+    "AddressMap",
+    "EmbeddingTrace",
+    "HOTNESS_PROFILES",
+    "HotnessProfile",
+    "TableBatch",
+    "expected_unique_fraction",
+    "fit_zipf_alpha",
+    "load_trace",
+    "make_production_trace",
+    "save_trace",
+    "make_trace",
+    "one_item_indices",
+    "uniform_indices",
+    "zipf_indices",
+]

@@ -1,0 +1,185 @@
+"""The :class:`EmbeddingTrace` container — Fig 3's offsets/indices layout.
+
+A trace holds, for each (batch, table) pair, the ``offsets`` and ``indices``
+arrays exactly as PyTorch's ``embedding_bag`` consumes them:
+
+* ``offsets`` has ``batch_size + 1`` entries; sample *k* of the batch owns
+  ``indices[offsets[k] : offsets[k+1]]``,
+* ``indices`` are row ids into that table.
+
+This is the shape of Meta's released ``dlrm_datasets`` files and the input
+to every execution engine and analysis in this repo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import TraceError
+
+__all__ = ["TableBatch", "EmbeddingTrace"]
+
+
+@dataclass(frozen=True)
+class TableBatch:
+    """One table's lookups for one batch (an ``embedding_bag`` invocation)."""
+
+    offsets: np.ndarray
+    indices: np.ndarray
+
+    def __post_init__(self) -> None:
+        offsets, indices = self.offsets, self.indices
+        if offsets.ndim != 1 or indices.ndim != 1:
+            raise TraceError("offsets and indices must be 1-D arrays")
+        if offsets.size < 2:
+            raise TraceError("offsets must cover at least one sample")
+        if offsets[0] != 0:
+            raise TraceError(f"offsets must start at 0, got {offsets[0]}")
+        if np.any(np.diff(offsets) < 0):
+            raise TraceError("offsets must be non-decreasing")
+        if offsets[-1] != indices.size:
+            raise TraceError(
+                f"offsets end at {offsets[-1]} but there are {indices.size} indices"
+            )
+        if indices.size and indices.min() < 0:
+            raise TraceError("indices must be non-negative")
+
+    @property
+    def batch_size(self) -> int:
+        """Samples in this batch."""
+        return self.offsets.size - 1
+
+    @property
+    def total_lookups(self) -> int:
+        """Total index-array entries (pooled lookups) in this batch."""
+        return int(self.indices.size)
+
+    def sample_indices(self, sample: int) -> np.ndarray:
+        """Row ids looked up by sample ``sample``."""
+        if not 0 <= sample < self.batch_size:
+            raise TraceError(f"sample {sample} outside batch of {self.batch_size}")
+        return self.indices[self.offsets[sample] : self.offsets[sample + 1]]
+
+    def lookups_per_sample(self) -> np.ndarray:
+        """Pooling factor of each sample."""
+        return np.diff(self.offsets)
+
+
+@dataclass
+class EmbeddingTrace:
+    """All embedding lookups of a workload: batches x tables.
+
+    ``batches[b][t]`` is the :class:`TableBatch` for batch ``b``, table
+    ``t``.  ``rows_per_table[t]`` bounds the valid index range of table
+    ``t`` and is validated on construction.
+    """
+
+    rows_per_table: Sequence[int]
+    batches: List[List[TableBatch]] = field(default_factory=list)
+    name: str = "unnamed"
+
+    def __post_init__(self) -> None:
+        if not self.rows_per_table:
+            raise TraceError("a trace needs at least one table")
+        for rows in self.rows_per_table:
+            if rows <= 0:
+                raise TraceError(f"table row count must be positive, got {rows}")
+        for b, batch in enumerate(self.batches):
+            self._validate_batch(b, batch)
+
+    def _validate_batch(self, b: int, batch: List[TableBatch]) -> None:
+        if len(batch) != self.num_tables:
+            raise TraceError(
+                f"batch {b} covers {len(batch)} tables, expected {self.num_tables}"
+            )
+        for t, tb in enumerate(batch):
+            if tb.indices.size and tb.indices.max() >= self.rows_per_table[t]:
+                raise TraceError(
+                    f"batch {b} table {t}: index {tb.indices.max()} outside "
+                    f"{self.rows_per_table[t]} rows"
+                )
+
+    # -- shape ---------------------------------------------------------------
+
+    @property
+    def num_tables(self) -> int:
+        """Number of embedding tables."""
+        return len(self.rows_per_table)
+
+    @property
+    def num_batches(self) -> int:
+        """Number of batches recorded."""
+        return len(self.batches)
+
+    @property
+    def batch_size(self) -> int:
+        """Samples per batch (uniform across the trace)."""
+        if not self.batches:
+            raise TraceError("empty trace has no batch size")
+        return self.batches[0][0].batch_size
+
+    def append_batch(self, batch: List[TableBatch]) -> None:
+        """Validate and add one batch across all tables."""
+        self._validate_batch(self.num_batches, batch)
+        self.batches.append(batch)
+
+    # -- views ----------------------------------------------------------------
+
+    def table_batch(self, batch: int, table: int) -> TableBatch:
+        """The lookups of one ``embedding_bag`` call."""
+        return self.batches[batch][table]
+
+    def table_indices(self, table: int) -> np.ndarray:
+        """All indices ever looked up in ``table``, concatenated over batches."""
+        parts = [batch[table].indices for batch in self.batches]
+        return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+
+    def iter_table_batches(self) -> Iterator[Tuple[int, int, TableBatch]]:
+        """Yield ``(batch, table, TableBatch)`` in execution order.
+
+        Execution order follows Algorithm 1: for each batch, tables are
+        processed in order — the order that produces the inter-table cache
+        thrash discussed in Section 3.1.
+        """
+        for b, batch in enumerate(self.batches):
+            for t, tb in enumerate(batch):
+                yield b, t, tb
+
+    # -- statistics -------------------------------------------------------------
+
+    def total_lookups(self) -> int:
+        """Pooled lookups across the whole trace."""
+        return sum(tb.total_lookups for _, _, tb in self.iter_table_batches())
+
+    def unique_fraction(self, table: int) -> float:
+        """Observed unique-access fraction for one table (paper's metric)."""
+        indices = self.table_indices(table)
+        if indices.size == 0:
+            raise TraceError(f"table {table} has no lookups")
+        return min(1.0, np.unique(indices).size / indices.size)
+
+    def mean_unique_fraction(self) -> float:
+        """Average unique fraction across tables."""
+        return float(
+            np.mean([self.unique_fraction(t) for t in range(self.num_tables)])
+        )
+
+    def access_counts(self, table: int) -> np.ndarray:
+        """Per-row access counts, sorted descending (Fig 5's histogram)."""
+        indices = self.table_indices(table)
+        counts = np.bincount(indices, minlength=self.rows_per_table[table])
+        counts = counts[counts > 0]
+        return np.sort(counts)[::-1]
+
+    def summary(self) -> Dict[str, float]:
+        """Compact description used by experiment reports."""
+        return {
+            "tables": self.num_tables,
+            "batches": self.num_batches,
+            "batch_size": self.batch_size,
+            "total_lookups": self.total_lookups(),
+            "mean_unique_fraction": self.mean_unique_fraction(),
+        }

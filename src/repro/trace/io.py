@@ -1,0 +1,76 @@
+"""Trace serialization, mirroring the ``dlrm_datasets`` release format.
+
+Meta's released traces are (offsets, indices) tensor pairs per table.  We
+persist the same structure in a single ``.npz``: per (batch, table) pair an
+``offsets_<b>_<t>`` and ``indices_<b>_<t>`` array, plus a metadata vector.
+Saved traces round-trip exactly, so expensive calibrated traces can be
+generated once and shared between experiment runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..errors import TraceError
+from .dataset import EmbeddingTrace, TableBatch
+
+__all__ = ["save_trace", "load_trace"]
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: EmbeddingTrace, path: Union[str, Path]) -> Path:
+    """Write a trace to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    arrays = {
+        "meta_version": np.array([_FORMAT_VERSION]),
+        "meta_shape": np.array([trace.num_batches, trace.num_tables]),
+        "meta_rows_per_table": np.asarray(trace.rows_per_table, dtype=np.int64),
+        "meta_name": np.array([trace.name]),
+    }
+    for b in range(trace.num_batches):
+        for t in range(trace.num_tables):
+            tb = trace.table_batch(b, t)
+            arrays[f"offsets_{b}_{t}"] = tb.offsets
+            arrays[f"indices_{b}_{t}"] = tb.indices
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> EmbeddingTrace:
+    """Read a trace written by :func:`save_trace` (validated on load)."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"trace file not found: {path}")
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            version = int(data["meta_version"][0])
+            num_batches, num_tables = (int(x) for x in data["meta_shape"])
+            rows_per_table = data["meta_rows_per_table"].tolist()
+            name = str(data["meta_name"][0])
+        except KeyError as missing:
+            raise TraceError(f"not a repro trace file (missing {missing})") from None
+        if version != _FORMAT_VERSION:
+            raise TraceError(
+                f"unsupported trace format version {version} "
+                f"(this build reads {_FORMAT_VERSION})"
+            )
+        trace = EmbeddingTrace(rows_per_table=rows_per_table, name=name)
+        for b in range(num_batches):
+            batch = []
+            for t in range(num_tables):
+                try:
+                    offsets = data[f"offsets_{b}_{t}"]
+                    indices = data[f"indices_{b}_{t}"]
+                except KeyError:
+                    raise TraceError(
+                        f"trace file truncated at batch {b}, table {t}"
+                    ) from None
+                batch.append(TableBatch(offsets=offsets, indices=indices))
+            trace.append_batch(batch)
+    return trace

@@ -1,0 +1,199 @@
+"""Synthesis of Meta-like production traces.
+
+:func:`make_trace` builds an :class:`~repro.trace.dataset.EmbeddingTrace`
+for a workload shape (tables x rows x batches x lookups) and a dataset
+name: the three production hotness groups (``high`` / ``medium`` / ``low``,
+Zipf calibrated to the published 3% / 24% / 60% unique fractions) or the
+synthetic extremes (``one-item`` / ``random``).
+
+Per-table realism knobs mirror what the released ``dlrm_datasets`` show:
+
+* hotness varies across tables (alpha jitter around the calibrated value),
+* hot rows are scattered over the physical table (rank permutation),
+* per-sample pooling factors vary around the mean (Poisson).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..config import PAPER_BATCH_SIZE, PAPER_NUM_BATCHES, SimConfig
+from ..errors import ConfigError
+from .dataset import EmbeddingTrace, TableBatch
+from .hotness import HOTNESS_PROFILES, fit_zipf_alpha, zipf_probabilities
+from .synthetic import one_item_indices, uniform_indices
+
+__all__ = ["DATASET_NAMES", "make_trace", "make_production_trace", "make_zipf_trace"]
+
+#: Valid dataset names, in the Fig 4 presentation order.
+DATASET_NAMES = ("one-item", "high", "medium", "low", "random")
+
+
+def _offsets_for(
+    batch_size: int,
+    mean_lookups: int,
+    rng: np.random.Generator,
+    variable_pooling: bool,
+) -> np.ndarray:
+    if variable_pooling and mean_lookups > 1:
+        pooling = rng.poisson(mean_lookups, size=batch_size)
+        pooling = np.maximum(pooling, 1)
+    else:
+        pooling = np.full(batch_size, mean_lookups, dtype=np.int64)
+    offsets = np.zeros(batch_size + 1, dtype=np.int64)
+    np.cumsum(pooling, out=offsets[1:])
+    return offsets
+
+
+def make_trace(
+    dataset: str,
+    num_tables: int,
+    rows_per_table: int,
+    batch_size: int,
+    num_batches: int,
+    lookups_per_sample: int,
+    config: Optional[SimConfig] = None,
+    variable_pooling: bool = True,
+    name: Optional[str] = None,
+    calibration_samples: Optional[int] = None,
+) -> EmbeddingTrace:
+    """Build a complete trace for one workload and dataset.
+
+    Parameters mirror the embedding-stage loop of Algorithm 1.
+
+    The Zipf exponent for the hotness datasets is calibrated so the
+    expected unique-access fraction at ``calibration_samples`` draws hits
+    the paper's published target (3% / 24% / 60%).  The unique fraction is
+    sample-size dependent, and the paper measures it over full production
+    traces (batch 64, 120 batches), so by default calibration uses that
+    *paper-scale* access count even when the generated trace is smaller —
+    the skew is a property of the dataset, not of how much of it we
+    sample.
+    """
+    dataset = dataset.lower()
+    if dataset not in DATASET_NAMES:
+        raise ConfigError(f"unknown dataset {dataset!r}; expected one of {DATASET_NAMES}")
+    if num_tables <= 0 or rows_per_table <= 0:
+        raise ConfigError("table shape must be positive")
+    if batch_size <= 0 or num_batches <= 0 or lookups_per_sample <= 0:
+        raise ConfigError("workload shape must be positive")
+    config = config or SimConfig()
+    rng = config.rng(f"trace:{dataset}:{num_tables}x{rows_per_table}")
+
+    if calibration_samples is None:
+        calibration_samples = PAPER_BATCH_SIZE * PAPER_NUM_BATCHES * lookups_per_sample
+    if calibration_samples <= 0:
+        raise ConfigError("calibration_samples must be positive")
+
+    base_alpha = 0.0
+    if dataset in HOTNESS_PROFILES:
+        profile = HOTNESS_PROFILES[dataset]
+        base_alpha = fit_zipf_alpha(
+            rows_per_table, calibration_samples, profile.unique_fraction
+        )
+
+    # Per-table popularity distributions and rank scatter, fixed for the
+    # whole trace (a table's hot set does not change between batches —
+    # that stability is what creates the inter-batch reuse of Fig 7).
+    table_probs: List[Optional[np.ndarray]] = []
+    table_perms: List[Optional[np.ndarray]] = []
+    for t in range(num_tables):
+        if dataset in HOTNESS_PROFILES:
+            jitter = HOTNESS_PROFILES[dataset].table_jitter
+            alpha_t = max(0.0, base_alpha * (1.0 + rng.uniform(-jitter, jitter)))
+            table_probs.append(zipf_probabilities(rows_per_table, alpha_t))
+            table_perms.append(rng.permutation(rows_per_table))
+        else:
+            table_probs.append(None)
+            table_perms.append(None)
+
+    trace = EmbeddingTrace(
+        rows_per_table=[rows_per_table] * num_tables,
+        name=name or f"{dataset}-{num_tables}x{rows_per_table}",
+    )
+    for _ in range(num_batches):
+        batch: List[TableBatch] = []
+        for t in range(num_tables):
+            offsets = _offsets_for(batch_size, lookups_per_sample, rng, variable_pooling)
+            count = int(offsets[-1])
+            if dataset == "one-item":
+                indices = one_item_indices(rows_per_table, count)
+            elif dataset == "random":
+                indices = uniform_indices(rows_per_table, count, rng)
+            else:
+                probs = table_probs[t]
+                perm = table_perms[t]
+                assert probs is not None and perm is not None
+                ranks = rng.choice(rows_per_table, size=count, p=probs)
+                indices = perm[ranks].astype(np.int64)
+            batch.append(TableBatch(offsets=offsets, indices=indices))
+        trace.append_batch(batch)
+    return trace
+
+
+def make_zipf_trace(
+    target_unique_fraction: float,
+    num_tables: int,
+    rows_per_table: int,
+    batch_size: int,
+    num_batches: int,
+    lookups_per_sample: int,
+    config: Optional[SimConfig] = None,
+    calibration_samples: Optional[int] = None,
+    name: Optional[str] = None,
+) -> EmbeddingTrace:
+    """A trace at an *arbitrary* hotness, not just the three named groups.
+
+    Calibrates a Zipf exponent so the expected unique-access fraction at
+    ``calibration_samples`` (paper-scale by default) equals
+    ``target_unique_fraction`` — the continuous axis between the paper's
+    High (0.03) and Low (0.60) points.  Used by the hotness-sweep
+    experiment.
+    """
+    if not 0.0 < target_unique_fraction <= 1.0:
+        raise ConfigError("target unique fraction must be in (0, 1]")
+    config = config or SimConfig()
+    rng = config.rng(
+        f"zipf:{target_unique_fraction}:{num_tables}x{rows_per_table}"
+    )
+    if calibration_samples is None:
+        calibration_samples = PAPER_BATCH_SIZE * PAPER_NUM_BATCHES * lookups_per_sample
+    alpha = fit_zipf_alpha(rows_per_table, calibration_samples, target_unique_fraction)
+    trace = EmbeddingTrace(
+        rows_per_table=[rows_per_table] * num_tables,
+        name=name or f"zipf-u{target_unique_fraction:g}",
+    )
+    probs = zipf_probabilities(rows_per_table, alpha)
+    perms = [rng.permutation(rows_per_table) for _ in range(num_tables)]
+    for _ in range(num_batches):
+        batch: List[TableBatch] = []
+        for t in range(num_tables):
+            offsets = _offsets_for(batch_size, lookups_per_sample, rng, True)
+            ranks = rng.choice(rows_per_table, size=int(offsets[-1]), p=probs)
+            indices = perms[t][ranks].astype(np.int64)
+            batch.append(TableBatch(offsets=offsets, indices=indices))
+        trace.append_batch(batch)
+    return trace
+
+
+def make_production_trace(
+    dataset: str,
+    num_tables: int,
+    rows_per_table: int,
+    config: Optional[SimConfig] = None,
+    lookups_per_sample: int = 120,
+    num_batches: Optional[int] = None,
+) -> EmbeddingTrace:
+    """Convenience wrapper using the :class:`SimConfig` batch geometry."""
+    config = config or SimConfig()
+    return make_trace(
+        dataset,
+        num_tables=num_tables,
+        rows_per_table=rows_per_table,
+        batch_size=config.batch_size,
+        num_batches=num_batches if num_batches is not None else config.num_batches,
+        lookups_per_sample=lookups_per_sample,
+        config=config,
+    )

@@ -1,0 +1,85 @@
+"""Index-stream generators: the paper's synthetic extremes plus Zipf.
+
+``one-item`` (best case: every lookup hits one row, minimal working set) and
+``random`` (worst case: uniform over all rows) bracket the execution
+spectrum in Fig 4; Zipf streams with a calibrated exponent model the three
+production hotness groups.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from .hotness import zipf_probabilities
+
+__all__ = [
+    "one_item_indices",
+    "uniform_indices",
+    "zipf_indices",
+    "permuted_zipf_indices",
+]
+
+
+def _check(rows: int, count: int) -> None:
+    if rows <= 0:
+        raise ConfigError(f"rows must be positive, got {rows}")
+    if count < 0:
+        raise ConfigError(f"count must be non-negative, got {count}")
+
+
+def one_item_indices(rows: int, count: int, item: int = 0) -> np.ndarray:
+    """All ``count`` lookups hit row ``item`` (the paper's best case)."""
+    _check(rows, count)
+    if not 0 <= item < rows:
+        raise ConfigError(f"item {item} outside table of {rows} rows")
+    return np.full(count, item, dtype=np.int64)
+
+
+def uniform_indices(rows: int, count: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniformly random rows (the paper's worst case)."""
+    _check(rows, count)
+    return rng.integers(0, rows, size=count, dtype=np.int64)
+
+
+def zipf_indices(
+    rows: int,
+    count: int,
+    alpha: float,
+    rng: np.random.Generator,
+    probabilities: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Zipf-distributed rows; rank 0 is the hottest row.
+
+    Pass precomputed ``probabilities`` (from
+    :func:`repro.trace.hotness.zipf_probabilities`) when generating many
+    streams for the same table to avoid recomputing the distribution.
+    """
+    _check(rows, count)
+    p = probabilities if probabilities is not None else zipf_probabilities(rows, alpha)
+    if p.shape != (rows,):
+        raise ConfigError("probability vector does not match table rows")
+    return rng.choice(rows, size=count, p=p).astype(np.int64)
+
+
+def permuted_zipf_indices(
+    rows: int,
+    count: int,
+    alpha: float,
+    rng: np.random.Generator,
+    permutation: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Zipf draws with hot ranks scattered across the physical table.
+
+    Real embedding tables do not store popular items contiguously; hot rows
+    land at arbitrary offsets.  This matters for the cache simulator since
+    contiguous hot rows would artificially share cache sets and pages.
+    """
+    ranks = zipf_indices(rows, count, alpha, rng)
+    if permutation is None:
+        permutation = rng.permutation(rows)
+    elif permutation.shape != (rows,):
+        raise ConfigError("permutation does not match table rows")
+    return permutation[ranks].astype(np.int64)

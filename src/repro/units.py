@@ -1,0 +1,97 @@
+"""Unit helpers and hardware constants shared across the simulator.
+
+Everything in the simulator is expressed in three base units:
+
+* **bytes** for capacities and footprints,
+* **cycles** for core-visible time,
+* **seconds** for wall-clock quantities (derived from cycles / frequency).
+
+The helpers here keep unit conversions explicit at call sites
+(``units.mib(35.75)`` reads better than ``35.75 * 1048576``).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Size of one cache line in bytes on every modeled platform.
+CACHE_LINE_BYTES = 64
+
+#: Bytes per fp32 element (embedding tables and MLP weights are fp32).
+FLOAT32_BYTES = 4
+
+
+def kib(n: float) -> int:
+    """Return ``n`` KiB expressed in bytes."""
+    return int(n * 1024)
+
+
+def mib(n: float) -> int:
+    """Return ``n`` MiB expressed in bytes."""
+    return int(n * 1024 * 1024)
+
+
+def gib(n: float) -> int:
+    """Return ``n`` GiB expressed in bytes."""
+    return int(n * 1024 * 1024 * 1024)
+
+
+def ghz(n: float) -> float:
+    """Return ``n`` GHz expressed in Hz."""
+    return n * 1e9
+
+
+def gb_per_s(n: float) -> float:
+    """Return ``n`` GB/s expressed in bytes per second (decimal GB)."""
+    return n * 1e9
+
+
+def cycles_to_ms(cycles: float, frequency_hz: float) -> float:
+    """Convert a cycle count at ``frequency_hz`` to milliseconds."""
+    if frequency_hz <= 0:
+        raise ValueError("frequency must be positive")
+    return cycles / frequency_hz * 1e3
+
+
+def ms_to_cycles(ms: float, frequency_hz: float) -> float:
+    """Convert milliseconds to cycles at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError("frequency must be positive")
+    return ms * 1e-3 * frequency_hz
+
+
+def ns_to_cycles(ns: float, frequency_hz: float) -> float:
+    """Convert nanoseconds to cycles at ``frequency_hz``."""
+    return ns * 1e-9 * frequency_hz
+
+
+def lines_for_bytes(n_bytes: int) -> int:
+    """Number of cache lines needed to hold ``n_bytes`` (ceiling)."""
+    if n_bytes < 0:
+        raise ValueError("byte count must be non-negative")
+    return math.ceil(n_bytes / CACHE_LINE_BYTES)
+
+
+def embedding_row_bytes(embedding_dim: int, dtype_bytes: int = FLOAT32_BYTES) -> int:
+    """Byte footprint of one embedding row vector."""
+    if embedding_dim <= 0:
+        raise ValueError("embedding_dim must be positive")
+    return embedding_dim * dtype_bytes
+
+
+def embedding_row_lines(embedding_dim: int, dtype_bytes: int = FLOAT32_BYTES) -> int:
+    """Cache lines occupied by one embedding row vector.
+
+    The paper's running example: ``dim=128`` fp32 rows are 512 B = 8 lines.
+    """
+    return lines_for_bytes(embedding_row_bytes(embedding_dim, dtype_bytes))
+
+
+def pretty_bytes(n_bytes: float) -> str:
+    """Human-readable byte count, e.g. ``'35.8 MiB'``."""
+    value = float(n_bytes)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024 or suffix == "TiB":
+            return f"{value:.1f} {suffix}" if suffix != "B" else f"{value:.0f} B"
+        value /= 1024
+    raise AssertionError("unreachable")

@@ -1,0 +1,74 @@
+"""Shared fixtures: tiny deterministic workloads that run in milliseconds."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimConfig
+from repro.cpu.platform import get_platform
+from repro.mem.hierarchy import HierarchyConfig, build_hierarchy
+from repro.model.configs import get_model
+from repro.trace.production import make_trace
+from repro.trace.stream import AddressMap
+
+
+@pytest.fixture
+def sim_config():
+    """Deterministic simulation config."""
+    return SimConfig(seed=1234)
+
+
+@pytest.fixture
+def csl():
+    """The paper's primary platform."""
+    return get_platform("csl")
+
+
+@pytest.fixture
+def tiny_model():
+    """rm2_1 shrunk hard: 2 tables, small weights when materialized."""
+    return get_model("rm2_1").scaled(0.01)
+
+
+@pytest.fixture
+def tiny_trace(tiny_model, sim_config):
+    """A Low-hot trace over the tiny model: 4 samples x 2 batches."""
+    return make_trace(
+        "low",
+        num_tables=tiny_model.num_tables,
+        rows_per_table=tiny_model.rows,
+        batch_size=4,
+        num_batches=2,
+        lookups_per_sample=tiny_model.lookups_per_sample,
+        config=sim_config,
+    )
+
+
+@pytest.fixture
+def tiny_amap(tiny_model):
+    """Address map matching the tiny model."""
+    return AddressMap(
+        [tiny_model.rows] * tiny_model.num_tables, tiny_model.embedding_dim
+    )
+
+
+@pytest.fixture
+def small_hierarchy():
+    """A miniature cache hierarchy (fast to fill and thrash in tests)."""
+    config = HierarchyConfig(
+        l1_size=1024,
+        l1_ways=2,
+        l1_latency=5.0,
+        l2_size=8192,
+        l2_ways=4,
+        l2_latency=14.0,
+        l3_size=65536,
+        l3_ways=4,
+        l3_latency=50.0,
+    )
+    return build_hierarchy(config)
+
+
+@pytest.fixture
+def rng():
+    """Deterministic numpy generator for test inputs."""
+    return np.random.default_rng(42)

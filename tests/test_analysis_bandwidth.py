@@ -1,0 +1,59 @@
+"""Bandwidth-boundedness reporting tests."""
+
+import pytest
+
+from repro.analysis.bandwidth import BandwidthReport, bandwidth_report, memory_boundedness
+from repro.engine.multicore import run_embedding_multicore
+from repro.errors import ConfigError
+from repro.trace.production import make_trace
+
+
+def test_report_arithmetic():
+    report = BandwidthReport(
+        memory_bound_fraction=0.8, achieved_gb_s=100.0, peak_gb_s=140.0
+    )
+    assert report.utilization == pytest.approx(100 / 140)
+    assert report.headroom_gb_s == pytest.approx(40.0)
+    assert report.motivates_prefetching
+
+
+def test_saturated_channel_does_not_motivate():
+    report = BandwidthReport(0.9, achieved_gb_s=135.0, peak_gb_s=140.0)
+    assert not report.motivates_prefetching
+
+
+def test_compute_bound_does_not_motivate():
+    report = BandwidthReport(0.2, achieved_gb_s=30.0, peak_gb_s=140.0)
+    assert not report.motivates_prefetching
+
+
+def test_sockets_validated(csl, tiny_trace, tiny_amap):
+    mc = run_embedding_multicore(
+        tiny_trace, tiny_amap, csl, 2, detailed_cores=2, bandwidth_iterations=1
+    )
+    with pytest.raises(ConfigError):
+        bandwidth_report(mc, csl, sockets_used=0)
+
+
+def test_section_3_2_observation_reproduces(csl, tiny_model, sim_config, tiny_amap):
+    """Low-hot at 24 cores: heavily memory bound, channel not saturated."""
+    trace = make_trace(
+        "low", tiny_model.num_tables, tiny_model.rows, 4, 4,
+        tiny_model.lookups_per_sample, config=sim_config,
+    )
+    mc = run_embedding_multicore(trace, tiny_amap, csl, 24, detailed_cores=2)
+    report = bandwidth_report(mc, csl)
+    assert report.memory_bound_fraction > 0.6  # paper: ~80%
+    assert report.utilization < 1.0
+    assert report.motivates_prefetching or report.utilization > 0.85
+
+
+def test_memory_boundedness_from_single_core(csl, tiny_trace, tiny_amap):
+    from repro.engine.embedding_exec import run_embedding_trace
+    from repro.mem.hierarchy import build_hierarchy
+
+    result = run_embedding_trace(
+        tiny_trace, tiny_amap, csl.core, build_hierarchy(csl.hierarchy)
+    )
+    assert 0.0 <= memory_boundedness(result) <= 1.0
+    assert memory_boundedness(result) > 0.4  # low-hot is memory bound

@@ -1,0 +1,74 @@
+"""Fig 1 analytic breakdown tests."""
+
+import pytest
+
+from repro.analysis.breakdown import estimate_embedding_cycles, estimate_stage_breakdown
+from repro.config import SimConfig
+from repro.cpu.platform import get_platform
+from repro.errors import ConfigError
+from repro.model.configs import get_model
+
+
+@pytest.fixture(scope="module")
+def csl_spec():
+    return get_platform("csl")
+
+
+def test_embedding_cycles_from_level_fractions(csl_spec):
+    model = get_model("rm2_1")
+    all_l1 = estimate_embedding_cycles(
+        model, {"l1": 1.0, "l2": 0.0, "l3": 0.0, "dram": 0.0}, csl_spec, 64
+    )
+    all_dram = estimate_embedding_cycles(
+        model, {"l1": 0.0, "l2": 0.0, "l3": 0.0, "dram": 1.0}, csl_spec, 64
+    )
+    assert all_dram > 5 * all_l1
+
+
+def test_embedding_cycles_scale_with_batch(csl_spec):
+    model = get_model("rm2_1")
+    fractions = {"l1": 0.5, "l2": 0.1, "l3": 0.1, "dram": 0.3}
+    c16 = estimate_embedding_cycles(model, fractions, csl_spec, 16)
+    c64 = estimate_embedding_cycles(model, fractions, csl_spec, 64)
+    assert c64 == pytest.approx(4 * c16)
+
+
+def test_batch_validation(csl_spec):
+    with pytest.raises(ConfigError):
+        estimate_embedding_cycles(get_model("rm1"), {"l1": 1.0}, csl_spec, 0)
+
+
+def test_rm2_models_are_embedding_dominated(csl_spec):
+    """The Fig 1 headline at paper scale."""
+    config = SimConfig(seed=9)
+    for name, floor in (("rm2_1", 0.90), ("rm2_2", 0.90), ("rm2_3", 0.88)):
+        stages = estimate_stage_breakdown(
+            get_model(name), "low", csl_spec, batch_size=64,
+            sample_tables=2, sample_batches=2, config=config,
+        )
+        assert stages.embedding_fraction > floor, name
+
+
+def test_rm1_is_mixed(csl_spec):
+    config = SimConfig(seed=9)
+    stages = estimate_stage_breakdown(
+        get_model("rm1"), "low", csl_spec, batch_size=64,
+        sample_tables=2, sample_batches=2, config=config,
+    )
+    # Mixed model: embedding matters but far from the RMC2 dominance.
+    assert 0.25 < stages.embedding_fraction < 0.85
+    assert stages.bottom_mlp > stages.top_mlp
+
+
+def test_hotter_dataset_shrinks_embedding_share(csl_spec):
+    config = SimConfig(seed=9)
+    model = get_model("rm2_1")
+    low = estimate_stage_breakdown(
+        model, "low", csl_spec, 64, sample_tables=2, sample_batches=2, config=config
+    )
+    one = estimate_stage_breakdown(
+        model, "one-item", csl_spec, 64, sample_tables=2, sample_batches=2,
+        config=config,
+    )
+    assert one.embedding < low.embedding
+    assert one.embedding_fraction < low.embedding_fraction

@@ -1,0 +1,97 @@
+"""Fig 6 pipeline tests: reuse distances -> hit rates."""
+
+import pytest
+
+from repro.analysis.cache_model import CacheHitModel, analyze_trace_reuse
+from repro.analysis.reuse import reuse_distances
+from repro.errors import ConfigError
+from repro.mem.hierarchy import HierarchyConfig
+
+
+def test_capacities_match_paper_arithmetic():
+    # "a 32KiB D$ ... can store 64 embedding vectors" (dim 128 fp32).
+    model = CacheHitModel.from_hierarchy(HierarchyConfig(), embedding_dim=128)
+    assert model.vectors_l1 == 64
+    assert model.vectors_l2 == 2048
+    assert model.vectors_l3 == int(35.75 * 1024 * 1024) // 512
+
+
+def test_dim64_doubles_capacity():
+    big = CacheHitModel.from_hierarchy(HierarchyConfig(), embedding_dim=64)
+    small = CacheHitModel.from_hierarchy(HierarchyConfig(), embedding_dim=128)
+    assert big.vectors_l1 == 2 * small.vectors_l1
+
+
+def test_hit_rates_ordered_by_level(rng):
+    reuse = reuse_distances(rng.integers(0, 500, size=5000).tolist())
+    model = CacheHitModel.from_hierarchy(HierarchyConfig(), 128)
+    rates = model.hit_rates(reuse)
+    assert rates["l1"] <= rates["l2"] <= rates["l3"]
+
+
+def test_level_fractions_sum_to_one(rng):
+    reuse = reuse_distances(rng.integers(0, 500, size=5000).tolist())
+    model = CacheHitModel.from_hierarchy(HierarchyConfig(), 128)
+    fractions = model.level_fractions(reuse)
+    assert sum(fractions.values()) == pytest.approx(1.0)
+    assert all(v >= 0 for v in fractions.values())
+
+
+def test_analyze_trace_reuse(tiny_trace, csl, tiny_model):
+    report = analyze_trace_reuse(
+        tiny_trace, csl.hierarchy, tiny_model.embedding_dim, dataset="low"
+    )
+    assert report.dataset == "low"
+    assert 0 < report.cold_fraction <= 1.0
+    assert report.hit_rates["l3"] <= 1.0
+    assert sum(report.level_fractions.values()) == pytest.approx(1.0)
+
+
+def test_cold_fraction_tracks_hotness(tiny_model, sim_config, csl):
+    from repro.trace.production import make_trace
+
+    fractions = {}
+    for dataset in ("high", "low"):
+        trace = make_trace(
+            dataset, tiny_model.num_tables, tiny_model.rows, 8, 2,
+            tiny_model.lookups_per_sample, config=sim_config,
+        )
+        report = analyze_trace_reuse(trace, csl.hierarchy, 128, dataset=dataset)
+        fractions[dataset] = report.cold_fraction
+    # Section 3.3: cold misses grow as hotness falls (72% low vs 22% high).
+    assert fractions["low"] > fractions["high"]
+
+
+def test_table_subset(tiny_trace, csl):
+    report = analyze_trace_reuse(tiny_trace, csl.hierarchy, 128, tables=[0])
+    assert report.reuse.total_accesses == tiny_trace.table_indices(0).size
+
+
+def test_tables_never_share_reuse(csl):
+    """Inter-table accesses must not alias (Section 3.1's inter-table class)."""
+    import numpy as np
+
+    from repro.trace.dataset import EmbeddingTrace, TableBatch
+
+    trace = EmbeddingTrace(rows_per_table=[10, 10])
+    tb = TableBatch(np.array([0, 2]), np.array([3, 4]))
+    trace.append_batch([tb, tb])  # same indices in both tables
+    report = analyze_trace_reuse(trace, csl.hierarchy, 128)
+    # All four accesses are cold: table 1's row 3 is NOT table 0's row 3.
+    assert report.cold_fraction == 1.0
+
+
+def test_distance_cdf_monotone(tiny_trace, csl):
+    report = analyze_trace_reuse(tiny_trace, csl.hierarchy, 128)
+    cdf = report.distance_cdf(points=[2, 8, 64, 1024])
+    values = [v for _, v in cdf]
+    assert values == sorted(values)
+
+
+def test_validation(tiny_trace, csl):
+    with pytest.raises(ConfigError):
+        analyze_trace_reuse(tiny_trace, csl.hierarchy, 128, tables=[])
+    with pytest.raises(ConfigError):
+        analyze_trace_reuse(tiny_trace, csl.hierarchy, 128, tables=[99])
+    with pytest.raises(ConfigError):
+        CacheHitModel.from_hierarchy(HierarchyConfig(), 0)

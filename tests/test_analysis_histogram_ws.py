@@ -1,0 +1,105 @@
+"""Access-count histogram and working-set tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.histogram import access_count_histogram, hotness_summary, top_share
+from repro.analysis.working_set import (
+    cold_miss_fraction,
+    unique_rows,
+    windowed_working_set,
+    working_set_bytes,
+)
+from repro.errors import ConfigError
+from repro.trace.dataset import EmbeddingTrace, TableBatch
+
+
+def single_table_trace(indices):
+    trace = EmbeddingTrace(rows_per_table=[1000])
+    arr = np.asarray(indices, dtype=np.int64)
+    trace.append_batch([TableBatch(np.array([0, arr.size]), arr)])
+    return trace
+
+
+class TestHistogram:
+    def test_counts_sorted_descending(self):
+        trace = single_table_trace([1, 1, 1, 2, 2, 3])
+        counts = access_count_histogram(trace, table=0)
+        assert list(counts) == [3, 2, 1]
+
+    def test_aggregate_over_tables(self, tiny_trace):
+        merged = access_count_histogram(tiny_trace)
+        per_table = sum(
+            access_count_histogram(tiny_trace, t).size
+            for t in range(tiny_trace.num_tables)
+        )
+        assert merged.size == per_table
+
+    def test_top_share(self):
+        counts = np.array([90] + [1] * 99)
+        # Hottest 1% (1 row) absorbs 90/189 of traffic.
+        assert top_share(counts, 0.01) == pytest.approx(90 / 189)
+
+    def test_top_share_full_fraction_is_one(self):
+        counts = np.array([5, 3, 2])
+        assert top_share(counts, 1.0) == pytest.approx(1.0)
+
+    def test_top_share_validation(self):
+        with pytest.raises(ConfigError):
+            top_share(np.array([]), 0.1)
+        with pytest.raises(ConfigError):
+            top_share(np.array([1]), 0.0)
+
+    def test_hotness_summary(self, tiny_trace):
+        summary = hotness_summary(tiny_trace, dataset="low")
+        assert summary.dataset == "low"
+        assert 0 < summary.unique_fraction <= 1
+        assert summary.top_1pct_share <= 1
+        assert summary.total_lookups == tiny_trace.total_lookups()
+
+    def test_skewed_traces_have_bigger_top_share(self, tiny_model, sim_config):
+        from repro.trace.production import make_trace
+
+        shares = {}
+        for dataset in ("high", "low"):
+            trace = make_trace(
+                dataset, tiny_model.num_tables, tiny_model.rows, 8, 2,
+                tiny_model.lookups_per_sample, config=sim_config,
+            )
+            shares[dataset] = hotness_summary(trace).top_1pct_share
+        assert shares["high"] > shares["low"]
+
+
+class TestWorkingSet:
+    def test_unique_rows(self):
+        trace = single_table_trace([1, 1, 2, 3])
+        assert unique_rows(trace) == 3
+        assert unique_rows(trace, table=0) == 3
+
+    def test_cold_miss_fraction(self):
+        trace = single_table_trace([1, 1, 2, 3])
+        assert cold_miss_fraction(trace) == pytest.approx(0.75)
+
+    def test_working_set_bytes(self, tiny_trace, tiny_amap):
+        ws = working_set_bytes(tiny_trace, tiny_amap)
+        assert ws == unique_rows(tiny_trace) * tiny_amap.row_bytes
+
+    def test_working_set_mismatch_rejected(self, tiny_trace):
+        from repro.trace.stream import AddressMap
+
+        with pytest.raises(ConfigError):
+            working_set_bytes(tiny_trace, AddressMap([10], 128))
+
+    def test_windowed_working_set(self, tiny_trace):
+        windows = windowed_working_set(tiny_trace, window_batches=1)
+        assert set(windows) == {0, 1}
+        assert all(v > 0 for v in windows.values())
+
+    def test_larger_windows_see_more_rows(self, tiny_trace):
+        per_batch = windowed_working_set(tiny_trace, 1)
+        whole = windowed_working_set(tiny_trace, 2)
+        assert whole[0] >= max(per_batch.values()) * 0.99
+
+    def test_window_validation(self, tiny_trace):
+        with pytest.raises(ConfigError):
+            windowed_working_set(tiny_trace, 0)

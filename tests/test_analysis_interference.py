@@ -1,0 +1,51 @@
+"""Inter-core sharing study tests (Section 3.1's inter-core class)."""
+
+import pytest
+
+from repro.analysis.interference import intercore_sharing_study
+from repro.errors import ConfigError
+from repro.trace.production import make_trace
+
+
+@pytest.fixture(scope="module")
+def report():
+    from repro.config import SimConfig
+    from repro.cpu.platform import get_platform
+    from repro.model.configs import get_model
+    from repro.trace.stream import AddressMap
+
+    config = SimConfig(seed=31)
+    model = get_model("rm2_1").scaled(0.01)
+    trace = make_trace(
+        "medium", model.num_tables, model.rows, 4, 2,
+        model.lookups_per_sample, config=config,
+    )
+    amap = AddressMap([model.rows] * model.num_tables, model.embedding_dim)
+    return intercore_sharing_study(trace, amap, get_platform("csl"), config)
+
+
+def test_sharing_regimes_ordered(report):
+    """Constructive sharing beats destructive (the paper's claim)."""
+    assert report.sharing_benefit >= 1.0
+    assert report.constructive_cycles <= report.destructive_cycles
+
+
+def test_constructive_sharing_raises_l3_hits(report):
+    # A sibling core warming the same tables can only help the shared L3.
+    assert report.constructive_l3_hit_rate >= report.destructive_l3_hit_rate
+
+
+def test_slowdowns_relative_to_solo(report):
+    # Sharing an LLC never helps more than ~2x nor hurts catastrophically
+    # at this scale.
+    assert 0.5 < report.constructive_slowdown < 3.0
+    assert 0.5 < report.destructive_slowdown < 4.0
+
+
+def test_requires_two_batches(tiny_model, tiny_amap, csl, sim_config):
+    trace = make_trace(
+        "low", tiny_model.num_tables, tiny_model.rows, 4, 1,
+        tiny_model.lookups_per_sample, config=sim_config,
+    )
+    with pytest.raises(ConfigError):
+        intercore_sharing_study(trace, tiny_amap, csl, sim_config)

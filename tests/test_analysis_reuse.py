@@ -1,0 +1,121 @@
+"""Stack-distance computation tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reuse import ReuseDistanceCounter, reuse_distances
+from repro.errors import ConfigError
+
+
+def naive_stack_distances(stream):
+    """Literal O(n^2) LRU stack-distance reference."""
+    distances, cold = [], 0
+    last_seen = {}
+    for t, key in enumerate(stream):
+        if key not in last_seen:
+            cold += 1
+        else:
+            since = stream[last_seen[key] + 1 : t]
+            distances.append(len(set(since)))
+        last_seen[key] = t
+    return distances, cold
+
+
+def test_simple_stream():
+    # a b c a : 'a' reused after {b, c} -> distance 2.
+    result = reuse_distances([1, 2, 3, 1])
+    assert list(result.distances) == [2]
+    assert result.cold_accesses == 3
+
+
+def test_immediate_reuse_is_distance_zero():
+    result = reuse_distances([5, 5, 5])
+    assert list(result.distances) == [0, 0]
+    assert result.cold_fraction == pytest.approx(1 / 3)
+
+
+def test_matches_naive_reference(rng):
+    stream = rng.integers(0, 30, size=300).tolist()
+    fast = reuse_distances(stream)
+    slow_distances, slow_cold = naive_stack_distances(stream)
+    assert list(fast.distances) == slow_distances
+    assert fast.cold_accesses == slow_cold
+
+
+def test_repeated_reuse_does_not_double_count():
+    # a b a b a: each reuse skips exactly one distinct key.
+    result = reuse_distances([1, 2, 1, 2, 1])
+    assert list(result.distances) == [1, 1, 1]
+
+
+def test_hit_rate_at_capacity():
+    # Distances: [2]. Cache of 3 entries catches it; cache of 2 does not.
+    result = reuse_distances([1, 2, 3, 1])
+    assert result.hit_rate_at_capacity(3) == pytest.approx(0.25)
+    assert result.hit_rate_at_capacity(2) == 0.0
+
+
+def test_hit_rate_monotone_in_capacity(rng):
+    stream = rng.integers(0, 100, size=1000).tolist()
+    result = reuse_distances(stream)
+    rates = [result.hit_rate_at_capacity(c) for c in (1, 4, 16, 64, 256)]
+    assert rates == sorted(rates)
+
+
+def test_hit_rate_asymptote_is_one_minus_cold(rng):
+    stream = rng.integers(0, 50, size=500).tolist()
+    result = reuse_distances(stream)
+    assert result.hit_rate_at_capacity(10**6) == pytest.approx(
+        1.0 - result.cold_fraction
+    )
+
+
+def test_all_unique_stream_is_all_cold():
+    result = reuse_distances(list(range(100)))
+    assert result.cold_fraction == 1.0
+    assert result.distances.size == 0
+
+
+def test_histogram_bins(rng):
+    stream = rng.integers(0, 20, size=200).tolist()
+    result = reuse_distances(stream)
+    edges, counts = result.histogram(log2_bins=8)
+    assert counts.sum() == result.distances.size
+
+
+def test_percentile(rng):
+    result = reuse_distances(rng.integers(0, 20, size=200).tolist())
+    median = result.percentile(50)
+    assert result.distances.min() <= median <= result.distances.max()
+
+
+def test_percentile_requires_reuses():
+    with pytest.raises(ConfigError):
+        reuse_distances([1, 2, 3]).percentile(50)
+
+
+def test_counter_streaming_interface():
+    counter = ReuseDistanceCounter(4)
+    assert counter.access(7) == -1
+    assert counter.access(8) == -1
+    assert counter.access(7) == 1
+    result = counter.result()
+    assert result.total_accesses == 3
+
+
+def test_counter_rejects_overflow():
+    counter = ReuseDistanceCounter(1)
+    counter.access(1)
+    with pytest.raises(ConfigError):
+        counter.access(2)
+
+
+def test_capacity_validation():
+    with pytest.raises(ConfigError):
+        reuse_distances([1, 1]).hit_rate_at_capacity(0)
+
+
+def test_empty_stream():
+    result = reuse_distances([])
+    assert result.total_accesses == 0
+    assert result.cold_fraction == 0.0

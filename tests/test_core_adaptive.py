@@ -1,0 +1,81 @@
+"""Adaptive prefetch-controller tests."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveController, run_adaptive_prefetch
+from repro.core.swpf import SWPrefetchConfig
+from repro.errors import ConfigError
+from repro.trace.production import make_trace
+
+
+class TestController:
+    def test_waste_halves_distance(self):
+        ctl = AdaptiveController(distance=16)
+        assert ctl.update(late_ratio=0.0, waste_ratio=0.5) == 8
+
+    def test_lateness_doubles_distance(self):
+        ctl = AdaptiveController(distance=2)
+        assert ctl.update(late_ratio=0.5, waste_ratio=0.0) == 4
+
+    def test_waste_wins_over_lateness(self):
+        # Pollution is the sharper cliff: shrink first.
+        ctl = AdaptiveController(distance=8)
+        assert ctl.update(late_ratio=0.5, waste_ratio=0.5) == 4
+
+    def test_stable_when_both_low(self):
+        ctl = AdaptiveController(distance=4)
+        assert ctl.update(0.01, 0.01) == 4
+
+    def test_bounds_respected(self):
+        ctl = AdaptiveController(distance=1, min_distance=1, max_distance=4)
+        assert ctl.update(0.9, 0.0) == 2
+        assert ctl.update(0.9, 0.0) == 4
+        assert ctl.update(0.9, 0.0) == 4  # clamped at max
+        ctl2 = AdaptiveController(distance=1, min_distance=1)
+        assert ctl2.update(0.0, 0.9) == 1  # clamped at min
+
+    def test_history_recorded(self):
+        ctl = AdaptiveController(distance=4)
+        ctl.update(0.5, 0.0)
+        ctl.update(0.5, 0.0)
+        assert ctl.history == [4, 8]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AdaptiveController(distance=64, max_distance=32)
+        with pytest.raises(ConfigError):
+            AdaptiveController().update(-0.1, 0.0)
+
+
+class TestAdaptiveRun:
+    @pytest.fixture(scope="class")
+    def run(self):
+        from repro.config import SimConfig
+        from repro.cpu.platform import get_platform
+        from repro.model.configs import get_model
+        from repro.trace.stream import AddressMap
+
+        config = SimConfig(seed=41)
+        model = get_model("rm2_1").scaled(0.01)
+        trace = make_trace(
+            "low", model.num_tables, model.rows, 4, 4,
+            model.lookups_per_sample, config=config,
+        )
+        amap = AddressMap([model.rows] * model.num_tables, model.embedding_dim)
+        return run_adaptive_prefetch(
+            trace, amap, get_platform("csl"), base=SWPrefetchConfig(distance=1)
+        )
+
+    def test_trajectory_covers_all_batches(self, run):
+        assert len(run.distance_trajectory) == 4
+        assert len(run.per_batch_cycles) == 4
+        assert run.total_cycles == pytest.approx(sum(run.per_batch_cycles))
+
+    def test_controller_moves_away_from_degenerate_start(self, run):
+        # Starting at distance 1 on a memory-bound trace, the controller
+        # should not stay pinned at 1.
+        assert run.final_distance >= 1
+        assert max(run.distance_trajectory) >= run.distance_trajectory[0]
+
+    def test_final_distance_in_bounds(self, run):
+        assert 1 <= run.final_distance <= 32

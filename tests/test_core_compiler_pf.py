@@ -1,0 +1,55 @@
+"""Compiler-prefetch baseline tests."""
+
+import pytest
+
+from repro.core.compiler_pf import (
+    COMPILER_STYLES,
+    compiler_cost_model,
+    compiler_prefetch_plan,
+)
+from repro.engine.embedding_exec import run_embedding_trace
+from repro.errors import ConfigError
+from repro.mem.hierarchy import build_hierarchy
+
+
+def test_gcc_covers_no_indirect_accesses():
+    assert compiler_prefetch_plan("gcc") is None
+
+
+def test_icc_prefetches_single_line_at_generic_distance():
+    plan = compiler_prefetch_plan("icc")
+    assert plan is not None
+    assert plan.amount_lines == 1  # no amount control — the paper's critique
+    assert plan.distance > 4  # generic, not workload-tuned
+
+
+def test_cost_models_add_overhead():
+    base_instr = compiler_cost_model("gcc").uops_per_lookup_base
+    from repro.engine.kernels import KernelCostModel
+
+    assert base_instr > KernelCostModel().uops_per_lookup_base
+
+
+def test_unknown_style_rejected():
+    with pytest.raises(ConfigError):
+        compiler_prefetch_plan("clang")
+    with pytest.raises(ConfigError):
+        compiler_cost_model("clang")
+
+
+def test_compiler_pf_limited_benefit(tiny_trace, tiny_amap, csl):
+    """Fig 10a: compiler prefetching gives limited or negative benefit."""
+    baseline = run_embedding_trace(
+        tiny_trace, tiny_amap, csl.core, build_hierarchy(csl.hierarchy)
+    )
+    for style in COMPILER_STYLES:
+        result = run_embedding_trace(
+            tiny_trace,
+            tiny_amap,
+            csl.core,
+            build_hierarchy(csl.hierarchy),
+            plan=compiler_prefetch_plan(style),
+            cost=compiler_cost_model(style),
+        )
+        speedup = baseline.total_cycles / result.total_cycles
+        assert 0.7 < speedup < 1.25  # never close to the tuned SW-PF gains

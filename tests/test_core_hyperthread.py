@@ -1,0 +1,107 @@
+"""Hyperthreading scheduler tests."""
+
+import pytest
+
+from repro.core.hyperthread import (
+    dp_ht_batch_cycles,
+    halved_smt_hierarchy_config,
+    mp_ht_batch_cycles,
+    mp_ht_thread_slowdowns,
+    sequential_batch_cycles,
+)
+from repro.cpu.smt import SMTModel, ThreadProfile
+from repro.engine.inference import InferenceTiming, StageTimes
+from repro.errors import ConfigError
+from repro.mem.hierarchy import HierarchyConfig
+
+
+def make_timing(emb=1000.0, bottom=400.0, interaction=50.0, top=50.0,
+                emb_util=0.10, emb_stall=0.8):
+    stages = StageTimes(bottom, emb, interaction, top)
+    return InferenceTiming(
+        model="test",
+        stages=stages,
+        frequency_hz=2.4e9,
+        embedding_profile=ThreadProfile("embedding", emb, emb_util, emb_stall),
+        bottom_mlp_profile=ThreadProfile("bottom_mlp", bottom, 0.85, 0.03),
+    )
+
+
+def test_sequential_is_stage_sum():
+    timing = make_timing()
+    assert sequential_batch_cycles(timing) == pytest.approx(1500.0)
+
+
+def test_mp_ht_overlaps_bottom_mlp():
+    timing = make_timing(emb=1000.0, bottom=400.0)
+    mp = mp_ht_batch_cycles(timing)
+    seq = sequential_batch_cycles(timing)
+    assert mp < seq
+    # Cannot be faster than the embedding critical path + tail stages.
+    assert mp >= 1000.0 + 100.0
+
+
+def test_mp_ht_gain_grows_with_bottom_share():
+    small_bottom = make_timing(emb=1000.0, bottom=100.0)
+    large_bottom = make_timing(emb=1000.0, bottom=900.0)
+    gain_small = sequential_batch_cycles(small_bottom) / mp_ht_batch_cycles(small_bottom)
+    gain_large = sequential_batch_cycles(large_bottom) / mp_ht_batch_cycles(large_bottom)
+    assert gain_large > gain_small
+
+
+def test_mp_ht_slowdowns_are_asymmetric():
+    timing = make_timing()
+    emb_inflation, mlp_inflation = mp_ht_thread_slowdowns(timing)
+    # The memory thread barely notices the GEMM; the GEMM pays for the
+    # memory thread's window pressure.
+    assert emb_inflation < mlp_inflation
+    assert emb_inflation < 1.1
+
+
+def test_prefetched_profile_reduces_mlp_penalty():
+    stalled = make_timing(emb_stall=0.8)
+    prefetched = make_timing(emb_stall=0.2)
+    _, mlp_with_stalls = mp_ht_thread_slowdowns(stalled)
+    _, mlp_with_pf = mp_ht_thread_slowdowns(prefetched)
+    assert mlp_with_pf < mlp_with_stalls
+
+
+def test_dp_ht_slower_than_sequential():
+    timing = make_timing()
+    dp = dp_ht_batch_cycles(timing)
+    assert dp > sequential_batch_cycles(timing)
+
+
+def test_dp_ht_compute_phases_pay_full_port_conflict():
+    timing = make_timing(emb=10.0, bottom=1000.0, emb_util=0.1)
+    dp = dp_ht_batch_cycles(timing)
+    # Two colocated GEMMs at 0.85 utilization each: ≥1.7x on the dense part.
+    assert dp > 1000.0 * 1.6
+
+
+def test_halved_config_geometry():
+    config = HierarchyConfig()
+    halved = halved_smt_hierarchy_config(config)
+    assert halved.l1_size == config.l1_size // 2
+    assert halved.l1_ways == config.l1_ways // 2
+    assert halved.l2_size == config.l2_size // 2
+    assert halved.l3_size == config.l3_size  # L3 shared either way
+    # Set counts preserved (competitive sharing halves ways, not sets).
+    assert halved.l1_size // 64 // halved.l1_ways == config.l1_size // 64 // config.l1_ways
+
+
+def test_halved_config_rejects_direct_mapped():
+    config = HierarchyConfig(l1_ways=1, l1_size=32 * 1024)
+    with pytest.raises(ConfigError):
+        halved_smt_hierarchy_config(config)
+
+
+def test_custom_smt_model_threads_through():
+    from repro.cpu.smt import SMTContention
+
+    timing = make_timing()
+    lenient = SMTModel(SMTContention(window_pressure=0.0, port_overlap=0.0))
+    harsh = SMTModel(SMTContention(window_pressure=1.0, port_overlap=1.0))
+    assert mp_ht_batch_cycles(timing, smt=lenient) < mp_ht_batch_cycles(
+        timing, smt=harsh
+    )

@@ -1,0 +1,62 @@
+"""Integrated-scheme and synergy tests."""
+
+import pytest
+
+from repro.core.integrated import integrated_batch_cycles, synergy_report
+from repro.cpu.smt import ThreadProfile
+from repro.engine.inference import InferenceTiming, StageTimes
+from repro.errors import ConfigError
+
+
+def make_timing(emb, emb_util, emb_stall, bottom=400.0):
+    return InferenceTiming(
+        model="test",
+        stages=StageTimes(bottom, emb, 50.0, 50.0),
+        frequency_hz=2.4e9,
+        embedding_profile=ThreadProfile("embedding", emb, emb_util, emb_stall),
+        bottom_mlp_profile=ThreadProfile("bottom_mlp", bottom, 0.85, 0.03),
+    )
+
+
+@pytest.fixture
+def baseline_timing():
+    return make_timing(emb=1000.0, emb_util=0.10, emb_stall=0.80)
+
+
+@pytest.fixture
+def prefetched_timing():
+    # SW-PF: embedding faster, busier, far fewer window stalls.
+    return make_timing(emb=650.0, emb_util=0.35, emb_stall=0.25)
+
+
+def test_integrated_beats_both_parts(baseline_timing, prefetched_timing):
+    report = synergy_report(baseline_timing, prefetched_timing)
+    assert report.integrated_speedup > report.swpf_speedup
+    assert report.integrated_speedup > report.mpht_speedup
+
+
+def test_synergy_report_consistency(baseline_timing, prefetched_timing):
+    report = synergy_report(baseline_timing, prefetched_timing)
+    assert report.baseline_cycles == pytest.approx(1500.0)
+    assert report.swpf_speedup == pytest.approx(1500.0 / 1150.0)
+    assert report.multiplicative_expectation == pytest.approx(
+        report.swpf_speedup * report.mpht_speedup
+    )
+    assert report.synergy == pytest.approx(
+        report.integrated_speedup / report.multiplicative_expectation
+    )
+
+
+def test_integrated_is_mp_ht_of_prefetched(prefetched_timing):
+    from repro.core.hyperthread import mp_ht_batch_cycles
+
+    assert integrated_batch_cycles(prefetched_timing) == pytest.approx(
+        mp_ht_batch_cycles(prefetched_timing)
+    )
+
+
+def test_zero_baseline_rejected(prefetched_timing):
+    bad = make_timing(emb=0.0, emb_util=0.0, emb_stall=0.0, bottom=0.0)
+    object.__setattr__(bad, "stages", StageTimes(0.0, 0.0, 0.0, 0.0))
+    with pytest.raises(ConfigError):
+        synergy_report(bad, prefetched_timing)

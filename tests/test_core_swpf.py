@@ -1,0 +1,59 @@
+"""Software-prefetch policy tests."""
+
+import pytest
+
+from repro.core.swpf import (
+    PAPER_SWPF,
+    SWPrefetchConfig,
+    l1_occupancy_fraction,
+    prefetch_injection_bytes,
+)
+from repro.errors import ConfigError
+from repro.units import kib
+
+
+def test_paper_default():
+    assert PAPER_SWPF.distance == 4
+    assert PAPER_SWPF.amount_lines == 8
+    assert PAPER_SWPF.target_level == "l1"
+
+
+def test_plan_round_trip():
+    plan = PAPER_SWPF.plan()
+    assert plan.distance == 4
+    assert plan.amount_lines == 8
+    assert plan.target_level == "l1"
+
+
+def test_with_distance_and_amount():
+    assert PAPER_SWPF.with_distance(8).distance == 8
+    assert PAPER_SWPF.with_distance(8).amount_lines == 8
+    assert PAPER_SWPF.with_amount(2).amount_lines == 2
+    assert PAPER_SWPF.with_amount(2).distance == 4
+
+
+def test_injection_bytes_matches_paper_arithmetic():
+    # "a distance of four means 4x512B = 2KB amount of prefetch injections"
+    assert prefetch_injection_bytes(PAPER_SWPF) == 2048
+
+
+def test_l1_occupancy_low_for_paper_config():
+    frac = l1_occupancy_fraction(PAPER_SWPF, kib(32))
+    assert frac == pytest.approx(2048 / 32768)
+    assert frac < 0.1  # "reasonably low"
+
+
+def test_l1_occupancy_flags_pollution_regime():
+    big = SWPrefetchConfig(distance=32, amount_lines=8)
+    assert l1_occupancy_fraction(big, kib(32)) >= 0.5
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        SWPrefetchConfig(distance=0)
+    with pytest.raises(ConfigError):
+        SWPrefetchConfig(amount_lines=0)
+    with pytest.raises(ConfigError):
+        SWPrefetchConfig(target_level="l4")
+    with pytest.raises(ConfigError):
+        l1_occupancy_fraction(PAPER_SWPF, 0)

@@ -1,0 +1,69 @@
+"""Prefetch tuner tests (Fig 10b/c machinery)."""
+
+import pytest
+
+from repro.core.tuner import tune_prefetch
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def tuning():
+    from repro.config import SimConfig
+    from repro.cpu.platform import get_platform
+    from repro.model.configs import get_model
+    from repro.trace.production import make_trace
+    from repro.trace.stream import AddressMap
+
+    model = get_model("rm2_1").scaled(0.01)
+    trace = make_trace(
+        "random", model.num_tables, model.rows, 8, 1,
+        model.lookups_per_sample, config=SimConfig(seed=11),
+    )
+    amap = AddressMap([model.rows] * model.num_tables, model.embedding_dim)
+    return tune_prefetch(
+        trace, amap, get_platform("csl"),
+        distances=(1, 2, 4, 16), amounts=(1, 4, 8),
+    )
+
+
+def test_sweeps_cover_requested_points(tuning):
+    assert set(tuning.distance_cycles) == {1, 2, 4, 16}
+    assert set(tuning.amount_metrics) == {1, 4, 8}
+
+
+def test_best_points_are_minima(tuning):
+    best_d = tuning.best_distance
+    assert tuning.distance_cycles[best_d] == min(tuning.distance_cycles.values())
+    best_a = tuning.best_amount
+    assert tuning.amount_metrics[best_a][0] == min(
+        c for c, _, _ in tuning.amount_metrics.values()
+    )
+
+
+def test_best_config_round_trip(tuning):
+    config = tuning.best_config()
+    assert config.distance == tuning.best_distance
+    assert config.amount_lines == tuning.best_amount
+
+
+def test_distance_speedups_relative_to_baseline(tuning):
+    speedups = tuning.distance_speedups()
+    for distance, speedup in speedups.items():
+        assert speedup == pytest.approx(
+            tuning.baseline_cycles / tuning.distance_cycles[distance]
+        )
+    assert max(speedups.values()) > 1.0  # some distance must help random
+
+
+def test_full_row_amount_wins_on_hit_rate(tuning):
+    # Fig 10c: prefetching all 8 lines maximizes the L1 hit rate.
+    hit_1 = tuning.amount_metrics[1][1]
+    hit_8 = tuning.amount_metrics[8][1]
+    assert hit_8 > hit_1
+
+
+def test_empty_sweeps_rejected(tuning):
+    from repro.cpu.platform import get_platform
+
+    with pytest.raises(ConfigError):
+        tune_prefetch(None, None, get_platform("csl"), distances=())

@@ -1,0 +1,107 @@
+"""SMT contention model tests."""
+
+import pytest
+
+from repro.cpu.smt import SMTContention, SMTModel, ThreadProfile
+from repro.errors import ConfigError
+
+
+def emb_thread(time=1000.0, util=0.10, stall=0.80):
+    return ThreadProfile("embedding", time, util, stall)
+
+
+def mlp_thread(time=300.0, util=0.85, stall=0.03):
+    return ThreadProfile("bottom_mlp", time, util, stall)
+
+
+def test_profile_validation():
+    with pytest.raises(ConfigError):
+        ThreadProfile("x", -1.0, 0.5, 0.5)
+    with pytest.raises(ConfigError):
+        ThreadProfile("x", 1.0, 1.5, 0.5)
+    with pytest.raises(ConfigError):
+        ThreadProfile("x", 1.0, 0.5, -0.1)
+
+
+def test_contention_validation():
+    with pytest.raises(ConfigError):
+        SMTContention(window_pressure=-1)
+    with pytest.raises(ConfigError):
+        SMTContention(port_overlap=1.5)
+
+
+def test_heterogeneous_pair_barely_inflates_memory_thread():
+    model = SMTModel()
+    inflation = model.inflation(emb_thread(), mlp_thread())
+    # A memory-bound thread next to a GEMM loses almost nothing.
+    assert 1.0 <= inflation < 1.10
+
+
+def test_compute_thread_pays_for_sibling_stalls():
+    model = SMTModel()
+    lazy_sibling = emb_thread(stall=0.80)
+    busy_sibling = emb_thread(stall=0.10)
+    assert model.inflation(mlp_thread(), lazy_sibling) > model.inflation(
+        mlp_thread(), busy_sibling
+    )
+
+
+def test_identical_pair_inflates_more_than_heterogeneous():
+    model = SMTModel()
+    a, b = mlp_thread(), mlp_thread()
+    assert model.inflation(a, b, identical=True) > model.inflation(a, b)
+
+
+def test_two_gemms_oversubscribe_issue():
+    model = SMTModel()
+    inflation = model.inflation(mlp_thread(), mlp_thread(), identical=True)
+    # 0.85 + 0.85 demand on one core's ports.
+    assert inflation >= 1.7
+
+
+def test_overlapped_time_bounded_by_solo_and_inflated():
+    model = SMTModel()
+    a, b = emb_thread(time=1000.0), mlp_thread(time=300.0)
+    overlapped = model.overlapped_time(a, b)
+    time_a, time_b = model.colocated_times(a, b)
+    # Phased co-run: never worse than full-duration inflation, never
+    # better than the longer thread running alone.
+    assert overlapped <= max(time_a, time_b) + 1e-9
+    assert overlapped >= max(a.time_cycles, b.time_cycles)
+
+
+def test_overlap_contention_stops_when_sibling_retires():
+    model = SMTModel()
+    long_thread = mlp_thread(time=1_000_000.0)
+    blip = emb_thread(time=10.0, stall=0.9)
+    overlapped = model.overlapped_time(long_thread, blip)
+    # A sibling that lives 10 cycles cannot meaningfully slow a
+    # million-cycle thread.
+    assert overlapped < long_thread.time_cycles * 1.001
+
+
+def test_mp_ht_beats_sequential_when_threads_comparable():
+    model = SMTModel()
+    a = emb_thread(time=1000.0)
+    b = mlp_thread(time=800.0)
+    assert model.overlapped_time(a, b) < model.serialized_time(a, b)
+
+
+def test_overlap_cannot_beat_longer_thread():
+    model = SMTModel()
+    a, b = emb_thread(time=1000.0), mlp_thread(time=10.0)
+    assert model.overlapped_time(a, b) >= 1000.0
+
+
+def test_prefetch_synergy_mechanism():
+    # Lowering the embedding thread's stall fraction (what SW-PF does)
+    # lowers the MLP sibling's inflation — the Section 4.4 coupling.
+    model = SMTModel()
+    before = model.inflation(mlp_thread(), emb_thread(stall=0.80))
+    after = model.inflation(mlp_thread(), emb_thread(stall=0.20))
+    assert after < before
+
+
+def test_port_overlap_zero_removes_issue_contention():
+    model = SMTModel(SMTContention(port_overlap=0.0, window_pressure=0.0))
+    assert model.inflation(mlp_thread(), mlp_thread()) == pytest.approx(1.0)

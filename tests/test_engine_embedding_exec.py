@@ -1,0 +1,113 @@
+"""Trace-driven embedding execution tests."""
+
+import pytest
+
+from repro.cpu.core import CoreSpec
+from repro.engine.embedding_exec import PrefetchPlan, run_embedding_trace
+from repro.errors import ConfigError
+from repro.mem.hierarchy import build_hierarchy
+from repro.trace.production import make_trace
+from repro.trace.stream import AddressMap
+
+
+@pytest.fixture
+def core_spec(csl):
+    return csl.core
+
+
+def run(trace, amap, core_spec, csl, plan=None, hw_prefetch=True, batches=None):
+    hierarchy = build_hierarchy(csl.hierarchy, hw_prefetch=hw_prefetch)
+    return run_embedding_trace(
+        trace, amap, core_spec, hierarchy, plan=plan, batch_indices=batches
+    )
+
+
+def test_result_accounting(tiny_trace, tiny_amap, core_spec, csl):
+    result = run(tiny_trace, tiny_amap, core_spec, csl)
+    expected_loads = tiny_trace.total_lookups() * tiny_amap.row_lines
+    assert result.loads == expected_loads
+    assert result.total_cycles > 0
+    assert len(result.batch_cycles) == tiny_trace.num_batches
+    assert sum(result.batch_cycles) == pytest.approx(result.total_cycles)
+    assert 0 <= result.l1_hit_rate <= 1
+    assert sum(result.level_fractions.values()) == pytest.approx(1.0)
+
+
+def test_one_item_is_fast_and_cache_resident(tiny_model, tiny_amap, core_spec, csl, sim_config):
+    trace = make_trace(
+        "one-item", tiny_model.num_tables, tiny_model.rows, 4, 2,
+        tiny_model.lookups_per_sample, config=sim_config,
+    )
+    result = run(trace, tiny_amap, core_spec, csl)
+    assert result.l1_hit_rate > 0.99
+    assert result.avg_load_latency < 7
+
+
+def test_low_hot_misses_more_than_one_item(tiny_trace, tiny_model, tiny_amap, core_spec, csl, sim_config):
+    one = make_trace(
+        "one-item", tiny_model.num_tables, tiny_model.rows, 4, 2,
+        tiny_model.lookups_per_sample, config=sim_config,
+    )
+    r_one = run(one, tiny_amap, core_spec, csl)
+    r_low = run(tiny_trace, tiny_amap, core_spec, csl)
+    assert r_low.avg_load_latency > 3 * r_one.avg_load_latency
+    assert r_low.total_cycles > r_one.total_cycles
+
+
+def test_prefetch_plan_improves_memory_bound_run(tiny_model, tiny_amap, core_spec, csl, sim_config):
+    trace = make_trace(
+        "random", tiny_model.num_tables, tiny_model.rows, 8, 2,
+        tiny_model.lookups_per_sample, config=sim_config,
+    )
+    base = run(trace, tiny_amap, core_spec, csl)
+    pf = run(trace, tiny_amap, core_spec, csl, plan=PrefetchPlan(4, 8))
+    assert pf.total_cycles < base.total_cycles
+    assert pf.l1_hit_rate > base.l1_hit_rate
+    assert pf.avg_load_latency < base.avg_load_latency
+    assert pf.prefetches_issued > 0
+
+
+def test_prefetch_amount_clamped_to_row(tiny_trace, tiny_amap, core_spec, csl):
+    result = run(tiny_trace, tiny_amap, core_spec, csl, plan=PrefetchPlan(4, 100))
+    assert result.total_cycles > 0  # clamped silently, no error
+
+
+def test_batch_subset_execution(tiny_trace, tiny_amap, core_spec, csl):
+    result = run(tiny_trace, tiny_amap, core_spec, csl, batches=[0])
+    assert len(result.batch_cycles) == 1
+
+
+def test_table_count_mismatch_rejected(tiny_trace, core_spec, csl, tiny_model):
+    bad_amap = AddressMap([tiny_model.rows], tiny_model.embedding_dim)
+    hierarchy = build_hierarchy(csl.hierarchy)
+    with pytest.raises(ConfigError):
+        run_embedding_trace(tiny_trace, bad_amap, core_spec, hierarchy)
+
+
+def test_plan_validation():
+    with pytest.raises(ConfigError):
+        PrefetchPlan(distance=0)
+    with pytest.raises(ConfigError):
+        PrefetchPlan(amount_lines=0)
+    with pytest.raises(ConfigError):
+        PrefetchPlan(target_level="dram")
+
+
+def test_deterministic_given_same_inputs(tiny_trace, tiny_amap, core_spec, csl):
+    a = run(tiny_trace, tiny_amap, core_spec, csl)
+    b = run(tiny_trace, tiny_amap, core_spec, csl)
+    assert a.total_cycles == b.total_cycles
+    assert a.l1_hit_rate == b.l1_hit_rate
+
+
+def test_hw_prefetch_off_changes_behaviour(tiny_trace, tiny_amap, core_spec, csl):
+    on = run(tiny_trace, tiny_amap, core_spec, csl, hw_prefetch=True)
+    off = run(tiny_trace, tiny_amap, core_spec, csl, hw_prefetch=False)
+    assert on.total_cycles != off.total_cycles
+
+
+def test_stall_fraction_high_for_irregular(tiny_trace, tiny_amap, core_spec, csl):
+    result = run(tiny_trace, tiny_amap, core_spec, csl)
+    # Low-hot embedding is memory-bound: most cycles are stalls.
+    assert result.stall_fraction > 0.4
+    assert result.utilization < 0.6

@@ -1,0 +1,63 @@
+"""End-to-end inference timing composition tests."""
+
+import pytest
+
+from repro.engine.embedding_exec import run_embedding_trace
+from repro.engine.inference import StageTimes, time_inference_sequential
+from repro.errors import ConfigError
+from repro.mem.hierarchy import build_hierarchy
+
+
+class TestStageTimes:
+    def test_total_and_fraction(self):
+        stages = StageTimes(10.0, 80.0, 5.0, 5.0)
+        assert stages.total == 100.0
+        assert stages.embedding_fraction == pytest.approx(0.8)
+
+    def test_breakdown_sums_to_one(self):
+        stages = StageTimes(1.0, 2.0, 3.0, 4.0)
+        assert sum(stages.breakdown().values()) == pytest.approx(1.0)
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ConfigError):
+            StageTimes(0, 0, 0, 0).breakdown()
+
+
+@pytest.fixture
+def emb_result(tiny_trace, tiny_amap, csl):
+    hierarchy = build_hierarchy(csl.hierarchy)
+    return run_embedding_trace(tiny_trace, tiny_amap, csl.core, hierarchy)
+
+
+def test_composition(tiny_model, emb_result, csl, tiny_trace):
+    timing = time_inference_sequential(
+        tiny_model, emb_result, csl.core, tiny_trace.batch_size
+    )
+    assert timing.stages.embedding == pytest.approx(emb_result.mean_batch_cycles)
+    assert timing.stages.bottom_mlp > 0
+    assert timing.batch_cycles == pytest.approx(timing.stages.total)
+    assert timing.batch_ms > 0
+
+
+def test_thread_profiles_capture_stage_characters(tiny_model, emb_result, csl, tiny_trace):
+    timing = time_inference_sequential(
+        tiny_model, emb_result, csl.core, tiny_trace.batch_size
+    )
+    emb = timing.embedding_profile
+    mlp = timing.bottom_mlp_profile
+    # Embedding: memory-bound (low util, high stalls); MLP: the opposite.
+    assert emb.stall_fraction > mlp.stall_fraction
+    assert emb.utilization < mlp.utilization
+
+
+def test_batch_size_validated(tiny_model, emb_result, csl):
+    with pytest.raises(ConfigError):
+        time_inference_sequential(tiny_model, emb_result, csl.core, 0)
+
+
+def test_batch_ms_uses_frequency(tiny_model, emb_result, csl, tiny_trace):
+    timing = time_inference_sequential(
+        tiny_model, emb_result, csl.core, tiny_trace.batch_size
+    )
+    expected_ms = timing.stages.total / csl.frequency_hz * 1e3
+    assert timing.batch_ms == pytest.approx(expected_ms)

@@ -1,0 +1,32 @@
+"""Kernel cost-model tests."""
+
+import pytest
+
+from repro.engine.kernels import KernelCostModel
+from repro.errors import ConfigError
+
+
+def test_default_instruction_count_matches_paper_anchor():
+    cost = KernelCostModel()
+    # dim=128 -> 8 lines; the paper: distance 4 ≈ 200 instructions.
+    per_lookup = cost.instructions_per_lookup(8)
+    assert 40 <= per_lookup <= 60
+    assert 150 <= cost.prefetch_distance_instructions(4, 8) <= 250
+
+
+def test_instructions_scale_with_row_lines():
+    cost = KernelCostModel()
+    assert cost.instructions_per_lookup(4) < cost.instructions_per_lookup(8)
+
+
+def test_distance_zero_is_zero_instructions():
+    assert KernelCostModel().prefetch_distance_instructions(0, 8) == 0
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        KernelCostModel(uops_per_line=-1)
+    with pytest.raises(ConfigError):
+        KernelCostModel().instructions_per_lookup(0)
+    with pytest.raises(ConfigError):
+        KernelCostModel().prefetch_distance_instructions(-1, 8)

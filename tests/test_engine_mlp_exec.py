@@ -1,0 +1,84 @@
+"""Roofline MLP timing tests."""
+
+import pytest
+
+from repro.cpu.core import CoreSpec
+from repro.engine.mlp_exec import (
+    GEMM_EFFICIENCY,
+    time_interaction,
+    time_mlp,
+    time_top_mlp,
+)
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def spec():
+    return CoreSpec()
+
+
+def test_flops_counted_exactly(spec):
+    timing = time_mlp(8, (4,), batch_size=2, core_spec=spec)
+    assert timing.flops == 2 * 2 * 8 * 4
+
+
+def test_cycles_positive_and_scale_with_batch(spec):
+    small = time_mlp(256, (2048, 2048, 256, 64), 16, spec)
+    big = time_mlp(256, (2048, 2048, 256, 64), 64, spec)
+    assert 0 < small.cycles < big.cycles
+
+
+def test_compute_bound_region_matches_roofline(spec):
+    # Huge batch: weight streaming is amortized; cycles -> flops/peak_eff.
+    timing = time_mlp(1024, (1024,), batch_size=4096, core_spec=spec)
+    roofline = timing.flops / (spec.fp32_flops_per_cycle * GEMM_EFFICIENCY)
+    assert timing.cycles == pytest.approx(roofline, rel=0.05)
+
+
+def test_memory_bound_region_for_tiny_batch(spec):
+    # Batch 1: weights dominate; time well above pure compute roofline.
+    timing = time_mlp(2048, (2048,), batch_size=1, core_spec=spec)
+    compute = timing.flops / (spec.fp32_flops_per_cycle * GEMM_EFFICIENCY)
+    assert timing.cycles > 2 * compute
+
+
+def test_weight_bytes(spec):
+    timing = time_mlp(10, (20,), 1, spec)
+    assert timing.weight_bytes == (10 * 20 + 20) * 4
+
+
+def test_profile_shape_for_smt(spec):
+    timing = time_mlp(256, (128,), 16, spec)
+    assert 0.5 < timing.utilization <= 1.0
+    assert timing.stall_fraction < 0.1
+
+
+def test_achieved_flops_bounded_by_peak(spec):
+    timing = time_mlp(512, (512, 512), 64, spec)
+    assert timing.achieved_flops_per_cycle <= spec.fp32_flops_per_cycle
+
+
+def test_interaction_scales_with_tables(spec):
+    small = time_interaction(16, 8, 128, spec)
+    big = time_interaction(16, 64, 128, spec)
+    assert big.cycles > small.cycles
+    assert big.flops > small.flops
+
+
+def test_top_mlp_includes_interaction_width(spec):
+    # rm2_1's top MLP input is 128 + C(61,2) = 1958 wide.
+    timing = time_top_mlp(60, 128, (128, 64, 1), 16, spec)
+    assert timing.flops == 2 * 16 * (1958 * 128 + 128 * 64 + 64 * 1)
+
+
+def test_validation(spec):
+    with pytest.raises(ConfigError):
+        time_mlp(0, (4,), 1, spec)
+    with pytest.raises(ConfigError):
+        time_mlp(8, (), 1, spec)
+    with pytest.raises(ConfigError):
+        time_mlp(8, (4,), 1, spec, efficiency=0.0)
+    with pytest.raises(ConfigError):
+        time_mlp(8, (0,), 1, spec)
+    with pytest.raises(ConfigError):
+        time_interaction(0, 4, 128, spec)

@@ -1,0 +1,119 @@
+"""Multi-core engine tests."""
+
+import pytest
+
+from repro.engine.multicore import (
+    run_embedding_multicore,
+    scaled_shared_l3_config,
+)
+from repro.errors import ConfigError
+from repro.mem.hierarchy import HierarchyConfig
+from repro.trace.production import make_trace
+
+
+@pytest.fixture
+def mc_trace(tiny_model, sim_config):
+    # 4 batches so 2 detailed cores get 2 rounds each.
+    return make_trace(
+        "low", tiny_model.num_tables, tiny_model.rows, 4, 4,
+        tiny_model.lookups_per_sample, config=sim_config,
+    )
+
+
+class TestScaledL3:
+    def test_identity_when_detailed_covers_all(self):
+        config = HierarchyConfig()
+        assert scaled_shared_l3_config(config, 4, 4) is config
+
+    def test_fair_share_scaling(self):
+        config = HierarchyConfig()
+        scaled = scaled_shared_l3_config(config, 2, 24)
+        assert scaled.l3_size < config.l3_size
+        assert scaled.l3_size >= 2 * config.l2_size  # floor keeps hierarchy legal
+        # Still divisible into ways.
+        assert (scaled.l3_size // 64) % scaled.l3_ways == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            scaled_shared_l3_config(HierarchyConfig(), 0, 4)
+
+
+def test_single_core_multicore_agree_on_accounting(mc_trace, tiny_amap, csl):
+    mc = run_embedding_multicore(
+        mc_trace, tiny_amap, csl, num_cores=1, detailed_cores=1,
+        bandwidth_iterations=1,
+    )
+    assert mc.num_cores == 1
+    assert mc.detailed_cores == 1
+    assert mc.mean_batch_cycles > 0
+
+
+def test_bandwidth_grows_with_cores(mc_trace, tiny_amap, csl):
+    one = run_embedding_multicore(
+        mc_trace, tiny_amap, csl, num_cores=1, detailed_cores=1,
+        bandwidth_iterations=1,
+    )
+    many = run_embedding_multicore(
+        mc_trace, tiny_amap, csl, num_cores=24, detailed_cores=2,
+        bandwidth_iterations=2,
+    )
+    assert many.achieved_bandwidth_bytes_per_cycle > one.achieved_bandwidth_bytes_per_cycle
+    assert many.utilization > one.utilization
+
+
+def test_contention_slows_batches(mc_trace, tiny_amap, csl):
+    one = run_embedding_multicore(
+        mc_trace, tiny_amap, csl, num_cores=1, detailed_cores=1,
+        bandwidth_iterations=1,
+    )
+    many = run_embedding_multicore(
+        mc_trace, tiny_amap, csl, num_cores=24, detailed_cores=2,
+        bandwidth_iterations=2,
+    )
+    # Fig 8's shape: per-batch time rises with core count, but mildly
+    # relative to the 24x concurrency.
+    assert many.mean_batch_cycles >= one.mean_batch_cycles * 0.9
+    assert many.mean_batch_cycles <= one.mean_batch_cycles * 3.0
+
+
+def test_bandwidth_capped_at_peak(mc_trace, tiny_amap, csl):
+    result = run_embedding_multicore(
+        mc_trace, tiny_amap, csl, num_cores=48, detailed_cores=2,
+    )
+    # 48 cores = both sockets: peak doubles.
+    peak = csl.peak_dram_bw_bytes_per_cycle * 2
+    assert result.achieved_bandwidth_bytes_per_cycle <= peak + 1e-9
+
+
+def test_gb_s_conversion(mc_trace, tiny_amap, csl):
+    result = run_embedding_multicore(
+        mc_trace, tiny_amap, csl, num_cores=4, detailed_cores=2,
+        bandwidth_iterations=1,
+    )
+    expected = result.achieved_bandwidth_bytes_per_cycle * csl.frequency_hz / 1e9
+    assert result.bandwidth_gb_s(csl.frequency_hz) == pytest.approx(expected)
+
+
+def test_hier_override_respected(mc_trace, tiny_amap, csl):
+    from repro.core.hyperthread import halved_smt_hierarchy_config
+
+    halved = halved_smt_hierarchy_config(csl.hierarchy)
+    base = run_embedding_multicore(
+        mc_trace, tiny_amap, csl, num_cores=2, detailed_cores=2,
+        bandwidth_iterations=1,
+    )
+    small = run_embedding_multicore(
+        mc_trace, tiny_amap, csl, num_cores=2, detailed_cores=2,
+        bandwidth_iterations=1, hier_override=halved,
+    )
+    # Halved private caches cannot be faster.
+    assert small.mean_batch_cycles >= base.mean_batch_cycles * 0.98
+
+
+def test_validation(mc_trace, tiny_amap, csl):
+    with pytest.raises(ConfigError):
+        run_embedding_multicore(mc_trace, tiny_amap, csl, num_cores=0)
+    with pytest.raises(ConfigError):
+        run_embedding_multicore(
+            mc_trace, tiny_amap, csl, num_cores=2, bandwidth_iterations=0
+        )

@@ -1,0 +1,175 @@
+"""Experiment harness tests — cheap configurations of every runner."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.errors import ConfigError
+from repro.experiments.base import ExperimentReport, format_report, format_table
+from repro.experiments.registry import (
+    EXPERIMENT_IDS,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+from repro.experiments.workloads import build_workload
+
+CONFIG = SimConfig(seed=21)
+
+#: Cheap overrides shared by the trace-driven experiment smoke tests.
+FAST = dict(scale=0.01, batch_size=4, num_batches=2)
+
+
+class TestBase:
+    def test_columns_in_first_appearance_order(self):
+        report = ExperimentReport("x", "t")
+        report.rows.append({"a": 1, "b": 2})
+        report.rows.append({"c": 3, "a": 4})
+        assert report.columns() == ["a", "b", "c"]
+
+    def test_column_extraction(self):
+        report = ExperimentReport("x", "t", rows=[{"a": 1}, {"a": 2}])
+        assert report.column("a") == [1, 2]
+        assert report.column("missing") == [None, None]
+
+    def test_column_requires_rows(self):
+        with pytest.raises(ConfigError):
+            ExperimentReport("x", "t").column("a")
+
+    def test_filter_rows(self):
+        report = ExperimentReport(
+            "x", "t", rows=[{"m": "a", "v": 1}, {"m": "b", "v": 2}]
+        )
+        assert report.filter_rows(m="b") == [{"m": "b", "v": 2}]
+
+    def test_format_table_alignment(self):
+        text = format_table([{"col": 1.2345}, {"col": 10_000.5}], ["col"])
+        lines = text.splitlines()
+        assert lines[0].startswith("col")
+        assert "1.234" in text
+        assert "10,000.5" in text
+
+    def test_format_report_includes_notes(self):
+        report = ExperimentReport("x", "Title", rows=[{"a": 1}], notes=["hello"])
+        text = format_report(report)
+        assert "Title" in text
+        assert "note: hello" in text
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        # 12 figures + 4 tables + two extensions (synergy, hotness sweep).
+        assert len(EXPERIMENT_IDS) == 18
+        assert "fig12" in EXPERIMENT_IDS
+        assert "table4" in EXPERIMENT_IDS
+        assert "synergy" in EXPERIMENT_IDS
+        assert "hotness_sweep" in EXPERIMENT_IDS
+
+    def test_titles_listed(self):
+        titles = list_experiments()
+        assert set(titles) == set(EXPERIMENT_IDS)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ConfigError):
+            get_experiment("fig99")
+
+
+class TestWorkloads:
+    def test_build_workload_shape(self):
+        wl = build_workload("rm2_1", "low", scale=0.01, batch_size=4, num_batches=1,
+                            config=CONFIG)
+        assert wl.model.base_name == "rm2_1"
+        assert wl.trace.num_tables == wl.model.num_tables
+        assert wl.amap.num_tables == wl.model.num_tables
+        assert wl.batch_size == 4
+
+
+class TestStaticExperiments:
+    def test_table1(self):
+        report = run_experiment("table1", config=CONFIG)
+        assert len(report.rows) == 3
+        assert {r["model_class"] for r in report.rows} == {"RMC1", "RMC2", "RMC3"}
+
+    def test_table2_matches_paper_sizes(self):
+        report = run_experiment("table2", config=CONFIG)
+        by_model = {r["model"]: r for r in report.rows}
+        assert by_model["rm2_1"]["emb_size_gib"] == pytest.approx(28.6, abs=0.05)
+        assert by_model["rm1"]["per_table_mib"] == pytest.approx(122.0, abs=0.1)
+
+    def test_table3(self):
+        report = run_experiment("table3", config=CONFIG)
+        params = {r["parameter"]: r["value"] for r in report.rows}
+        assert params["Frequency"] == "2.4GHz"
+        assert params["L1D cache size"] == "32.0 KiB"
+
+
+class TestAnalyticExperiments:
+    def test_fig1_breakdown_shape(self):
+        report = run_experiment("fig1", config=CONFIG)
+        by_model = {r["model"]: r for r in report.rows}
+        # The paper's ordering: every RMC2 model is embedding-dominated,
+        # RM1 is mixed.
+        for name in ("rm2_1", "rm2_2", "rm2_3"):
+            assert by_model[name]["embedding_pct"] > 85
+        assert by_model["rm1"]["embedding_pct"] < by_model["rm2_1"]["embedding_pct"]
+
+    def test_fig5_hotness_ordering(self):
+        report = run_experiment(
+            "fig5", config=CONFIG, scale=0.01, batch_size=16, num_batches=2
+        )
+        by_ds = {r["dataset"]: r for r in report.rows}
+        assert (
+            by_ds["high"]["unique_fraction"]
+            < by_ds["medium"]["unique_fraction"]
+            < by_ds["low"]["unique_fraction"]
+        )
+        assert by_ds["high"]["top_1pct_share"] > by_ds["low"]["top_1pct_share"]
+
+    def test_fig7_cold_misses_grow_with_irregularity(self):
+        report = run_experiment(
+            "fig7", config=CONFIG, scale=0.01, batch_size=8, num_batches=2
+        )
+        by_ds = {r["dataset"]: r for r in report.rows}
+        assert by_ds["low"]["cold_miss_fraction"] > by_ds["high"]["cold_miss_fraction"]
+        for row in report.rows:
+            assert row["l1_hit_rate_model"] <= row["l2_hit_rate_model"]
+            assert row["l2_hit_rate_model"] <= row["l3_hit_rate_model"]
+
+
+class TestTraceDrivenExperiments:
+    def test_fig4_dataset_spread(self):
+        report = run_experiment("fig4", config=CONFIG, **FAST)
+        by_ds = {r["dataset"]: r for r in report.rows}
+        assert (
+            by_ds["one-item"]["avg_load_latency_cycles"]
+            < by_ds["low"]["avg_load_latency_cycles"]
+        )
+        assert by_ds["one-item"]["l1_hit_rate"] > by_ds["random"]["l1_hit_rate"]
+
+    def test_fig8_bandwidth_grows(self):
+        report = run_experiment(
+            "fig8", config=CONFIG, core_counts=(1, 8), **FAST
+        )
+        bw = report.column("bandwidth_gb_s")
+        assert bw[-1] > bw[0]
+
+    def test_fig15_swpf_improves_l1(self):
+        report = run_experiment(
+            "fig15", config=CONFIG, models=("rm2_1",), **FAST
+        )
+        by_scheme = {r["scheme"]: r for r in report.rows}
+        assert by_scheme["sw_pf"]["l1_hit_rate"] > by_scheme["baseline"]["l1_hit_rate"]
+        assert (
+            by_scheme["sw_pf"]["avg_load_latency_cycles"]
+            < by_scheme["baseline"]["avg_load_latency_cycles"]
+        )
+
+    def test_fig17_tail_latency_shape(self):
+        report = run_experiment(
+            "fig17", config=CONFIG, models=("rm1",), num_cores=4,
+            num_requests=400, **FAST
+        )
+        baseline_rows = report.filter_rows(scheme="baseline")
+        assert len(baseline_rows) >= 5
+        # Tail improves as arrivals slow.
+        p95 = [r["p95_ms"] for r in sorted(baseline_rows, key=lambda r: r["arrival_ms"])]
+        assert p95[0] >= p95[-1]

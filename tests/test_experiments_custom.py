@@ -1,0 +1,65 @@
+"""Appendix A.7 customization tests."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.errors import ConfigError
+from repro.experiments.custom import custom_model, run_custom
+
+
+def test_custom_model_defaults():
+    model = custom_model()
+    assert model.bottom_mlp[-1] == model.embedding_dim
+    assert model.top_mlp[-1] == 1
+    assert model.category == "RMC2"
+    assert model.sla_ms == 400.0
+
+
+def test_custom_model_mixed_class():
+    model = custom_model(embedding_heavy=False)
+    assert model.category == "RMC1"
+    assert model.sla_ms == 100.0
+
+
+def test_custom_model_rejects_mismatched_bottom():
+    with pytest.raises(ConfigError):
+        custom_model(embedding_dim=64, bottom_mlp=(128, 128))
+
+
+def test_run_custom_small_panel():
+    model = custom_model(
+        rows=20_000, embedding_dim=64, num_tables=3, lookups_per_sample=6
+    )
+    panel = run_custom(
+        model, dataset="low", batch_size=4, num_batches=1,
+        schemes=("baseline", "sw_pf"), config=SimConfig(seed=81),
+    )
+    assert set(panel) == {"baseline", "sw_pf"}
+    assert panel["sw_pf"].embedding_speedup_over(panel["baseline"]) > 1.0
+
+
+def test_run_custom_no_scaling_applied():
+    # Unlike quick_eval, the shape given is the shape run.
+    model = custom_model(rows=5_000, num_tables=2, lookups_per_sample=4)
+    panel = run_custom(
+        model, batch_size=4, num_batches=1, schemes=("baseline",),
+        config=SimConfig(seed=82),
+    )
+    # paper_scale_ratio of a non-zoo model is 1 — no projection happened.
+    assert model.paper_scale_ratio() == 1.0
+    assert panel["baseline"].embedding_cycles > 0
+
+
+def test_dim_sweep_changes_row_lines():
+    # A wider embedding row costs proportionally more per lookup.
+    results = {}
+    for dim in (32, 128):
+        model = custom_model(
+            rows=20_000, embedding_dim=dim, num_tables=2, lookups_per_sample=8
+        )
+        panel = run_custom(
+            model, batch_size=4, num_batches=1, schemes=("baseline",),
+            config=SimConfig(seed=83),
+        )
+        results[dim] = panel["baseline"].embedding_cycles
+    assert results[128] > 2 * results[32]

@@ -1,0 +1,57 @@
+"""CLI runner tests."""
+
+import pytest
+
+from repro.experiments.runner import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig12" in out
+    assert "table4" in out
+
+
+def test_run_static_experiment(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "RMC2" in out
+    assert "finished in" in out
+
+
+def test_out_directory_written(tmp_path, capsys):
+    assert main(["table2", "--out", str(tmp_path)]) == 0
+    report = (tmp_path / "table2.txt").read_text()
+    assert "rm2_1" in report
+
+
+def test_overrides_forwarded(capsys):
+    # fig5 accepts scale/batch_size/num_batches; tiny values keep it fast.
+    assert main(["fig5", "--scale", "0.01", "--batch-size", "8",
+                 "--num-batches", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "unique_fraction" in out
+
+
+def test_seed_flag(capsys):
+    assert main(["table1", "--seed", "5"]) == 0
+
+
+def test_unknown_experiment_raises():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        main(["fig99"])
+
+
+def test_parser_flags_exist():
+    parser = build_parser()
+    args = parser.parse_args(["fig4", "--scale", "0.5", "--num-cores", "8"])
+    assert args.experiment == "fig4"
+    assert args.scale == 0.5
+    assert args.num_cores == 8
+
+
+def test_irrelevant_overrides_not_forwarded(capsys):
+    # table1's runner takes no scale; passing one must not crash.
+    assert main(["table1", "--scale", "0.5"]) == 0

@@ -1,0 +1,63 @@
+"""Parametric sweep tests."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.errors import ConfigError
+from repro.experiments.sweeps import sweep_batch_size, sweep_lookups, sweep_tables
+
+CONFIG = SimConfig(seed=91)
+FAST = dict(scale=0.01, num_batches=1, config=CONFIG)
+
+
+class TestBatchSweep:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return sweep_batch_size(batch_sizes=(4, 16), **FAST)
+
+    def test_latency_grows_with_batch(self, report):
+        ms = report.column("baseline_emb_ms")
+        assert ms[1] > ms[0]
+
+    def test_roughly_linear_in_batch(self, report):
+        per_sample = report.column("per_sample_ms")
+        # Per-sample cost roughly constant (within 2x across a 4x batch).
+        assert max(per_sample) < 2 * min(per_sample)
+
+    def test_swpf_gain_scale_free(self, report):
+        gains = report.column("sw_pf_speedup")
+        assert all(g > 1.0 for g in gains)
+        assert max(gains) / min(gains) < 1.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            sweep_batch_size(batch_sizes=())
+
+
+class TestLookupSweep:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return sweep_lookups(lookup_counts=(6, 24), batch_size=4, **FAST)
+
+    def test_cost_grows_with_lookups(self, report):
+        ms = report.column("baseline_emb_ms")
+        assert ms[1] > ms[0]
+
+    def test_swpf_always_helps(self, report):
+        assert all(g > 1.0 for g in report.column("sw_pf_speedup"))
+
+
+class TestTableSweep:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return sweep_tables(
+            table_counts=(2, 6), batch_size=4, num_batches=1,
+            lookups_per_sample=8, config=CONFIG,
+        )
+
+    def test_cost_grows_with_tables(self, report):
+        ms = report.column("baseline_emb_ms")
+        assert ms[1] > 2 * ms[0]
+
+    def test_rows_cover_requested_counts(self, report):
+        assert report.column("tables") == [2, 6]

@@ -1,0 +1,114 @@
+"""Terminal visualization tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.base import ExperimentReport
+from repro.experiments.viz import (
+    bar_chart,
+    grouped_bars,
+    render_report_plot,
+    sparkline,
+)
+
+
+class TestBarChart:
+    def test_peak_bar_is_full_width(self):
+        chart = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[1].count("█") == 10
+        assert lines[0].count("█") == 5
+
+    def test_labels_aligned(self):
+        chart = bar_chart(["x", "longer"], [1, 1], width=8)
+        starts = [line.index("█") for line in chart.splitlines()]
+        assert starts[0] == starts[1]
+
+    def test_baseline_marker_present(self):
+        chart = bar_chart(["a"], [2.0], width=20, baseline=1.0)
+        assert "|" in chart
+
+    def test_values_printed(self):
+        chart = bar_chart(["a"], [1.51], width=8, unit="x")
+        assert "1.51x" in chart
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            bar_chart(["a"], [1, 2])
+        with pytest.raises(ConfigError):
+            bar_chart(["a"], [1.0], width=2)
+
+    def test_empty(self):
+        assert bar_chart([], []) == "(no data)"
+
+    def test_all_zero_values_safe(self):
+        chart = bar_chart(["a", "b"], [0.0, 0.0], width=10)
+        assert "█" not in chart
+
+
+class TestGroupedBars:
+    def test_groups_rendered(self):
+        out = grouped_bars({"g1": {"a": 1.0}, "g2": {"b": 2.0}})
+        assert "g1:" in out and "g2:" in out
+        assert out.splitlines()[1].startswith("  ")
+
+    def test_empty(self):
+        assert grouped_bars({}) == "(no data)"
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([1, 2, 3, 4])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▄▄▄"
+
+    def test_log_scale_compresses_decades(self):
+        linear = sparkline([1, 10, 100, 1000])
+        logscale = sparkline([1, 10, 100, 1000], log=True)
+        # On a log scale the steps are even; linearly the first three
+        # collapse to the bottom glyph.
+        assert linear[:2] == "▁▁"
+        assert logscale == "▁▃▆█" or logscale[1] != "▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestRenderReportPlot:
+    def make_report(self):
+        return ExperimentReport(
+            "x", "t",
+            rows=[
+                {"model": "rm2_1", "dataset": "low", "sw_pf_speedup": 1.7},
+                {"model": "rm2_1", "dataset": "high", "sw_pf_speedup": 1.5},
+            ],
+        )
+
+    def test_prefers_speedup_column_with_baseline(self):
+        out = render_report_plot(self.make_report())
+        assert "[sw_pf_speedup]" in out
+        assert "|" in out  # the 1.0 baseline mark
+        assert "rm2_1 low" in out
+
+    def test_explicit_column(self):
+        report = ExperimentReport("x", "t", rows=[{"m": "a", "ms": 3.0}])
+        out = render_report_plot(report, value_column="ms")
+        assert "[ms]" in out
+
+    def test_no_rows(self):
+        assert render_report_plot(ExperimentReport("x", "t")) == "(no rows)"
+
+    def test_no_numeric_columns(self):
+        report = ExperimentReport("x", "t", rows=[{"m": "a"}])
+        assert "no numeric" in render_report_plot(report)
+
+
+def test_runner_plot_flag(capsys):
+    from repro.experiments.runner import main
+
+    assert main(["table2", "--plot"]) == 0
+    out = capsys.readouterr().out
+    assert "█" in out

@@ -1,0 +1,103 @@
+"""Tests for the beyond-the-paper extensions: RMC3 model, two-core MP."""
+
+import pytest
+
+from repro.core.hyperthread import (
+    mp_ht_batch_cycles,
+    mp_two_core_batch_cycles,
+    sequential_batch_cycles,
+)
+from repro.cpu.smt import ThreadProfile
+from repro.engine.inference import InferenceTiming, StageTimes
+from repro.errors import ConfigError
+from repro.model.configs import EXTENDED_MODEL_NAMES, MODEL_NAMES, get_model
+from repro.serving.sla import sla_for_model
+
+
+class TestRM3:
+    def test_rm3_not_in_table2_but_in_extended(self):
+        assert "rm3" not in MODEL_NAMES
+        assert "rm3" in EXTENDED_MODEL_NAMES
+        assert EXTENDED_MODEL_NAMES[:4] == MODEL_NAMES
+
+    def test_rm3_is_mlp_heavy(self):
+        rm3 = get_model("rm3")
+        assert rm3.category == "RMC3"
+        assert rm3.reference_emb_pct < 50
+        # Its MLP stacks dwarf every Table 2 model's.
+        rm1 = get_model("rm1")
+        rm3_flops = sum(a * b for a, b in zip((rm3.dense_features,) + rm3.bottom_mlp, rm3.bottom_mlp))
+        rm1_flops = sum(a * b for a, b in zip((rm1.dense_features,) + rm1.bottom_mlp, rm1.bottom_mlp))
+        assert rm3_flops > rm1_flops
+
+    def test_rm3_sla_matches_table1(self):
+        assert sla_for_model(get_model("rm3")).sla_ms == 100.0
+        assert sla_for_model(get_model("rm3")).bottleneck == "mlp"
+
+    def test_rm3_breakdown_is_mlp_dominated(self):
+        from repro.analysis.breakdown import estimate_stage_breakdown
+        from repro.config import SimConfig
+        from repro.cpu.platform import get_platform
+
+        stages = estimate_stage_breakdown(
+            get_model("rm3"), "low", get_platform("csl"), batch_size=64,
+            sample_tables=2, sample_batches=2, config=SimConfig(seed=3),
+        )
+        # Table 1: RMC3 is ~80% MLP.
+        assert stages.embedding_fraction < 0.5
+        mlp_share = (
+            stages.bottom_mlp + stages.top_mlp
+        ) / stages.total
+        assert mlp_share > 0.5
+
+    def test_rm3_schemes_run_end_to_end(self):
+        from repro import quick_eval
+        from repro.config import SimConfig
+
+        panel = quick_eval(
+            model="rm3", dataset="low", scale=0.05, batch_size=8,
+            num_batches=1, schemes=("baseline", "mp_ht", "integrated"),
+            config=SimConfig(seed=5),
+        )
+        base = panel["baseline"]
+        # MLP-heavy: hyperthreading is the (modest) lever — the giant top
+        # MLP cannot be overlapped, capping the gain.
+        assert panel["mp_ht"].speedup_over(base) > 1.0
+        assert panel["integrated"].speedup_over(base) >= panel[
+            "mp_ht"
+        ].speedup_over(base) * 0.98
+
+
+class TestTwoCoreMP:
+    def make_timing(self, emb=1_000_000.0, bottom=800_000.0):
+        # Realistic batch magnitudes (~1e6 cycles) so the fixed sync cost
+        # plays its proper, small role.
+        return InferenceTiming(
+            model="t",
+            stages=StageTimes(bottom, emb, 50_000.0, 50_000.0),
+            frequency_hz=2.4e9,
+            embedding_profile=ThreadProfile("embedding", emb, 0.1, 0.8),
+            bottom_mlp_profile=ThreadProfile("bottom_mlp", bottom, 0.85, 0.03),
+        )
+
+    def test_two_core_beats_sequential_when_overlap_is_big(self):
+        timing = self.make_timing()
+        assert mp_two_core_batch_cycles(timing) < sequential_batch_cycles(timing)
+
+    def test_two_core_has_no_smt_interference(self):
+        # With zero sync cost, two cores achieve the ideal overlap, which
+        # MP-HT can only approach.
+        timing = self.make_timing()
+        ideal = mp_two_core_batch_cycles(timing, sync_cycles=0.0)
+        assert ideal <= mp_ht_batch_cycles(timing)
+
+    def test_sync_overhead_erodes_the_win(self):
+        # The paper's argument: for small overlap the sync cost makes the
+        # two-core split not worth double the cores.
+        timing = self.make_timing(emb=1_000_000.0, bottom=1_000.0)
+        two_core = mp_two_core_batch_cycles(timing)
+        assert two_core > sequential_batch_cycles(timing)
+
+    def test_negative_sync_rejected(self):
+        with pytest.raises(ConfigError):
+            mp_two_core_batch_cycles(self.make_timing(), sync_cycles=-1.0)

@@ -1,0 +1,100 @@
+"""Cross-module integration tests: the paper's claims end to end."""
+
+import pytest
+
+from repro import quick_eval
+from repro.config import SimConfig
+
+CONFIG = SimConfig(seed=99)
+
+
+@pytest.fixture(scope="module")
+def rm2_low():
+    return quick_eval(
+        model="rm2_1", dataset="low", scale=0.015, batch_size=8,
+        num_batches=2, config=CONFIG,
+    )
+
+
+@pytest.fixture(scope="module")
+def rm1_low():
+    return quick_eval(
+        model="rm1", dataset="low", scale=0.02, batch_size=8,
+        num_batches=2, config=CONFIG,
+    )
+
+
+def test_headline_claim_swpf(rm2_low):
+    """SW-PF speeds up embedding-heavy inference substantially (Fig 13)."""
+    speedup = rm2_low["sw_pf"].speedup_over(rm2_low["baseline"])
+    assert 1.2 < speedup < 2.2
+
+
+def test_headline_claim_integrated_synergy(rm2_low):
+    """Integrated is the best scheme (the paper's 1.40-1.59x headline)."""
+    base = rm2_low["baseline"]
+    integrated = rm2_low["integrated"].speedup_over(base)
+    for other in ("hw_pf_off", "sw_pf", "dp_ht", "mp_ht"):
+        assert integrated >= rm2_low[other].speedup_over(base) * 0.99
+    assert integrated > 1.3
+
+
+def test_headline_claim_dp_ht_harmful(rm2_low, rm1_low):
+    """Naive hyperthreading degrades latency on both model families."""
+    for panel in (rm2_low, rm1_low):
+        assert panel["dp_ht"].speedup_over(panel["baseline"]) < 0.9
+
+
+def test_mixed_model_prefers_mp_ht(rm1_low, rm2_low):
+    """RM1's larger bottom MLP rewards MP-HT more than RM2 (Fig 14)."""
+    gain_rm1 = rm1_low["mp_ht"].speedup_over(rm1_low["baseline"])
+    gain_rm2 = rm2_low["mp_ht"].speedup_over(rm2_low["baseline"])
+    assert gain_rm1 > gain_rm2
+    assert gain_rm1 > 1.1
+
+
+def test_embedding_fraction_matches_model_class(rm2_low, rm1_low):
+    emb_rm2 = rm2_low["baseline"].stages.embedding_fraction
+    emb_rm1 = rm1_low["baseline"].stages.embedding_fraction
+    assert emb_rm2 > 0.9  # Table 2: 98%
+    assert emb_rm1 < emb_rm2  # Table 2: 65%
+
+
+def test_swpf_gain_grows_with_irregularity():
+    """Fig 12: SW-PF helps Low hot more than High hot."""
+    gains = {}
+    for dataset in ("high", "low"):
+        panel = quick_eval(
+            model="rm2_1", dataset=dataset, scale=0.015, batch_size=8,
+            num_batches=2, schemes=("baseline", "sw_pf"), config=CONFIG,
+        )
+        gains[dataset] = panel["sw_pf"].embedding_speedup_over(panel["baseline"])
+    assert gains["low"] > gains["high"]
+
+
+def test_multicore_retains_swpf_benefit():
+    """Fig 12(b): software prefetching is scalable to multi-core."""
+    panel = quick_eval(
+        model="rm2_1", dataset="low", num_cores=24, scale=0.015,
+        batch_size=8, num_batches=4, schemes=("baseline", "sw_pf"),
+        config=CONFIG,
+    )
+    assert panel["sw_pf"].embedding_speedup_over(panel["baseline"]) > 1.15
+
+
+def test_numeric_model_and_timing_model_share_configs():
+    """The numeric DLRM and the timing path accept the same trace shapes."""
+    import numpy as np
+
+    from repro.model.configs import get_model
+    from repro.model.dlrm import DLRM
+    from repro.trace.production import make_trace
+
+    dlrm = DLRM.from_config(get_model("rm1"), CONFIG, scale=0.01)
+    trace = make_trace(
+        "medium", dlrm.config.num_tables, dlrm.config.rows, 4, 1,
+        dlrm.config.lookups_per_sample, config=CONFIG,
+    )
+    out = dlrm(dlrm.random_dense_batch(4), trace.batches[0])
+    assert out.shape == (4,)
+    assert np.all((out > 0) & (out < 1))

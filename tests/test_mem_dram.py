@@ -1,0 +1,104 @@
+"""DRAM model tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.dram import DRAMConfig, DRAMModel, MAX_UTILIZATION
+
+
+def test_default_config_valid():
+    model = DRAMModel()
+    assert model.config.base_latency_cycles > 0
+
+
+def test_row_buffer_hit_is_cheaper():
+    model = DRAMModel()
+    first = model.access(0)
+    second = model.access(1)  # adjacent line, same 8KiB row
+    assert second < first
+    assert model.row_hits == 1
+
+
+def test_row_buffer_miss_after_conflict():
+    config = DRAMConfig(banks=1)
+    model = DRAMModel(config)
+    model.access(0)
+    far = 8192 // 64  # next row in the single bank
+    cost = model.access(far)
+    assert cost == pytest.approx(config.base_latency_cycles)
+
+
+def test_bytes_and_access_counters():
+    model = DRAMModel()
+    for line in range(10):
+        model.access(line * 1000)
+    assert model.accesses == 10
+    assert model.bytes_transferred == 640
+
+
+def test_queueing_factor_monotone_in_utilization():
+    model = DRAMModel()
+    factors = []
+    for rho in (0.0, 0.3, 0.6, 0.9):
+        model.set_utilization(rho)
+        factors.append(model.queueing_factor())
+    assert factors == sorted(factors)
+    assert factors[0] == pytest.approx(1.0)
+
+
+def test_queueing_mild_at_half_load():
+    # Fig 8: 24 cores at ~47% channel load cost only ~14-20% extra time.
+    model = DRAMModel()
+    model.set_utilization(0.47)
+    assert model.queueing_factor() < 1.35
+
+
+def test_queueing_sharp_near_saturation():
+    model = DRAMModel()
+    model.set_utilization(0.95)
+    assert model.queueing_factor() > 3.0
+
+
+def test_utilization_capped():
+    model = DRAMModel()
+    model.set_utilization(2.0)
+    assert model.utilization == MAX_UTILIZATION
+
+
+def test_negative_utilization_rejected():
+    with pytest.raises(ConfigError):
+        DRAMModel().set_utilization(-0.1)
+
+
+def test_loaded_latency_scales_access_cost():
+    model = DRAMModel()
+    base = model.access(0)
+    model.reset()
+    model.set_utilization(0.9)
+    loaded = model.access(0)
+    assert loaded > base
+
+
+def test_bandwidth_report():
+    model = DRAMModel()
+    for line in range(100):
+        model.access(line * 1000)
+    gb_s = model.bandwidth_gb_s(elapsed_cycles=2.4e6, frequency_hz=2.4e9)
+    # 6400 bytes over 1 ms = 6.4 MB/s.
+    assert gb_s == pytest.approx(6.4e-3, rel=1e-6)
+
+
+def test_reset_clears_state():
+    model = DRAMModel()
+    model.access(0)
+    model.set_utilization(0.5)
+    model.reset()
+    assert model.accesses == 0
+    assert model.utilization == 0.0
+
+
+def test_invalid_configs():
+    with pytest.raises(ConfigError):
+        DRAMConfig(base_latency_cycles=0)
+    with pytest.raises(ConfigError):
+        DRAMConfig(row_hit_latency_cycles=500.0, base_latency_cycles=100.0)

@@ -1,0 +1,144 @@
+"""Memory-hierarchy walk tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.cache import Cache
+from repro.mem.dram import DRAMModel
+from repro.mem.hierarchy import HierarchyConfig, build_hierarchy
+
+
+def test_default_config_matches_table3():
+    config = HierarchyConfig()
+    assert config.l1_size == 32 * 1024
+    assert config.l2_size == 1024 * 1024
+    assert config.l3_size == int(35.75 * 1024 * 1024)
+    assert config.l1_latency == 5.0  # Table 3's L1D latency
+
+
+def test_config_requires_increasing_sizes():
+    with pytest.raises(ConfigError):
+        HierarchyConfig(l1_size=2 * 1024 * 1024)
+
+
+def test_first_load_goes_to_dram(small_hierarchy):
+    result = small_hierarchy.load(123)
+    assert result.level == "dram"
+    assert result.was_off_chip
+    assert result.latency > small_hierarchy.config.l3_latency
+
+
+def test_second_load_hits_l1(small_hierarchy):
+    small_hierarchy.load(123)
+    result = small_hierarchy.load(123)
+    assert result.level == "l1"
+    assert result.latency == small_hierarchy.config.l1_latency
+
+
+def test_l2_hit_after_l1_eviction(small_hierarchy):
+    h = small_hierarchy
+    h.load(0)
+    # Thrash L1 (16 lines) without exceeding L2 (128 lines).
+    sets = h.l1.num_sets
+    for k in range(1, h.l1.ways + 2):
+        h.load(0 + k * sets)
+    result = h.load(0)
+    assert result.level == "l2"
+    h_stats = h.stats
+    assert h_stats.level_hits["l2"] >= 1
+
+
+def test_fills_propagate_to_all_levels(small_hierarchy):
+    small_hierarchy.load(77)
+    assert small_hierarchy.l1.contains(77)
+    assert small_hierarchy.l2.contains(77)
+    assert small_hierarchy.l3.contains(77)
+    assert small_hierarchy.resident_level(77) == "l1"
+
+
+def test_prefetch_to_l1_makes_demand_hit(small_hierarchy):
+    result = small_hierarchy.prefetch(55, target_level="l1")
+    assert result.prefetch
+    assert small_hierarchy.load(55).level == "l1"
+
+
+def test_prefetch_to_l2_does_not_fill_l1(small_hierarchy):
+    small_hierarchy.prefetch(55, target_level="l2")
+    assert not small_hierarchy.l1.contains(55)
+    assert small_hierarchy.l2.contains(55)
+
+
+def test_prefetch_to_l3_only(small_hierarchy):
+    small_hierarchy.prefetch(55, target_level="l3")
+    assert small_hierarchy.resident_level(55) == "l3"
+
+
+def test_prefetch_rejects_bad_level(small_hierarchy):
+    with pytest.raises(ConfigError):
+        small_hierarchy.prefetch(1, target_level="dram")
+
+
+def test_stats_track_dram_bytes(small_hierarchy):
+    small_hierarchy.load(1)
+    small_hierarchy.load(2)
+    assert small_hierarchy.stats.dram_bytes == 128
+
+
+def test_avg_load_latency(small_hierarchy):
+    small_hierarchy.load(9)   # dram
+    small_hierarchy.load(9)   # l1
+    avg = small_hierarchy.stats.avg_load_latency
+    assert small_hierarchy.config.l1_latency < avg
+
+
+def test_hw_prefetch_candidates_empty_when_disabled():
+    config = HierarchyConfig(
+        l1_size=1024, l1_ways=2, l2_size=8192, l2_ways=4, l3_size=65536, l3_ways=4
+    )
+    h = build_hierarchy(config, hw_prefetch=False)
+    h.load(10)
+    assert h.hw_prefetch_candidates(10, l1_hit=False) == []
+
+
+def test_hw_prefetch_candidates_on_miss(small_hierarchy):
+    small_hierarchy.load(10)
+    candidates = small_hierarchy.hw_prefetch_candidates(10, l1_hit=False)
+    lines = [line for line, _ in candidates]
+    assert 11 in lines  # next-line candidate
+    targets = {target for _, target in candidates}
+    assert targets <= {"l1", "l2"}
+
+
+def test_hw_candidates_filter_resident_lines(small_hierarchy):
+    small_hierarchy.load(11)  # 11 now in L1
+    small_hierarchy.load(10)
+    candidates = small_hierarchy.hw_prefetch_candidates(10, l1_hit=False)
+    assert all(line != 11 or target != "l1" for line, target in candidates)
+
+
+def test_shared_l3_between_two_hierarchies():
+    config = HierarchyConfig(
+        l1_size=1024, l1_ways=2, l2_size=8192, l2_ways=4, l3_size=65536, l3_ways=4
+    )
+    l3 = Cache("l3", config.l3_size, config.l3_ways)
+    dram = DRAMModel(config.dram)
+    core_a = build_hierarchy(config, shared_l3=l3, shared_dram=dram)
+    core_b = build_hierarchy(config, shared_l3=l3, shared_dram=dram)
+    core_a.load(500)
+    # Constructive sharing: B misses its private levels but hits shared L3.
+    result = core_b.load(500)
+    assert result.level == "l3"
+
+
+def test_latency_of_level(small_hierarchy):
+    config = small_hierarchy.config
+    assert small_hierarchy.latency_of_level("l1") == config.l1_latency
+    assert small_hierarchy.latency_of_level("dram") > config.l3_latency
+    with pytest.raises(ConfigError):
+        small_hierarchy.latency_of_level("l9")
+
+
+def test_flush_keeps_shared_l3(small_hierarchy):
+    small_hierarchy.load(123)
+    small_hierarchy.flush()
+    assert small_hierarchy.resident_level(123) == "l3"

@@ -1,0 +1,113 @@
+"""Hardware-prefetcher model tests."""
+
+from repro.mem.prefetcher import (
+    CompositePrefetcher,
+    NextLinePrefetcher,
+    NullPrefetcher,
+    StreamerPrefetcher,
+    StridePrefetcher,
+)
+
+
+class TestNull:
+    def test_never_prefetches(self):
+        pf = NullPrefetcher()
+        assert pf.observe(10, hit=False) == []
+        assert pf.observe(10, hit=True) == []
+
+
+class TestNextLine:
+    def test_fires_on_miss_only(self):
+        pf = NextLinePrefetcher(degree=1)
+        assert pf.observe(10, hit=True) == []
+        assert pf.observe(10, hit=False) == [11]
+
+    def test_degree_controls_count(self):
+        pf = NextLinePrefetcher(degree=3)
+        assert pf.observe(10, hit=False) == [11, 12, 13]
+
+    def test_issued_counter(self):
+        pf = NextLinePrefetcher(degree=2)
+        pf.observe(1, hit=False)
+        pf.observe(5, hit=False)
+        assert pf.issued == 4
+        pf.reset()
+        assert pf.issued == 0
+
+
+class TestStride:
+    def test_detects_constant_stride(self):
+        pf = StridePrefetcher(degree=2, confidence_threshold=2)
+        assert pf.observe(0, False) == []
+        assert pf.observe(10, False) == []  # stride 10 seen once
+        out = pf.observe(20, False)  # stride 10 confirmed
+        assert out == [30, 40]
+
+    def test_random_stream_builds_no_confidence(self):
+        pf = StridePrefetcher()
+        issued = []
+        for line in (3, 977, 12, 405, 8800, 42):
+            issued.extend(pf.observe(line, False))
+        assert issued == []
+
+    def test_stride_change_resets_confidence(self):
+        pf = StridePrefetcher(degree=1, confidence_threshold=2)
+        pf.observe(0, False)
+        pf.observe(10, False)
+        pf.observe(20, False)  # confident now
+        assert pf.observe(25, False) == []  # stride changed to 5
+
+    def test_separate_streams_tracked_independently(self):
+        pf = StridePrefetcher(degree=1, confidence_threshold=2)
+        for base in (0, 1000):
+            pf.observe_stream(base, base, False)
+        pf.observe_stream(0, 4, False)
+        pf.observe_stream(1000, 1008, False)
+        assert pf.observe_stream(0, 8, False) == [12]
+        assert pf.observe_stream(1000, 1016, False) == [1024]
+
+    def test_zero_stride_never_fires(self):
+        pf = StridePrefetcher(confidence_threshold=1)
+        pf.observe(5, False)
+        assert pf.observe(5, False) == []
+
+
+class TestStreamer:
+    def test_ascending_run_in_page(self):
+        pf = StreamerPrefetcher(degree=2)
+        assert pf.observe(0, False) == []
+        assert pf.observe(1, False) == [2, 3]
+
+    def test_descending_run(self):
+        pf = StreamerPrefetcher(degree=2)
+        pf.observe(20, False)
+        assert pf.observe(19, False) == [18, 17]
+
+    def test_never_crosses_page_boundary(self):
+        pf = StreamerPrefetcher(degree=4)
+        # Lines 62, 63 are at the end of page 0 (64 lines per page).
+        pf.observe(62, False)
+        out = pf.observe(63, False)
+        assert out == []  # all candidates would be in page 1
+
+    def test_page_locality_required(self):
+        pf = StreamerPrefetcher(degree=2)
+        pf.observe(0, False)
+        # A line in a distant page starts a fresh tracker, no prefetch.
+        assert pf.observe(6400, False) == []
+
+
+class TestComposite:
+    def test_unions_and_dedups(self):
+        pf = CompositePrefetcher(
+            NextLinePrefetcher(degree=2), NextLinePrefetcher(degree=1)
+        )
+        out = pf.observe(10, hit=False)
+        assert out == [11, 12]  # 11 deduplicated
+
+    def test_reset_propagates(self):
+        inner = NextLinePrefetcher()
+        pf = CompositePrefetcher(inner)
+        pf.observe(1, False)
+        pf.reset()
+        assert inner.issued == 0

@@ -1,0 +1,123 @@
+"""Model zoo (Table 2) tests."""
+
+import pytest
+
+from repro.errors import ConfigError, UnknownModelError
+from repro.model.configs import MODEL_NAMES, ModelConfig, get_model, list_models
+
+
+def test_zoo_contains_table2_models():
+    assert MODEL_NAMES == ("rm2_1", "rm2_2", "rm2_3", "rm1")
+
+
+def test_unknown_model():
+    with pytest.raises(UnknownModelError):
+        get_model("rm9")
+
+
+@pytest.mark.parametrize(
+    "name,rows,dim,tables,lookups,gib,table_mib",
+    [
+        ("rm2_1", 1_000_000, 128, 60, 120, 28.6, 488.3),
+        ("rm2_2", 1_000_000, 128, 120, 150, 57.2, 488.3),
+        ("rm2_3", 1_000_000, 128, 170, 180, 81.1, 488.3),
+        ("rm1", 500_000, 64, 32, 80, 3.8, 122.0),
+    ],
+)
+def test_table2_values(name, rows, dim, tables, lookups, gib, table_mib):
+    model = get_model(name)
+    assert model.rows == rows
+    assert model.embedding_dim == dim
+    assert model.num_tables == tables
+    assert model.lookups_per_sample == lookups
+    assert model.embedding_gib == pytest.approx(gib, abs=0.06)
+    assert model.table_bytes / 1024**2 == pytest.approx(table_mib, abs=0.1)
+
+
+def test_mlp_stacks_match_table2():
+    assert get_model("rm2_3").bottom_mlp == (2048, 1024, 256, 128)
+    assert get_model("rm1").top_mlp == (768, 384, 1)
+
+
+def test_bottom_mlp_ends_at_embedding_dim():
+    for name in MODEL_NAMES:
+        model = get_model(name)
+        assert model.bottom_mlp[-1] == model.embedding_dim
+
+
+def test_categories_and_sla():
+    assert get_model("rm2_1").category == "RMC2"
+    assert get_model("rm2_1").sla_ms == 400.0  # Table 1 RMC2 target
+    assert get_model("rm1").category == "RMC1"
+    assert get_model("rm1").sla_ms == 100.0
+    assert get_model("rm2_2").is_embedding_heavy
+    assert not get_model("rm1").is_embedding_heavy
+
+
+def test_lookups_per_batch():
+    model = get_model("rm2_1")
+    assert model.lookups_per_batch == 60 * 120
+    assert model.lookups_for_batch(64) == 60 * 120 * 64
+
+
+def test_scaled_keeps_rows_by_default():
+    scaled = get_model("rm2_1").scaled(0.05)
+    assert scaled.rows == 1_000_000
+    assert scaled.num_tables < 60
+    assert scaled.lookups_per_sample < 120
+    assert scaled.bottom_mlp == get_model("rm2_1").bottom_mlp
+
+
+def test_scaled_for_memory_shrinks_rows():
+    scaled = get_model("rm2_1").scaled(0.01, keep_rows=False)
+    assert scaled.rows < 1_000_000
+    assert scaled.rows >= 2048
+
+
+def test_scaled_identity():
+    model = get_model("rm1")
+    assert model.scaled(1.0) is model
+
+
+def test_scaled_name_and_base_name():
+    scaled = get_model("rm2_2").scaled(0.1)
+    assert scaled.name == "rm2_2@0.1"
+    assert scaled.base_name == "rm2_2"
+
+
+def test_paper_scale_ratio():
+    model = get_model("rm2_1")
+    assert model.paper_scale_ratio() == 1.0
+    scaled = model.scaled(0.05)
+    expected = (60 * 120) / (scaled.num_tables * scaled.lookups_per_sample)
+    assert scaled.paper_scale_ratio() == pytest.approx(expected)
+    assert scaled.paper_scale_ratio() > 1.0
+
+
+def test_scaled_rejects_bad_factor():
+    with pytest.raises(ConfigError):
+        get_model("rm1").scaled(0.0)
+    with pytest.raises(ConfigError):
+        get_model("rm1").scaled(2.0)
+
+
+def test_custom_config_validation():
+    with pytest.raises(ConfigError):
+        ModelConfig(
+            name="bad", category="RMC2", rows=10, embedding_dim=8,
+            num_tables=1, lookups_per_sample=1,
+            bottom_mlp=(16,), top_mlp=(4, 1),  # bottom doesn't end at dim
+        )
+    with pytest.raises(ConfigError):
+        ModelConfig(
+            name="bad", category="RMC2", rows=10, embedding_dim=8,
+            num_tables=1, lookups_per_sample=1,
+            bottom_mlp=(8,), top_mlp=(4, 2),  # top doesn't end at 1
+        )
+
+
+def test_list_models_is_copy():
+    models = list_models()
+    models["fake"] = None
+    with pytest.raises(UnknownModelError):
+        get_model("fake")

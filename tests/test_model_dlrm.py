@@ -1,0 +1,88 @@
+"""End-to-end DLRM model tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimConfig
+from repro.errors import ConfigError
+from repro.model.configs import get_model
+from repro.model.dlrm import DLRM
+from repro.trace.production import make_trace
+
+
+@pytest.fixture(scope="module")
+def small_dlrm():
+    return DLRM.from_config(get_model("rm1"), SimConfig(seed=3), scale=0.01)
+
+
+@pytest.fixture(scope="module")
+def small_batches(small_dlrm):
+    cfg = small_dlrm.config
+    trace = make_trace(
+        "low", cfg.num_tables, cfg.rows, batch_size=4, num_batches=1,
+        lookups_per_sample=cfg.lookups_per_sample, config=SimConfig(seed=3),
+    )
+    return trace.batches[0]
+
+
+def test_from_config_scales_rows(small_dlrm):
+    assert small_dlrm.config.rows < get_model("rm1").rows
+
+
+def test_forward_produces_probabilities(small_dlrm, small_batches):
+    dense = small_dlrm.random_dense_batch(4)
+    out = small_dlrm(dense, small_batches)
+    assert out.shape == (4,)
+    assert np.all(out > 0) and np.all(out < 1)
+
+
+def test_forward_is_deterministic(small_dlrm, small_batches):
+    dense = small_dlrm.random_dense_batch(4, rng=np.random.default_rng(7))
+    a = small_dlrm(dense, small_batches)
+    b = small_dlrm(dense, small_batches)
+    assert np.array_equal(a, b)
+
+
+def test_different_inputs_give_different_outputs(small_dlrm, small_batches):
+    a = small_dlrm(small_dlrm.random_dense_batch(4, np.random.default_rng(1)), small_batches)
+    b = small_dlrm(small_dlrm.random_dense_batch(4, np.random.default_rng(2)), small_batches)
+    assert not np.allclose(a, b)
+
+
+def test_stage_shapes(small_dlrm, small_batches):
+    cfg = small_dlrm.config
+    dense = small_dlrm.random_dense_batch(4)
+    bottom = small_dlrm.run_bottom_mlp(dense)
+    assert bottom.shape == (4, cfg.embedding_dim)
+    embs = small_dlrm.run_embedding(small_batches)
+    assert len(embs) == cfg.num_tables
+    assert all(e.shape == (4, cfg.embedding_dim) for e in embs)
+    interacted = small_dlrm.run_interaction(bottom, embs)
+    out = small_dlrm.run_top_mlp(interacted)
+    assert out.shape == (4,)
+
+
+def test_dense_width_checked(small_dlrm, small_batches):
+    with pytest.raises(ConfigError):
+        small_dlrm(np.ones((4, 3), dtype=np.float32), small_batches)
+
+
+def test_batch_size_consistency_checked(small_dlrm, small_batches):
+    dense = small_dlrm.random_dense_batch(5)  # trace has batch 4
+    with pytest.raises(ConfigError):
+        small_dlrm(dense, small_batches)
+
+
+def test_table_count_checked(small_dlrm, small_batches):
+    dense = small_dlrm.random_dense_batch(4)
+    with pytest.raises(ConfigError):
+        small_dlrm(dense, small_batches[:1])
+
+
+def test_same_seed_same_model_weights():
+    a = DLRM.from_config(get_model("rm1"), SimConfig(seed=5), scale=0.01)
+    b = DLRM.from_config(get_model("rm1"), SimConfig(seed=5), scale=0.01)
+    assert np.array_equal(a.tables[0].weight, b.tables[0].weight)
+    assert np.array_equal(
+        a.bottom_mlp.layers[0].weight, b.bottom_mlp.layers[0].weight
+    )

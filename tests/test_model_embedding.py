@@ -1,0 +1,91 @@
+"""EmbeddingTable and embedding_bag tests (Algorithm 2 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, TraceError
+from repro.model.embedding import EmbeddingTable, embedding_bag
+
+
+@pytest.fixture
+def table(rng):
+    return EmbeddingTable(rows=50, dim=8, rng=rng)
+
+
+def test_table_shape(table):
+    assert table.weight.shape == (50, 8)
+    assert table.weight.dtype == np.float32
+    assert table.nbytes == 50 * 8 * 4
+
+
+def test_lookup_gathers_rows(table):
+    out = table.lookup(np.array([3, 3, 7]))
+    assert out.shape == (3, 8)
+    assert np.array_equal(out[0], out[1])
+    assert np.array_equal(out[2], table.weight[7])
+
+
+def test_lookup_bounds(table):
+    with pytest.raises(TraceError):
+        table.lookup(np.array([50]))
+    with pytest.raises(TraceError):
+        table.lookup(np.array([-1]))
+
+
+def test_bag_sum_pooling(table):
+    # Sample 0 pools rows {1, 2}; sample 1 pools row {3}.
+    out = embedding_bag(table, np.array([1, 2, 3]), np.array([0, 2, 3]))
+    assert out.shape == (2, 8)
+    assert np.allclose(out[0], table.weight[1] + table.weight[2])
+    assert np.allclose(out[1], table.weight[3])
+
+
+def test_bag_mean_pooling(table):
+    out = embedding_bag(table, np.array([1, 2]), np.array([0, 2]), mode="mean")
+    assert np.allclose(out[0], (table.weight[1] + table.weight[2]) / 2)
+
+
+def test_bag_repeated_index_counts_twice(table):
+    out = embedding_bag(table, np.array([4, 4]), np.array([0, 2]))
+    assert np.allclose(out[0], 2 * table.weight[4])
+
+
+def test_bag_empty_sample_pools_to_zero(table):
+    out = embedding_bag(table, np.array([5]), np.array([0, 0, 1]))
+    assert np.allclose(out[0], 0.0)
+    assert np.allclose(out[1], table.weight[5])
+
+
+def test_bag_rejects_unknown_mode(table):
+    with pytest.raises(ConfigError):
+        embedding_bag(table, np.array([1]), np.array([0, 1]), mode="max")
+
+
+def test_bag_rejects_out_of_range_index(table):
+    with pytest.raises(TraceError):
+        embedding_bag(table, np.array([99]), np.array([0, 1]))
+
+
+def test_bag_matches_naive_loop(table, rng):
+    # Property: the vectorized bag equals a literal Algorithm 2 loop.
+    indices = rng.integers(0, 50, size=30)
+    pooling = rng.integers(1, 5, size=7)
+    pooling[-1] = 30 - pooling[:-1].sum()
+    assume_ok = pooling[-1] >= 1
+    if not assume_ok:
+        pooling[-1] = 1
+        indices = indices[: pooling.sum()]
+    offsets = np.concatenate([[0], np.cumsum(pooling)])
+    out = embedding_bag(table, indices, offsets)
+    for k in range(len(pooling)):
+        acc = np.zeros(8, dtype=np.float32)
+        for idx in indices[offsets[k] : offsets[k + 1]]:
+            acc += table.weight[idx]
+        assert np.allclose(out[k], acc, atol=1e-5)
+
+
+def test_table_validation():
+    with pytest.raises(ConfigError):
+        EmbeddingTable(0, 8)
+    with pytest.raises(ConfigError):
+        EmbeddingTable(8, 0)

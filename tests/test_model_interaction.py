@@ -1,0 +1,72 @@
+"""Feature-interaction tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.model.interaction import (
+    dot_interaction,
+    interaction_flops,
+    interaction_output_dim,
+)
+
+
+def test_output_dim_formula():
+    # 2 embeddings + bottom = 3 vectors -> C(3,2)=3 pairs + dim passthrough.
+    assert interaction_output_dim(2, 16) == 16 + 3
+    # rm2_1: 60 tables, dim 128.
+    assert interaction_output_dim(60, 128) == 128 + 61 * 60 // 2
+
+
+def test_output_dim_validation():
+    with pytest.raises(ConfigError):
+        interaction_output_dim(-1, 8)
+    with pytest.raises(ConfigError):
+        interaction_output_dim(2, 0)
+
+
+def test_flops_positive_and_quadratic():
+    f1 = interaction_flops(4, 10, 64)
+    f2 = interaction_flops(4, 20, 64)
+    assert f2 > 3 * f1  # ~quadratic in the table count
+
+
+def test_interaction_shape(rng):
+    bottom = rng.normal(size=(5, 16)).astype(np.float32)
+    embs = [rng.normal(size=(5, 16)).astype(np.float32) for _ in range(3)]
+    out = dot_interaction(bottom, embs)
+    assert out.shape == (5, interaction_output_dim(3, 16))
+
+
+def test_passthrough_of_bottom_output(rng):
+    bottom = rng.normal(size=(2, 8)).astype(np.float32)
+    out = dot_interaction(bottom, [np.zeros((2, 8), dtype=np.float32)])
+    assert np.allclose(out[:, :8], bottom)
+
+
+def test_pairwise_dots_match_manual(rng):
+    bottom = rng.normal(size=(1, 4)).astype(np.float32)
+    emb = rng.normal(size=(1, 4)).astype(np.float32)
+    out = dot_interaction(bottom, [emb])
+    expected_dot = float(bottom[0] @ emb[0])
+    assert out[0, 4] == pytest.approx(expected_dot, rel=1e-5)
+
+
+def test_three_vectors_have_three_pairs(rng):
+    bottom = rng.normal(size=(1, 4)).astype(np.float32)
+    e1 = rng.normal(size=(1, 4)).astype(np.float32)
+    e2 = rng.normal(size=(1, 4)).astype(np.float32)
+    out = dot_interaction(bottom, [e1, e2])
+    pairs = out[0, 4:]
+    expected = sorted(
+        [float(e1[0] @ bottom[0]), float(e2[0] @ bottom[0]), float(e2[0] @ e1[0])]
+    )
+    assert sorted(pairs.tolist()) == pytest.approx(expected, rel=1e-5)
+
+
+def test_shape_mismatch_rejected(rng):
+    bottom = rng.normal(size=(2, 8)).astype(np.float32)
+    with pytest.raises(ConfigError):
+        dot_interaction(bottom, [np.zeros((2, 4), dtype=np.float32)])
+    with pytest.raises(ConfigError):
+        dot_interaction(np.zeros(8), [])

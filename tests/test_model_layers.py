@@ -1,0 +1,83 @@
+"""Dense layer tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.model.layers import MLP, Linear, relu
+
+
+def test_relu():
+    x = np.array([-1.0, 0.0, 2.0])
+    assert list(relu(x)) == [0.0, 0.0, 2.0]
+
+
+class TestLinear:
+    def test_shapes(self, rng):
+        layer = Linear(8, 4, rng=rng)
+        out = layer(np.ones((3, 8), dtype=np.float32))
+        assert out.shape == (3, 4)
+        assert out.dtype == np.float32
+
+    def test_matches_manual_matmul(self, rng):
+        layer = Linear(5, 2, rng=rng)
+        x = rng.normal(size=(4, 5)).astype(np.float32)
+        expected = x @ layer.weight + layer.bias
+        assert np.allclose(layer(x), expected)
+
+    def test_rejects_wrong_width(self, rng):
+        layer = Linear(5, 2, rng=rng)
+        with pytest.raises(ConfigError):
+            layer(np.ones((4, 6), dtype=np.float32))
+
+    def test_flops(self):
+        layer = Linear(10, 20)
+        assert layer.flops(batch_size=3) == 2 * 3 * 10 * 20
+
+    def test_weight_bytes(self):
+        layer = Linear(10, 20)
+        assert layer.weight_bytes == (10 * 20 + 20) * 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Linear(0, 4)
+
+
+class TestMLP:
+    def test_table2_notation(self, rng):
+        # "Bottom-MLP 256-128-128": widths are outputs of each layer.
+        mlp = MLP(256, (256, 128, 128), rng=rng)
+        out = mlp(np.ones((2, 256), dtype=np.float32))
+        assert out.shape == (2, 128)
+        assert mlp.out_features == 128
+
+    def test_relu_applied_between_layers(self, rng):
+        mlp = MLP(4, (4, 4), rng=rng)
+        out = mlp(rng.normal(size=(10, 4)).astype(np.float32))
+        assert np.all(out >= 0)  # final_relu=True by default
+
+    def test_no_final_relu_for_top(self, rng):
+        mlp = MLP(4, (4, 1), rng=rng, final_relu=False)
+        outs = [
+            float(mlp(rng.normal(size=(1, 4)).astype(np.float32))[0, 0])
+            for _ in range(20)
+        ]
+        assert min(outs) < 0  # logits can be negative
+
+    def test_flops_sum_layers(self):
+        mlp = MLP(8, (4, 2))
+        assert mlp.flops(5) == 2 * 5 * (8 * 4 + 4 * 2)
+
+    def test_weight_bytes_small_for_paper_models(self):
+        # Section 4.4: bottom MLPs "only require a few MBs".
+        bottom = MLP(256, (2048, 1024, 256, 128))
+        assert bottom.weight_bytes < 16 * 1024 * 1024
+
+    def test_empty_widths_rejected(self):
+        with pytest.raises(ConfigError):
+            MLP(8, ())
+
+    def test_deterministic_given_rng(self):
+        a = MLP(4, (4,), rng=np.random.default_rng(3))
+        b = MLP(4, (4,), rng=np.random.default_rng(3))
+        assert np.array_equal(a.layers[0].weight, b.layers[0].weight)

@@ -1,0 +1,60 @@
+"""Quantized-embedding tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.model.configs import get_model
+
+
+def test_quantized_shrinks_footprint():
+    fp32 = get_model("rm2_1")
+    fp16 = fp32.quantized(2)
+    int8 = fp32.quantized(1)
+    assert fp16.table_bytes == fp32.table_bytes // 2
+    assert int8.table_bytes == fp32.table_bytes // 4
+    assert fp16.name == "rm2_1-fp16"
+
+
+def test_quantized_identity():
+    model = get_model("rm2_1")
+    assert model.quantized(4) is model
+
+
+def test_quantized_address_map_uses_fewer_lines():
+    fp32 = get_model("rm2_1").scaled(0.01)
+    assert fp32.address_map().row_lines == 8
+    assert fp32.quantized(2).address_map().row_lines == 4
+    assert fp32.quantized(1).address_map().row_lines == 2
+
+
+def test_invalid_dtype_rejected():
+    with pytest.raises(ConfigError):
+        get_model("rm2_1").quantized(3)
+
+
+def test_quantized_scaled_keeps_projection():
+    scaled = get_model("rm2_1").scaled(0.02).quantized(2)
+    assert scaled.base_name == "rm2_1"
+    assert scaled.paper_scale_ratio() > 1.0
+
+
+def test_quantization_speeds_up_embedding(csl, sim_config):
+    """Half the lines per row -> substantially fewer memory cycles."""
+    from repro.engine.embedding_exec import run_embedding_trace
+    from repro.mem.hierarchy import build_hierarchy
+    from repro.trace.production import make_trace
+
+    results = {}
+    for dtype in (4, 2):
+        model = get_model("rm2_1").scaled(0.01).quantized(dtype)
+        trace = make_trace(
+            "low", model.num_tables, model.rows, 4, 1,
+            model.lookups_per_sample, config=sim_config,
+        )
+        run = run_embedding_trace(
+            trace, model.address_map(), csl.core,
+            build_hierarchy(csl.hierarchy),
+        )
+        results[dtype] = run
+    assert results[2].loads == results[4].loads // 2
+    assert results[2].total_cycles < results[4].total_cycles * 0.75

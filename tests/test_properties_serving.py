@@ -1,0 +1,79 @@
+"""Property-based tests on the serving stack (batcher, server, pipeline)."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.serving.batcher import chunk_queries
+from repro.serving.server import simulate_server
+from repro.serving.workload import poisson_arrivals
+
+SETTINGS = settings(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+arrival_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0), min_size=1, max_size=150
+).map(sorted)
+
+
+@SETTINGS
+@given(arrival_lists, st.integers(1, 10), st.floats(0.5, 100.0))
+def test_batcher_partitions_queries(arrivals, batch_size, timeout):
+    """Every query lands in exactly one batch, in order, within limits."""
+    arrivals = np.asarray(arrivals)
+    batches = chunk_queries(arrivals, batch_size, timeout)
+    flattened = np.concatenate([b.query_arrivals_ms for b in batches])
+    assert np.array_equal(flattened, arrivals)
+    for batch in batches:
+        assert 1 <= batch.size <= batch_size
+        assert batch.dispatch_ms >= batch.query_arrivals_ms.max() - 1e-9
+        assert batch.max_queueing_delay_ms <= timeout + 1e-9
+
+
+@SETTINGS
+@given(arrival_lists, st.integers(1, 10), st.floats(0.5, 100.0))
+def test_batcher_dispatches_monotone(arrivals, batch_size, timeout):
+    batches = chunk_queries(np.asarray(arrivals), batch_size, timeout)
+    dispatches = [b.dispatch_ms for b in batches]
+    assert dispatches == sorted(dispatches)
+
+
+@SETTINGS
+@given(
+    st.integers(0, 2**31 - 1),
+    st.floats(1.0, 50.0),
+    st.integers(1, 16),
+)
+def test_server_conservation_laws(seed, service_ms, cores):
+    """No request served before arrival; cores never exceed capacity."""
+    rng = np.random.default_rng(seed)
+    arrivals = poisson_arrivals(5.0, 200, rng)
+    result = simulate_server(arrivals, service_ms, cores, rng)
+    assert np.all(result.waits_ms >= -1e-9)
+    assert np.all(result.latencies_ms >= result.services_ms - 1e-9)
+    # Work conservation: total busy time fits in cores x makespan.
+    makespan = float((arrivals + result.latencies_ms).max())
+    assert result.services_ms.sum() <= cores * makespan + 1e-6
+
+
+@SETTINGS
+@given(st.integers(0, 2**31 - 1), st.integers(1, 8))
+def test_server_fifo_order_of_starts(seed, cores):
+    """FIFO dispatch: start times are non-decreasing in arrival order."""
+    rng = np.random.default_rng(seed)
+    arrivals = poisson_arrivals(3.0, 100, rng)
+    result = simulate_server(arrivals, 10.0, cores, rng)
+    starts = arrivals + result.waits_ms
+    assert np.all(np.diff(starts) >= -1e-9)
+
+
+@SETTINGS
+@given(st.integers(0, 2**31 - 1))
+def test_more_cores_never_hurt(seed):
+    rng_arr = np.random.default_rng(seed)
+    arrivals = poisson_arrivals(4.0, 150, rng_arr)
+    few = simulate_server(arrivals, 12.0, 2, np.random.default_rng(seed + 1))
+    many = simulate_server(arrivals, 12.0, 8, np.random.default_rng(seed + 1))
+    # With identical service draws, adding cores cannot raise the mean wait.
+    assert many.waits_ms.mean() <= few.waits_ms.mean() + 1e-9

@@ -1,0 +1,84 @@
+"""Property-based tests on trace generation."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import SimConfig
+from repro.trace.production import DATASET_NAMES, make_trace
+from repro.trace.stream import AddressMap
+
+SETTINGS = settings(
+    max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+shapes = st.tuples(
+    st.sampled_from(DATASET_NAMES),
+    st.integers(1, 4),      # tables
+    st.integers(64, 4000),  # rows
+    st.integers(1, 6),      # batch size
+    st.integers(1, 3),      # batches
+    st.integers(1, 8),      # lookups per sample
+    st.integers(0, 2**20),  # seed
+)
+
+
+@SETTINGS
+@given(shapes)
+def test_generated_traces_are_structurally_valid(shape):
+    dataset, tables, rows, bs, nb, lookups, seed = shape
+    trace = make_trace(
+        dataset, tables, rows, bs, nb, lookups, config=SimConfig(seed=seed)
+    )
+    assert trace.num_tables == tables
+    assert trace.num_batches == nb
+    assert trace.batch_size == bs
+    for b in range(nb):
+        for t in range(tables):
+            tb = trace.table_batch(b, t)
+            assert tb.offsets[0] == 0
+            assert tb.offsets[-1] == tb.indices.size
+            assert np.all(np.diff(tb.offsets) >= 0)
+            if tb.indices.size:
+                assert 0 <= tb.indices.min()
+                assert tb.indices.max() < rows
+
+
+@SETTINGS
+@given(shapes)
+def test_traces_map_into_address_space(shape):
+    dataset, tables, rows, bs, nb, lookups, seed = shape
+    trace = make_trace(
+        dataset, tables, rows, bs, nb, lookups, config=SimConfig(seed=seed)
+    )
+    amap = AddressMap([rows] * tables, 64)
+    for b in range(nb):
+        for t in range(tables):
+            lines = amap.batch_first_lines(t, trace.table_batch(b, t))
+            if lines.size == 0:
+                continue
+            # Every line falls inside its own table's extent.
+            lo = amap.table_bases[t] // 64
+            hi = (amap.table_bases[t] + rows * amap.row_bytes) // 64
+            assert lines.min() >= lo
+            assert lines.max() < hi
+
+
+@SETTINGS
+@given(shapes)
+def test_trace_generation_is_pure(shape):
+    dataset, tables, rows, bs, nb, lookups, seed = shape
+    a = make_trace(dataset, tables, rows, bs, nb, lookups, config=SimConfig(seed=seed))
+    b = make_trace(dataset, tables, rows, bs, nb, lookups, config=SimConfig(seed=seed))
+    for t in range(tables):
+        assert np.array_equal(a.table_indices(t), b.table_indices(t))
+
+
+@SETTINGS
+@given(st.integers(0, 2**20))
+def test_one_item_never_varies(seed):
+    trace = make_trace(
+        "one-item", 2, 100, 3, 2, 4, config=SimConfig(seed=seed)
+    )
+    for t in range(2):
+        assert np.all(trace.table_indices(t) == 0)

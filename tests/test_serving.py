@@ -1,0 +1,136 @@
+"""Serving-stack tests: SLA registry, load generator, M/G/c server."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimConfig
+from repro.errors import ConfigError
+from repro.model.configs import get_model
+from repro.serving.latency import (
+    latency_percentile,
+    sla_compliant_region,
+    sweep_arrival_times,
+)
+from repro.serving.server import lognormal_services, simulate_server
+from repro.serving.sla import SLA_TARGETS, sla_for_model
+from repro.serving.workload import poisson_arrivals
+
+
+class TestSLA:
+    def test_table1_contents(self):
+        assert SLA_TARGETS["RMC1"].sla_ms == 100.0
+        assert SLA_TARGETS["RMC2"].sla_ms == 400.0
+        assert SLA_TARGETS["RMC3"].sla_ms == 100.0
+        assert SLA_TARGETS["RMC2"].bottleneck == "embedding"
+        assert SLA_TARGETS["RMC3"].bottleneck == "mlp"
+
+    def test_sla_for_model(self):
+        assert sla_for_model(get_model("rm2_1")).sla_ms == 400.0
+        assert sla_for_model(get_model("rm1")).sla_ms == 100.0
+
+    def test_meets(self):
+        target = SLA_TARGETS["RMC1"]
+        assert target.meets(99.0)
+        assert not target.meets(101.0)
+        with pytest.raises(ConfigError):
+            target.meets(-1.0)
+
+
+class TestWorkload:
+    def test_arrivals_are_sorted_and_positive(self, rng):
+        arrivals = poisson_arrivals(10.0, 500, rng)
+        assert arrivals.shape == (500,)
+        assert np.all(np.diff(arrivals) >= 0)
+        assert arrivals[0] > 0
+
+    def test_mean_interarrival(self, rng):
+        arrivals = poisson_arrivals(10.0, 20_000, rng)
+        assert np.mean(np.diff(arrivals)) == pytest.approx(10.0, rel=0.05)
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigError):
+            poisson_arrivals(0.0, 10, rng)
+        with pytest.raises(ConfigError):
+            poisson_arrivals(1.0, 0, rng)
+
+
+class TestServer:
+    def test_lognormal_services_mean_and_cv(self, rng):
+        services = lognormal_services(50.0, 50_000, rng, cv=0.2)
+        assert np.mean(services) == pytest.approx(50.0, rel=0.02)
+        assert np.std(services) / np.mean(services) == pytest.approx(0.2, rel=0.1)
+
+    def test_zero_cv_is_deterministic(self, rng):
+        services = lognormal_services(50.0, 10, rng, cv=0.0)
+        assert np.all(services == 50.0)
+
+    def test_unloaded_server_has_no_queueing(self, rng):
+        arrivals = poisson_arrivals(1000.0, 200, rng)  # very light load
+        result = simulate_server(arrivals, 10.0, num_cores=4, rng=rng)
+        assert np.all(result.waits_ms < 1e-9)
+        assert result.mean_ms == pytest.approx(10.0, rel=0.1)
+
+    def test_saturated_server_queues(self, rng):
+        arrivals = poisson_arrivals(1.0, 500, rng)  # offered >> capacity
+        result = simulate_server(arrivals, 10.0, num_cores=2, rng=rng)
+        assert result.p95_ms > 50.0
+        assert result.utilization > 1.0
+
+    def test_more_cores_cut_tail(self, rng):
+        arrivals = poisson_arrivals(5.0, 1000, np.random.default_rng(0))
+        few = simulate_server(arrivals, 18.0, 4, np.random.default_rng(1))
+        many = simulate_server(arrivals, 18.0, 16, np.random.default_rng(1))
+        assert many.p95_ms < few.p95_ms
+
+    def test_latency_decomposition(self, rng):
+        arrivals = poisson_arrivals(5.0, 300, rng)
+        result = simulate_server(arrivals, 8.0, 2, rng)
+        assert np.allclose(result.latencies_ms, result.waits_ms + result.services_ms)
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigError):
+            simulate_server(np.array([1.0]), 5.0, 0, rng)
+        with pytest.raises(ConfigError):
+            simulate_server(np.array([2.0, 1.0]), 5.0, 1, rng)
+        with pytest.raises(ConfigError):
+            lognormal_services(0.0, 5, rng)
+
+
+class TestLatencyAnalysis:
+    def test_percentile(self):
+        assert latency_percentile(range(101), 95) == pytest.approx(95.0)
+        with pytest.raises(ConfigError):
+            latency_percentile([], 95)
+        with pytest.raises(ConfigError):
+            latency_percentile([1.0], 150)
+
+    def test_sweep_monotone_in_arrival_time(self):
+        sweep = sweep_arrival_times(
+            mean_service_ms=20.0,
+            arrival_times_ms=[2.0, 5.0, 40.0],
+            num_cores=2,
+            num_requests=800,
+            config=SimConfig(seed=4),
+        )
+        p95s = [sweep[a].p95_ms for a in (2.0, 5.0, 40.0)]
+        assert p95s[0] > p95s[-1]  # faster arrivals -> worse tail
+
+    def test_sla_compliant_region(self):
+        sweep = sweep_arrival_times(
+            20.0, [2.0, 15.0, 40.0], num_cores=2, num_requests=800,
+            config=SimConfig(seed=4),
+        )
+        fastest, slowest = sla_compliant_region(sweep, sla_ms=100.0)
+        assert fastest <= 40.0
+        assert slowest == 40.0
+
+    def test_region_empty_when_sla_impossible(self):
+        sweep = sweep_arrival_times(
+            20.0, [1.0], num_cores=1, num_requests=500, config=SimConfig(seed=4)
+        )
+        fastest, slowest = sla_compliant_region(sweep, sla_ms=0.001)
+        assert fastest == float("inf")
+
+    def test_region_validation(self):
+        with pytest.raises(ConfigError):
+            sla_compliant_region({}, 0.0)

@@ -1,0 +1,66 @@
+"""Query-batcher tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.serving.batcher import chunk_queries
+
+
+def test_full_batches_dispatch_immediately():
+    arrivals = np.array([0.0, 1.0, 2.0, 3.0])
+    batches = chunk_queries(arrivals, batch_size=2, timeout_ms=100.0)
+    assert len(batches) == 2
+    assert batches[0].dispatch_ms == 1.0  # completed by the 2nd arrival
+    assert batches[0].size == 2
+    assert batches[1].dispatch_ms == 3.0
+
+
+def test_timeout_dispatches_partial_batch():
+    arrivals = np.array([0.0, 1.0, 50.0])
+    batches = chunk_queries(arrivals, batch_size=4, timeout_ms=10.0)
+    # First batch times out at 0+10 with 2 queries; 50.0 starts fresh.
+    assert batches[0].dispatch_ms == 10.0
+    assert batches[0].size == 2
+    assert batches[1].size == 1
+    assert batches[1].dispatch_ms == 60.0
+
+
+def test_every_query_batched_exactly_once(rng):
+    arrivals = np.sort(rng.uniform(0, 1000, size=200))
+    batches = chunk_queries(arrivals, batch_size=8, timeout_ms=20.0)
+    total = sum(b.size for b in batches)
+    assert total == 200
+    assert all(b.size <= 8 for b in batches)
+
+
+def test_queueing_delay_bounded_by_timeout(rng):
+    arrivals = np.sort(rng.uniform(0, 500, size=100))
+    timeout = 15.0
+    for batch in chunk_queries(arrivals, batch_size=16, timeout_ms=timeout):
+        assert batch.max_queueing_delay_ms <= timeout + 1e-9
+        assert batch.mean_queueing_delay_ms <= batch.max_queueing_delay_ms
+
+
+def test_batch_size_one_is_pass_through():
+    arrivals = np.array([1.0, 2.0, 3.0])
+    batches = chunk_queries(arrivals, batch_size=1, timeout_ms=5.0)
+    assert [b.dispatch_ms for b in batches] == [1.0, 2.0, 3.0]
+
+
+def test_dispatch_times_non_decreasing(rng):
+    arrivals = np.sort(rng.exponential(3.0, size=300).cumsum())
+    batches = chunk_queries(arrivals, batch_size=4, timeout_ms=10.0)
+    times = [b.dispatch_ms for b in batches]
+    assert times == sorted(times)
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        chunk_queries(np.array([1.0]), 0, 10.0)
+    with pytest.raises(ConfigError):
+        chunk_queries(np.array([1.0]), 2, 0.0)
+    with pytest.raises(ConfigError):
+        chunk_queries(np.array([]), 2, 10.0)
+    with pytest.raises(ConfigError):
+        chunk_queries(np.array([2.0, 1.0]), 2, 10.0)

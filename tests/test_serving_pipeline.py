@@ -1,0 +1,67 @@
+"""Batcher + server pipeline tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.serving.pipeline import serve_query_stream
+from repro.serving.workload import poisson_arrivals
+
+
+def run_pipeline(rng, interarrival=2.0, n=400, batch_size=8, timeout=20.0,
+                 service=10.0, cores=4):
+    arrivals = poisson_arrivals(interarrival, n, rng)
+    return serve_query_stream(
+        arrivals, batch_size, timeout, service, cores, rng
+    )
+
+
+def test_every_query_accounted(rng):
+    result = run_pipeline(rng, n=300)
+    assert result.query_latencies_ms.size == 300
+    assert result.batching_delays_ms.size == 300
+
+
+def test_query_latency_includes_batching_delay(rng):
+    result = run_pipeline(rng)
+    assert np.all(
+        result.query_latencies_ms >= result.batching_delays_ms - 1e-9
+    )
+    assert np.all(result.batching_delays_ms >= -1e-9)
+
+
+def test_partial_batches_cost_less_service(rng):
+    # Sparse arrivals: batches time out nearly empty, so service per batch
+    # is well below the full-batch cost.
+    result = run_pipeline(rng, interarrival=100.0, n=50, batch_size=16,
+                          timeout=5.0)
+    assert result.mean_batch_size < 4
+    assert float(np.mean(result.server.services_ms)) < 10.0
+
+
+def test_bigger_timeout_bigger_batches(rng):
+    small = run_pipeline(np.random.default_rng(1), timeout=2.0)
+    large = run_pipeline(np.random.default_rng(1), timeout=50.0)
+    assert large.mean_batch_size > small.mean_batch_size
+
+
+def test_batching_tradeoff_visible_in_tail(rng):
+    # At light load, a long collection timeout inflates per-query latency.
+    fast = run_pipeline(np.random.default_rng(2), interarrival=20.0,
+                        timeout=1.0, batch_size=16)
+    slow = run_pipeline(np.random.default_rng(2), interarrival=20.0,
+                        timeout=200.0, batch_size=16)
+    assert slow.p95_ms > fast.p95_ms
+
+
+def test_p95_definition(rng):
+    result = run_pipeline(rng)
+    assert result.p95_ms == pytest.approx(
+        float(np.percentile(result.query_latencies_ms, 95))
+    )
+
+
+def test_validation(rng):
+    arrivals = poisson_arrivals(1.0, 10, rng)
+    with pytest.raises(ConfigError):
+        serve_query_stream(arrivals, 4, 10.0, 0.0, 2, rng)

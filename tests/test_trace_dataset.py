@@ -1,0 +1,116 @@
+"""EmbeddingTrace container tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.dataset import EmbeddingTrace, TableBatch
+
+
+def make_tb(pooling, base=0):
+    offsets = np.concatenate([[0], np.cumsum(pooling)]).astype(np.int64)
+    indices = (np.arange(offsets[-1]) + base).astype(np.int64)
+    return TableBatch(offsets=offsets, indices=indices)
+
+
+class TestTableBatch:
+    def test_basic_shape(self):
+        tb = make_tb([2, 3, 1])
+        assert tb.batch_size == 3
+        assert tb.total_lookups == 6
+
+    def test_sample_indices_slicing(self):
+        tb = make_tb([2, 3, 1])
+        assert list(tb.sample_indices(1)) == [2, 3, 4]
+
+    def test_sample_bounds_checked(self):
+        tb = make_tb([2])
+        with pytest.raises(TraceError):
+            tb.sample_indices(1)
+
+    def test_lookups_per_sample(self):
+        tb = make_tb([2, 3, 1])
+        assert list(tb.lookups_per_sample()) == [2, 3, 1]
+
+    def test_zero_lookup_sample_allowed(self):
+        tb = make_tb([2, 0, 1])
+        assert tb.sample_indices(1).size == 0
+
+    def test_offsets_must_start_at_zero(self):
+        with pytest.raises(TraceError):
+            TableBatch(np.array([1, 3]), np.arange(3))
+
+    def test_offsets_must_be_monotone(self):
+        with pytest.raises(TraceError):
+            TableBatch(np.array([0, 3, 2]), np.arange(3))
+
+    def test_offsets_must_end_at_index_count(self):
+        with pytest.raises(TraceError):
+            TableBatch(np.array([0, 2]), np.arange(5))
+
+    def test_negative_indices_rejected(self):
+        with pytest.raises(TraceError):
+            TableBatch(np.array([0, 2]), np.array([-1, 3]))
+
+
+class TestEmbeddingTrace:
+    def build(self, num_tables=2, rows=100, batches=2):
+        trace = EmbeddingTrace(rows_per_table=[rows] * num_tables, name="t")
+        for b in range(batches):
+            trace.append_batch(
+                [make_tb([2, 2], base=b * 10 + t) for t in range(num_tables)]
+            )
+        return trace
+
+    def test_shape_properties(self):
+        trace = self.build()
+        assert trace.num_tables == 2
+        assert trace.num_batches == 2
+        assert trace.batch_size == 2
+        assert trace.total_lookups() == 16
+
+    def test_index_range_validated_per_table(self):
+        trace = EmbeddingTrace(rows_per_table=[4])
+        with pytest.raises(TraceError):
+            trace.append_batch([make_tb([3], base=5)])  # index 7 > 3
+
+    def test_batch_must_cover_all_tables(self):
+        trace = self.build()
+        with pytest.raises(TraceError):
+            trace.append_batch([make_tb([2, 2])])
+
+    def test_needs_a_table(self):
+        with pytest.raises(TraceError):
+            EmbeddingTrace(rows_per_table=[])
+
+    def test_table_indices_concatenates_batches(self):
+        trace = self.build(num_tables=1, batches=3)
+        assert trace.table_indices(0).size == 12
+
+    def test_iter_order_is_batch_major(self):
+        trace = self.build()
+        order = [(b, t) for b, t, _ in trace.iter_table_batches()]
+        assert order == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_unique_fraction(self):
+        trace = EmbeddingTrace(rows_per_table=[100])
+        tb = TableBatch(np.array([0, 4]), np.array([7, 7, 7, 9]))
+        trace.append_batch([tb])
+        assert trace.unique_fraction(0) == pytest.approx(0.5)
+
+    def test_access_counts_sorted_descending(self):
+        trace = EmbeddingTrace(rows_per_table=[100])
+        tb = TableBatch(np.array([0, 5]), np.array([1, 1, 1, 2, 3]))
+        trace.append_batch([tb])
+        assert list(trace.access_counts(0)) == [3, 1, 1]
+
+    def test_summary_keys(self):
+        summary = self.build().summary()
+        assert summary["tables"] == 2
+        assert summary["total_lookups"] == 16
+        assert 0 < summary["mean_unique_fraction"] <= 1
+
+    def test_empty_trace_has_no_batch_size(self):
+        trace = EmbeddingTrace(rows_per_table=[10])
+        with pytest.raises(TraceError):
+            _ = trace.batch_size

@@ -1,0 +1,98 @@
+"""Hotness profile and Zipf calibration tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.trace.hotness import (
+    HOTNESS_PROFILES,
+    HotnessProfile,
+    expected_unique_fraction,
+    fit_zipf_alpha,
+    measured_unique_fraction,
+    zipf_probabilities,
+)
+
+
+def test_published_targets():
+    assert HOTNESS_PROFILES["high"].unique_fraction == 0.03
+    assert HOTNESS_PROFILES["medium"].unique_fraction == 0.24
+    assert HOTNESS_PROFILES["low"].unique_fraction == 0.60
+
+
+def test_profile_validation():
+    with pytest.raises(ConfigError):
+        HotnessProfile("bad", unique_fraction=0.0)
+
+
+def test_zipf_probabilities_normalized_and_sorted():
+    p = zipf_probabilities(1000, 1.0)
+    assert p.sum() == pytest.approx(1.0)
+    assert np.all(np.diff(p) <= 0)  # rank 0 hottest
+
+
+def test_zipf_alpha_zero_is_uniform():
+    p = zipf_probabilities(100, 0.0)
+    assert np.allclose(p, 0.01)
+
+
+def test_zipf_rejects_bad_args():
+    with pytest.raises(ConfigError):
+        zipf_probabilities(0, 1.0)
+    with pytest.raises(ConfigError):
+        zipf_probabilities(10, -1.0)
+
+
+def test_expected_unique_uniform_matches_coupon_collector():
+    # N = R uniform draws leave 1 - 1/e ≈ 63.2% unique.
+    rows = 5000
+    frac = expected_unique_fraction(rows, rows, 0.0)
+    assert frac == pytest.approx(1 - np.exp(-1), abs=0.01)
+
+
+def test_expected_unique_decreases_with_alpha():
+    rows, samples = 10000, 10000
+    fractions = [expected_unique_fraction(rows, samples, a) for a in (0.0, 0.5, 1.0, 2.0)]
+    assert fractions == sorted(fractions, reverse=True)
+
+
+def test_fit_alpha_hits_targets():
+    rows, samples = 100_000, 100_000
+    for target in (0.03, 0.24, 0.60):
+        alpha = fit_zipf_alpha(rows, samples, target)
+        got = expected_unique_fraction(rows, samples, alpha)
+        assert got == pytest.approx(target, abs=0.01)
+
+
+def test_fit_alpha_orders_hotness():
+    rows, samples = 50_000, 50_000
+    alpha_high = fit_zipf_alpha(rows, samples, 0.03)
+    alpha_med = fit_zipf_alpha(rows, samples, 0.24)
+    alpha_low = fit_zipf_alpha(rows, samples, 0.60)
+    assert alpha_high > alpha_med > alpha_low
+
+
+def test_fit_alpha_returns_zero_when_target_unreachable():
+    # With N >> R even uniform sampling leaves few uniques; asking for
+    # MORE uniques than uniform gives is answered with alpha=0.
+    assert fit_zipf_alpha(100, 100_000, 0.9) == 0.0
+
+
+def test_fit_alpha_validates_target():
+    with pytest.raises(ConfigError):
+        fit_zipf_alpha(100, 100, 0.0)
+
+
+def test_measured_unique_fraction():
+    assert measured_unique_fraction(np.array([1, 1, 1, 2])) == pytest.approx(0.5)
+    with pytest.raises(ConfigError):
+        measured_unique_fraction(np.array([], dtype=np.int64))
+
+
+def test_empirical_sample_matches_expectation():
+    rng = np.random.default_rng(0)
+    rows, samples = 20_000, 20_000
+    alpha = fit_zipf_alpha(rows, samples, 0.24)
+    p = zipf_probabilities(rows, alpha)
+    draws = rng.choice(rows, size=samples, p=p)
+    assert measured_unique_fraction(draws) == pytest.approx(0.24, abs=0.03)

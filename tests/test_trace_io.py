@@ -1,0 +1,52 @@
+"""Trace serialization tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.io import load_trace, save_trace
+
+
+def test_round_trip(tiny_trace, tmp_path):
+    path = save_trace(tiny_trace, tmp_path / "trace")
+    assert path.suffix == ".npz"
+    loaded = load_trace(path)
+    assert loaded.name == tiny_trace.name
+    assert loaded.num_batches == tiny_trace.num_batches
+    assert loaded.num_tables == tiny_trace.num_tables
+    assert loaded.rows_per_table == list(tiny_trace.rows_per_table)
+    for b in range(tiny_trace.num_batches):
+        for t in range(tiny_trace.num_tables):
+            original = tiny_trace.table_batch(b, t)
+            restored = loaded.table_batch(b, t)
+            assert np.array_equal(original.offsets, restored.offsets)
+            assert np.array_equal(original.indices, restored.indices)
+
+
+def test_round_trip_preserves_statistics(tiny_trace, tmp_path):
+    loaded = load_trace(save_trace(tiny_trace, tmp_path / "t.npz"))
+    assert loaded.mean_unique_fraction() == tiny_trace.mean_unique_fraction()
+    assert loaded.total_lookups() == tiny_trace.total_lookups()
+
+
+def test_missing_file(tmp_path):
+    with pytest.raises(TraceError):
+        load_trace(tmp_path / "nope.npz")
+
+
+def test_rejects_foreign_npz(tmp_path):
+    path = tmp_path / "foreign.npz"
+    np.savez(path, something=np.arange(3))
+    with pytest.raises(TraceError):
+        load_trace(path)
+
+
+def test_loaded_trace_is_validated(tiny_trace, tmp_path):
+    # Loading goes through the normal constructors, so corrupt content
+    # cannot slip in silently: truncate the file's arrays.
+    path = save_trace(tiny_trace, tmp_path / "t.npz")
+    with np.load(path) as data:
+        arrays = {k: data[k] for k in data.files if not k.startswith("offsets_1")}
+    np.savez(tmp_path / "broken.npz", **arrays)
+    with pytest.raises(TraceError):
+        load_trace(tmp_path / "broken.npz")

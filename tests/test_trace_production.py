@@ -1,0 +1,116 @@
+"""Production trace synthesis tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimConfig
+from repro.errors import ConfigError
+from repro.trace.production import DATASET_NAMES, make_production_trace, make_trace
+
+
+def small_trace(dataset, **kwargs):
+    defaults = dict(
+        num_tables=3,
+        rows_per_table=5000,
+        batch_size=8,
+        num_batches=2,
+        lookups_per_sample=10,
+        config=SimConfig(seed=5),
+    )
+    defaults.update(kwargs)
+    return make_trace(dataset, **defaults)
+
+
+def test_all_dataset_names_buildable():
+    for dataset in DATASET_NAMES:
+        trace = small_trace(dataset)
+        assert trace.num_tables == 3
+        assert trace.num_batches == 2
+
+
+def test_unknown_dataset_rejected():
+    with pytest.raises(ConfigError):
+        small_trace("lukewarm")
+
+
+def test_one_item_touches_single_row():
+    trace = small_trace("one-item")
+    for t in range(trace.num_tables):
+        assert np.unique(trace.table_indices(t)).size == 1
+
+
+def test_random_is_nearly_all_unique():
+    # 160 draws from 5000 rows: collisions rare.
+    trace = small_trace("random")
+    assert trace.mean_unique_fraction() > 0.9
+
+
+def test_hotness_ordering():
+    fracs = {
+        ds: small_trace(ds, calibration_samples=5000).mean_unique_fraction()
+        for ds in ("high", "medium", "low")
+    }
+    assert fracs["high"] < fracs["medium"] < fracs["low"]
+
+
+def test_calibration_at_matching_scale_hits_target():
+    trace = make_trace(
+        "medium",
+        num_tables=2,
+        rows_per_table=30_000,
+        batch_size=32,
+        num_batches=10,
+        lookups_per_sample=50,
+        config=SimConfig(seed=1),
+        calibration_samples=32 * 10 * 50,
+    )
+    assert trace.mean_unique_fraction() == pytest.approx(0.24, abs=0.05)
+
+
+def test_determinism_for_fixed_seed():
+    a = small_trace("low")
+    b = small_trace("low")
+    assert np.array_equal(a.table_indices(0), b.table_indices(0))
+
+
+def test_different_seeds_differ():
+    a = small_trace("low", config=SimConfig(seed=1))
+    b = small_trace("low", config=SimConfig(seed=2))
+    assert not np.array_equal(a.table_indices(0), b.table_indices(0))
+
+
+def test_variable_pooling_varies_lookups():
+    trace = small_trace("low", variable_pooling=True, lookups_per_sample=10)
+    pooling = trace.table_batch(0, 0).lookups_per_sample()
+    assert pooling.min() >= 1
+    assert len(set(pooling.tolist() + [10])) > 1  # not all exactly 10
+
+
+def test_fixed_pooling_when_disabled():
+    trace = small_trace("low", variable_pooling=False)
+    pooling = trace.table_batch(0, 0).lookups_per_sample()
+    assert np.all(pooling == 10)
+
+
+def test_tables_have_distinct_hot_sets():
+    trace = small_trace("high", calibration_samples=2000)
+    hot0 = int(np.argmax(np.bincount(trace.table_indices(0))))
+    hot1 = int(np.argmax(np.bincount(trace.table_indices(1))))
+    # Rank permutations are per-table, so hottest physical rows differ.
+    assert hot0 != hot1
+
+
+def test_make_production_trace_uses_config_geometry():
+    config = SimConfig(seed=2, batch_size=4, num_batches=3)
+    trace = make_production_trace("low", 2, 1000, config=config, lookups_per_sample=5)
+    assert trace.batch_size == 4
+    assert trace.num_batches == 3
+
+
+def test_invalid_shapes_rejected():
+    with pytest.raises(ConfigError):
+        small_trace("low", num_tables=0)
+    with pytest.raises(ConfigError):
+        small_trace("low", lookups_per_sample=0)
+    with pytest.raises(ConfigError):
+        small_trace("low", calibration_samples=0)

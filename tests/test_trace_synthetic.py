@@ -1,0 +1,84 @@
+"""Synthetic index-generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.trace.synthetic import (
+    one_item_indices,
+    permuted_zipf_indices,
+    uniform_indices,
+    zipf_indices,
+)
+
+
+def test_one_item_all_same():
+    out = one_item_indices(100, 50)
+    assert out.shape == (50,)
+    assert np.all(out == 0)
+
+
+def test_one_item_custom_item():
+    out = one_item_indices(100, 10, item=42)
+    assert np.all(out == 42)
+    with pytest.raises(ConfigError):
+        one_item_indices(100, 10, item=100)
+
+
+def test_uniform_in_range(rng):
+    out = uniform_indices(1000, 5000, rng)
+    assert out.min() >= 0
+    assert out.max() < 1000
+
+
+def test_uniform_covers_table(rng):
+    out = uniform_indices(100, 10_000, rng)
+    assert np.unique(out).size == 100
+
+
+def test_zipf_concentrates_on_low_ranks(rng):
+    out = zipf_indices(10_000, 20_000, alpha=1.5, rng=rng)
+    top10_share = np.mean(out < 10)
+    assert top10_share > 0.4
+
+
+def test_zipf_precomputed_probabilities(rng):
+    from repro.trace.hotness import zipf_probabilities
+
+    p = zipf_probabilities(500, 1.0)
+    out = zipf_indices(500, 100, alpha=1.0, rng=rng, probabilities=p)
+    assert out.max() < 500
+
+
+def test_zipf_rejects_mismatched_probabilities(rng):
+    with pytest.raises(ConfigError):
+        zipf_indices(500, 100, 1.0, rng, probabilities=np.ones(3) / 3)
+
+
+def test_permuted_zipf_scatters_hot_rows(rng):
+    out = permuted_zipf_indices(10_000, 20_000, alpha=1.5, rng=rng)
+    counts = np.bincount(out, minlength=10_000)
+    hottest = int(np.argmax(counts))
+    # With scattering, the hottest physical row is almost surely not row 0.
+    assert hottest != 0
+
+
+def test_permuted_zipf_same_hotness_distribution(rng):
+    raw = zipf_indices(5000, 50_000, 1.2, np.random.default_rng(1))
+    perm = permuted_zipf_indices(5000, 50_000, 1.2, np.random.default_rng(1))
+    # Permutation relabels rows but preserves the sorted count profile.
+    raw_counts = np.sort(np.bincount(raw, minlength=5000))
+    perm_counts = np.sort(np.bincount(perm, minlength=5000))
+    assert np.array_equal(raw_counts, perm_counts)
+
+
+def test_permutation_shape_checked(rng):
+    with pytest.raises(ConfigError):
+        permuted_zipf_indices(100, 10, 1.0, rng, permutation=np.arange(5))
+
+
+def test_generators_reject_bad_shapes(rng):
+    with pytest.raises(ConfigError):
+        one_item_indices(0, 5)
+    with pytest.raises(ConfigError):
+        uniform_indices(10, -1, rng)

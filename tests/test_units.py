@@ -1,0 +1,74 @@
+"""Unit-helper tests."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+def test_kib_mib_gib_are_binary_multiples():
+    assert units.kib(1) == 1024
+    assert units.mib(1) == 1024**2
+    assert units.gib(1) == 1024**3
+    assert units.mib(35.75) == int(35.75 * 1024 * 1024)
+
+
+def test_cycles_to_ms_round_trips_with_ms_to_cycles():
+    freq = 2.4e9
+    ms = 12.5
+    cycles = units.ms_to_cycles(ms, freq)
+    assert units.cycles_to_ms(cycles, freq) == pytest.approx(ms)
+
+
+def test_cycles_to_ms_rejects_nonpositive_frequency():
+    with pytest.raises(ValueError):
+        units.cycles_to_ms(100, 0)
+    with pytest.raises(ValueError):
+        units.ms_to_cycles(1.0, -1)
+
+
+def test_ns_to_cycles_at_known_frequency():
+    # 100ns at 2.4GHz = 240 cycles.
+    assert units.ns_to_cycles(100, 2.4e9) == pytest.approx(240.0)
+
+
+def test_lines_for_bytes_rounds_up():
+    assert units.lines_for_bytes(1) == 1
+    assert units.lines_for_bytes(64) == 1
+    assert units.lines_for_bytes(65) == 2
+    assert units.lines_for_bytes(0) == 0
+
+
+def test_lines_for_bytes_rejects_negative():
+    with pytest.raises(ValueError):
+        units.lines_for_bytes(-1)
+
+
+def test_embedding_row_geometry_matches_paper_example():
+    # The paper's running example: dim=128 fp32 = 512 B = 8 lines.
+    assert units.embedding_row_bytes(128) == 512
+    assert units.embedding_row_lines(128) == 8
+    # RM1's dim=64 = 256 B = 4 lines.
+    assert units.embedding_row_lines(64) == 4
+
+
+def test_embedding_row_rejects_bad_dim():
+    with pytest.raises(ValueError):
+        units.embedding_row_bytes(0)
+
+
+def test_gb_per_s_is_decimal():
+    assert units.gb_per_s(140) == 140e9
+
+
+def test_pretty_bytes_picks_sensible_suffix():
+    assert units.pretty_bytes(512) == "512 B"
+    assert units.pretty_bytes(units.kib(32)) == "32.0 KiB"
+    assert units.pretty_bytes(units.mib(35.75)).endswith("MiB")
+    assert units.pretty_bytes(units.gib(28.6)).endswith("GiB")
+
+
+def test_paper_l1_capacity_in_vectors():
+    # 32 KiB L1D holds 64 dim-128 vectors (Section 4.2's arithmetic).
+    assert units.kib(32) // units.embedding_row_bytes(128) == 64

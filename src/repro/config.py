@@ -40,12 +40,18 @@ class SimConfig:
         the default ``0.05`` keeps trace-driven experiments in the seconds
         range.  Analytic paths (reuse-distance model, breakdown) always run
         at paper scale regardless.
+    engine:
+        Simulation engine: ``"fast"`` (array-backed caches + vectorized
+        hierarchy walk, the default) or ``"reference"`` (per-set Python
+        objects, the correctness oracle).  Both produce identical results;
+        see ``docs/modeling.md``.
     """
 
     seed: int = 0xD1_12_31
     batch_size: int = PAPER_BATCH_SIZE
     num_batches: int = 8
     scale: float = 0.05
+    engine: str = "fast"
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
@@ -54,6 +60,10 @@ class SimConfig:
             raise ConfigError(f"num_batches must be positive, got {self.num_batches}")
         if not 0.0 < self.scale <= 1.0:
             raise ConfigError(f"scale must be in (0, 1], got {self.scale}")
+        if self.engine not in ("fast", "reference"):
+            raise ConfigError(
+                f"engine must be 'fast' or 'reference', got {self.engine!r}"
+            )
 
     def rng(self, stream: str = "default") -> np.random.Generator:
         """Return a deterministic generator for a named random stream.

@@ -24,6 +24,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Tuple
 
+import numpy as np
+
 from ..errors import ConfigError
 
 __all__ = ["CoreSpec", "CoreModel"]
@@ -141,6 +143,112 @@ class CoreModel:
         self._queued_count += 1
         self._mshr_demand += 1
         return stall
+
+    def issue_demand_chunk(
+        self, latencies: np.ndarray, pre_uops: np.ndarray
+    ) -> None:
+        """Replay many (compute, demand load) event pairs in bulk.
+
+        Event ``i`` is ``issue_compute(pre_uops[i])`` followed by
+        ``issue_load(latencies[i], is_miss=latencies[i] > threshold)``.
+        Runs of pipelined hits advance the cursor arithmetically — a hit
+        reads no limiter state, and retirement is monotone and idempotent,
+        so deferring it to the next miss (which re-checks every limiter) is
+        exact.  Misses go through :meth:`issue_load` unchanged.
+
+        Bit-exact equivalence with the scalar calls requires a
+        power-of-two ``issue_width``: then every ``uops / width`` term is
+        a multiple of ``1 / width``, all partial sums are exactly
+        representable, and one fused add equals the scalar add sequence.
+        Callers (the engine's bulk path) must not use this method on other
+        widths.
+        """
+        spec = self.spec
+        width = spec.issue_width
+        if self._inflight_prefetch or any(not e[2] for e in self._inflight):
+            # Prefetches (or merged loads) are in flight: limiter decisions
+            # would involve them, so replay through the scalar calls.
+            thr = self.HIT_PIPELINE_THRESHOLD
+            for uops, latency in zip(pre_uops.tolist(), latencies.tolist()):
+                self.issue_compute(uops)
+                self.issue_load(latency, is_miss=latency > thr)
+            return
+        miss_idx = np.nonzero(latencies > self.HIT_PIPELINE_THRESHOLD)[0].tolist()
+        # Cumulative uops including each load's own issue slot, for O(1)
+        # hit-run sums (integer arithmetic — exact).
+        csum = np.empty(latencies.size + 1, dtype=np.int64)
+        csum[0] = 0
+        np.cumsum(pre_uops + 1, out=csum[1:])
+        lat_list = latencies.tolist()
+        uop_list = pre_uops.tolist()
+        rob = spec.rob_entries
+        queue_cap = spec.demand_concurrency
+        mshr_cap = spec.l1_mshrs
+        now = self.now
+        icount = self.instr_count
+        window_stall = 0.0
+        queue_stall = 0.0
+        # Every in-flight entry owns its MSHR here (checked above), so the
+        # deque flattens to parallel issue-index / completion-time lists.
+        idxs = [e[0] for e in self._inflight]
+        comps = [e[1] for e in self._inflight]
+
+        # Retirement is lazy: completed entries stay in the lists until a
+        # limiter loop pops them.  A completed entry has ``comp <= now``, so
+        # its pop records zero stall and changes no observable state — and
+        # whenever a loop's head/min is still live it coincides with the
+        # eagerly-retired head/min, so every stall recorded below matches
+        # the scalar path exactly while each entry is touched once instead
+        # of being rescanned on every miss.
+        prev = 0
+        for m in miss_idx:
+            if m > prev:
+                total = int(csum[m] - csum[prev])
+                icount += total
+                now += total / width
+            icount += uop_list[m] + 1
+            now += uop_list[m] / width
+            now += 1.0 / width
+            while comps and icount - idxs[0] >= rob:
+                wait = comps[0] - now
+                if wait > 0.0:
+                    now += wait
+                    window_stall += wait
+                del idxs[0], comps[0]
+            while len(comps) >= queue_cap:
+                earliest = min(comps)
+                if earliest > now:
+                    queue_stall += earliest - now
+                    now = earliest
+                i = comps.index(earliest)
+                del comps[i], idxs[i]
+            while len(comps) >= mshr_cap:
+                earliest = min(comps)
+                if earliest > now:
+                    queue_stall += earliest - now
+                    now = earliest
+                i = comps.index(earliest)
+                del comps[i], idxs[i]
+            idxs.append(icount)
+            comps.append(now + lat_list[m])
+            prev = m + 1
+        n = len(lat_list)
+        if prev < n:
+            total = int(csum[n] - csum[prev])
+            icount += total
+            now += total / width
+        if any(c <= now for c in comps):
+            idxs = [i for i, c in zip(idxs, comps) if c > now]
+            comps = [c for c in comps if c > now]
+        self.now = now
+        self.instr_count = icount
+        self.loads += n
+        self.misses += len(miss_idx)
+        self.window_stall_cycles += window_stall
+        self.mshr_stall_cycles += queue_stall
+        self._inflight = deque((i, c, True) for i, c in zip(idxs, comps))
+        self._queued_count = len(comps)
+        self._mshr_demand = len(comps)
 
     def issue_merged_load(self, completion: float) -> float:
         """Issue a demand load whose line is already being fetched.

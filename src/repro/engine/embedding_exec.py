@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from ..cpu.core import CoreModel, CoreSpec
 from ..errors import ConfigError
 from ..mem.hierarchy import AccessResult, MemoryHierarchy
@@ -250,6 +252,23 @@ def run_embedding_trace(
     # line -> completion time of an in-flight prefetch of that line.
     pf_completion: Dict[int, float] = {}
 
+    # The bulk path exploits a decoupling: with no prefetching (software or
+    # hardware), no TLB and no stores, the hierarchy's state depends only
+    # on the access *order* (not on core time) and the core's state depends
+    # only on the latency *sequence* — so each batch can run as one
+    # vectorized hierarchy walk followed by one bulk core replay, with
+    # results identical to the interleaved scalar loop.  The power-of-two
+    # issue-width condition keeps the replay's fused cycle arithmetic
+    # bit-exact (see CoreModel.issue_demand_chunk).
+    use_bulk = (
+        plan is None
+        and tlb is None
+        and not model_stores
+        and not hierarchy.hw_prefetch_enabled
+        and hierarchy.batch_capable
+        and core_spec.issue_width & (core_spec.issue_width - 1) == 0
+    )
+
     which_batches = batch_indices if batch_indices is not None else range(trace.num_batches)
     for b in which_batches:
         batch_start = core.now
@@ -257,6 +276,30 @@ def run_embedding_trace(
             trace, amap, b, loop_order, output_base_line, model_stores
         )
         n_lookups = stream_lines.size
+        if use_bulk:
+            if n_lookups:
+                lines_all = (
+                    stream_lines[:, None] + np.arange(row_lines, dtype=np.int64)
+                ).ravel()
+                pre_uops = np.full(
+                    lines_all.size, cost.uops_per_line, dtype=np.int64
+                )
+                pre_uops[::row_lines] += cost.uops_per_lookup_base
+                flag_idx = np.nonzero(sample_flags)[0]
+                pre_uops[flag_idx * row_lines] += cost.uops_per_sample_base
+                latencies = hierarchy.access_lines(lines_all)
+                core.issue_demand_chunk(latencies, pre_uops)
+                demand_loads += lines_all.size
+                # Left-to-right accumulation matches the scalar loop's
+                # float rounding exactly (np.sum's pairwise order would
+                # not).
+                acc = effective_latency_sum
+                for latency in latencies.tolist():
+                    acc += latency
+                effective_latency_sum = acc
+            core.drain()
+            batch_cycles.append(core.now - batch_start)
+            continue
         for pos in range(n_lookups):
             if sample_flags[pos]:
                 core.issue_compute(cost.uops_per_sample_base)

@@ -26,9 +26,13 @@ from typing import List, Optional
 
 from ..cpu.platform import CPUSpec
 from ..errors import ConfigError
-from ..mem.cache import Cache
 from ..mem.dram import DRAMConfig, DRAMModel
-from ..mem.hierarchy import HierarchyConfig, MemoryHierarchy, build_hierarchy
+from ..mem.hierarchy import (
+    HierarchyConfig,
+    MemoryHierarchy,
+    build_hierarchy,
+    make_cache,
+)
 from ..trace.dataset import EmbeddingTrace
 from ..trace.stream import AddressMap
 from ..units import CACHE_LINE_BYTES
@@ -173,7 +177,7 @@ def run_embedding_multicore(
     final_cores: List[EmbeddingRunResult] = []
     achieved_bw = 0.0
     for iteration in range(bandwidth_iterations):
-        shared_l3 = Cache(
+        shared_l3 = make_cache(
             "l3", hier_config.l3_size, hier_config.l3_ways, policy=hier_config.policy
         )
         shared_dram = DRAMModel(hier_config.dram)

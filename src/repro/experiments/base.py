@@ -10,9 +10,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
+import numpy as np
+
 from ..errors import ConfigError
 
-__all__ = ["ExperimentReport", "format_report", "format_table"]
+__all__ = [
+    "ExperimentReport",
+    "format_report",
+    "format_table",
+    "report_from_dict",
+    "report_to_dict",
+]
 
 
 @dataclass
@@ -47,6 +55,41 @@ class ExperimentReport:
             for row in self.rows
             if all(row.get(k) == v for k, v in criteria.items())
         ]
+
+
+def _jsonify(value: object) -> object:
+    """Recursively convert numpy scalars/arrays to plain Python values."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return value
+
+
+def report_to_dict(report: ExperimentReport) -> Dict[str, object]:
+    """JSON-serializable form of a report (numpy values converted)."""
+    return {
+        "experiment_id": report.experiment_id,
+        "title": report.title,
+        "rows": _jsonify(report.rows),
+        "notes": list(report.notes),
+        "paper_reference": report.paper_reference,
+    }
+
+
+def report_from_dict(data: Dict[str, object]) -> ExperimentReport:
+    """Inverse of :func:`report_to_dict` (used by the result cache)."""
+    return ExperimentReport(
+        experiment_id=str(data["experiment_id"]),
+        title=str(data.get("title", "")),
+        rows=list(data.get("rows", [])),  # type: ignore[arg-type]
+        notes=list(data.get("notes", [])),  # type: ignore[arg-type]
+        paper_reference=str(data.get("paper_reference", "")),
+    )
 
 
 def _format_cell(value: object) -> str:

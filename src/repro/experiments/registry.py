@@ -6,6 +6,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from ..config import SimConfig
 from ..errors import ConfigError
+from ..mem.hierarchy import get_default_engine, set_default_engine
 from . import (
     hotness_sweep,
     synergy,
@@ -77,5 +78,19 @@ def list_experiments() -> Dict[str, str]:
 def run_experiment(
     experiment_id: str, config: Optional[SimConfig] = None, **overrides: object
 ) -> ExperimentReport:
-    """Run one experiment by id."""
-    return get_experiment(experiment_id)(config=config, **overrides)
+    """Run one experiment by id.
+
+    ``config.engine`` selects the simulation engine for the duration of the
+    run: every cache built while it executes (including shared L3s deep in
+    the multicore engine) uses the chosen implementation.  The previous
+    process default is restored afterwards, so nesting and library callers
+    that manage the engine themselves are unaffected.
+    """
+    runner = get_experiment(experiment_id)
+    cfg = config if config is not None else SimConfig()
+    previous = get_default_engine()
+    set_default_engine(cfg.engine)
+    try:
+        return runner(config=cfg, **overrides)
+    finally:
+        set_default_engine(previous)

@@ -4,26 +4,41 @@ Examples::
 
     repro-experiment table2
     repro-experiment fig12 --scale 0.03
-    repro-experiment all --out results/
+    repro-experiment fig4,fig5 --engine reference
+    repro-experiment all --out results/ --jobs 4
+
+Multi-target runs (``all`` or a comma-separated id list) keep going past
+failing experiments and report them at the end (nonzero exit code); they
+also memoize finished reports under ``results/.cache/`` keyed by
+(experiment id, config, overrides, package version), so re-runs skip
+unchanged work.  ``--jobs N`` fans independent experiments out across
+processes.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import hashlib
+import json
+import multiprocessing
 import sys
 import time
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..config import SimConfig
-from .base import format_report
-from .registry import EXPERIMENT_IDS, list_experiments, run_experiment
+from .base import format_report, report_from_dict, report_to_dict
+from .registry import EXPERIMENT_IDS, get_experiment, list_experiments, run_experiment
 
 __all__ = ["main"]
 
 #: Numeric override flags forwarded to experiment runners when accepted.
 _FORWARDED_FLOATS = ("scale",)
 _FORWARDED_INTS = ("batch_size", "num_batches", "num_cores", "detailed_cores")
+
+#: Default location of the on-disk result cache (relative to the cwd).
+CACHE_DIR = Path("results") / ".cache"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -34,7 +49,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (fig1, fig4, ... table4), or 'all', or 'list'",
+        help="experiment id (fig1, fig4, ... table4), a comma-separated "
+        "list of ids, 'all', or 'list'",
     )
     parser.add_argument("--seed", type=int, default=None, help="simulation seed")
     parser.add_argument("--scale", type=float, default=None, help="model shrink factor")
@@ -42,6 +58,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--num-batches", type=int, default=None)
     parser.add_argument("--num-cores", type=int, default=None)
     parser.add_argument("--detailed-cores", type=int, default=None)
+    parser.add_argument(
+        "--engine", choices=("fast", "reference"), default=None,
+        help="simulation engine (default: SimConfig default, 'fast')",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run up to N experiments in parallel processes (multi-target runs)",
+    )
+    parser.add_argument(
+        "--cache", action="store_true",
+        help="memoize reports under results/.cache/ (default for multi-target runs)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache even for multi-target runs",
+    )
     parser.add_argument(
         "--out", type=Path, default=None, help="directory to write reports into"
     )
@@ -64,6 +96,61 @@ def _overrides(args: argparse.Namespace, runner) -> dict:
     return out
 
 
+def _cache_key(exp_id: str, config: SimConfig, overrides: dict) -> str:
+    """Content hash identifying one (experiment, inputs, version) result."""
+    from .. import __version__
+
+    payload = json.dumps(
+        {
+            "id": exp_id,
+            "config": dataclasses.asdict(config),
+            "overrides": overrides,
+            "version": __version__,
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+
+def _run_one(task: Tuple[str, SimConfig, dict]) -> Tuple[str, float, Optional[dict], Optional[str]]:
+    """Worker: run one experiment; never raises (errors become strings)."""
+    exp_id, config, overrides = task
+    start = time.time()
+    try:
+        report = run_experiment(exp_id, config=config, **overrides)
+        return exp_id, time.time() - start, report_to_dict(report), None
+    except Exception as exc:  # noqa: BLE001 - failures summarized by caller
+        return exp_id, time.time() - start, None, f"{type(exc).__name__}: {exc}"
+
+
+def _emit(
+    args: argparse.Namespace,
+    exp_id: str,
+    report_dict: dict,
+    elapsed: float,
+    cached: bool,
+) -> None:
+    """Print one finished report and write its --out artifacts."""
+    report = report_from_dict(report_dict)
+    text = format_report(report)
+    print(text)
+    if args.plot:
+        from .viz import render_report_plot
+
+        print(render_report_plot(report))
+    status = "cached" if cached else f"finished in {elapsed:.1f}s"
+    print(f"[{exp_id} {status}]\n")
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / f"{exp_id}.txt").write_text(text + "\n")
+        # No sort_keys: row-dict insertion order is the report's column
+        # order, and must survive the JSON round-trip.
+        (args.out / f"{exp_id}.json").write_text(
+            json.dumps(report_dict, indent=2) + "\n"
+        )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI main; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -71,25 +158,104 @@ def main(argv: Optional[List[str]] = None) -> int:
         for exp_id, title in list_experiments().items():
             print(f"{exp_id:8s} {title}")
         return 0
-    config = SimConfig() if args.seed is None else SimConfig(seed=args.seed)
-    targets = list(EXPERIMENT_IDS) if args.experiment == "all" else [args.experiment]
-    from .registry import get_experiment
+    cfg_kwargs: Dict[str, object] = {}
+    if args.seed is not None:
+        cfg_kwargs["seed"] = args.seed
+    if args.engine is not None:
+        cfg_kwargs["engine"] = args.engine
+    config = SimConfig(**cfg_kwargs)  # type: ignore[arg-type]
+    if args.experiment == "all":
+        targets = list(EXPERIMENT_IDS)
+    else:
+        targets = [t.strip() for t in args.experiment.split(",") if t.strip()]
+    multi = args.experiment == "all" or len(targets) > 1
+    use_cache = (args.cache or multi) and not args.no_cache
 
+    failures: List[Tuple[str, str]] = []
+    # Resolve runners (and thus overrides) up front.  Unknown ids in a
+    # multi-target run become failures; a single bad id raises, matching
+    # the pre-batching behaviour.
+    tasks: List[Tuple[str, SimConfig, dict]] = []
     for exp_id in targets:
-        runner = get_experiment(exp_id)
-        start = time.time()
-        report = run_experiment(exp_id, config=config, **_overrides(args, runner))
-        text = format_report(report)
-        elapsed = time.time() - start
-        print(text)
-        if args.plot:
-            from .viz import render_report_plot
+        try:
+            runner = get_experiment(exp_id)
+        except Exception as exc:  # noqa: BLE001
+            if not multi:
+                raise
+            failures.append((exp_id, f"{type(exc).__name__}: {exc}"))
+            continue
+        tasks.append((exp_id, config, _overrides(args, runner)))
 
-            print(render_report_plot(report))
-        print(f"[{exp_id} finished in {elapsed:.1f}s]\n")
-        if args.out is not None:
-            args.out.mkdir(parents=True, exist_ok=True)
-            (args.out / f"{exp_id}.txt").write_text(text + "\n")
+    # Serve what the cache already has.
+    finished: Dict[str, Tuple[float, dict, bool]] = {}
+    pending: List[Tuple[str, SimConfig, dict]] = []
+    for task in tasks:
+        exp_id = task[0]
+        cache_path = CACHE_DIR / f"{_cache_key(exp_id, config, task[2])}.json"
+        if use_cache and cache_path.exists():
+            entry = json.loads(cache_path.read_text())
+            finished[exp_id] = (float(entry.get("elapsed", 0.0)), entry["report"], True)
+        else:
+            pending.append(task)
+
+    jobs = max(1, min(args.jobs, len(pending) or 1))
+    if jobs > 1:
+        # fork shares the loaded interpreter (cheap start) and keeps
+        # SimConfig/overrides without pickling surprises; results are
+        # plain JSON dicts either way.
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(processes=jobs) as pool:
+            results = pool.map(_run_one, pending)
+    else:
+        results = []
+        for task in pending:
+            if not multi:
+                # Single target: run inline so exceptions propagate with
+                # their original type and traceback.
+                exp_id, config, overrides = task
+                start = time.time()
+                report = run_experiment(exp_id, config=config, **overrides)
+                results.append(
+                    (exp_id, time.time() - start, report_to_dict(report), None)
+                )
+            else:
+                results.append(_run_one(task))
+
+    overrides_by_id = {t[0]: t[2] for t in tasks}
+    for exp_id, elapsed, report_dict, error in results:
+        if error is not None:
+            failures.append((exp_id, error))
+            continue
+        finished[exp_id] = (elapsed, report_dict, False)
+        if use_cache:
+            CACHE_DIR.mkdir(parents=True, exist_ok=True)
+            key = _cache_key(exp_id, config, overrides_by_id[exp_id])
+            cache_path = CACHE_DIR / f"{key}.json"
+            cache_path.write_text(
+                json.dumps(
+                    {
+                        "experiment_id": exp_id,
+                        "elapsed": elapsed,
+                        "report": report_dict,
+                    }
+                )
+                + "\n"
+            )
+
+    # Emit in the original target order.
+    for exp_id in targets:
+        if exp_id in finished:
+            elapsed, report_dict, cached = finished[exp_id]
+            _emit(args, exp_id, report_dict, elapsed, cached)
+
+    if failures:
+        print(f"{len(failures)} experiment(s) failed:", file=sys.stderr)
+        for exp_id, error in failures:
+            print(f"  {exp_id}: {error}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -18,7 +18,16 @@ the role VTune plays in the paper's methodology.
 from .cache import Cache
 from .cacheline import Address, line_of, lines_of_range
 from .dram import DRAMModel
-from .hierarchy import AccessResult, MemoryHierarchy, build_hierarchy
+from .fastcache import FastCache
+from .hierarchy import (
+    ENGINE_NAMES,
+    AccessResult,
+    MemoryHierarchy,
+    build_hierarchy,
+    get_default_engine,
+    make_cache,
+    set_default_engine,
+)
 from .mshr import MSHRFile
 from .policies import FIFOPolicy, LRUPolicy, PLRUTreePolicy, RandomPolicy, make_policy
 from .prefetcher import (
@@ -38,7 +47,9 @@ __all__ = [
     "CacheStats",
     "CompositePrefetcher",
     "DRAMModel",
+    "ENGINE_NAMES",
     "FIFOPolicy",
+    "FastCache",
     "HierarchyStats",
     "LRUPolicy",
     "MSHRFile",
@@ -52,7 +63,10 @@ __all__ = [
     "TLBConfig",
     "TLBModel",
     "build_hierarchy",
+    "get_default_engine",
     "line_of",
     "lines_of_range",
+    "make_cache",
     "make_policy",
+    "set_default_engine",
 ]

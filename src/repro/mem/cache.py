@@ -57,6 +57,7 @@ class Cache:
         self.num_sets = lines // ways
         self.policy_name = policy
         self.stats = CacheStats()
+        self._seed = seed
         self._sets: List[SetPolicy] = [
             make_policy(policy, ways, seed=seed + i) for i in range(self.num_sets)
         ]
@@ -128,9 +129,14 @@ class Cache:
     # -- maintenance ------------------------------------------------------
 
     def flush(self) -> None:
-        """Empty the cache, keeping statistics."""
+        """Empty the cache, keeping statistics.
+
+        Policies are rebuilt with the same per-set seeds the constructor
+        used (``base seed + set index``), so a flushed Random/PLRU cache
+        behaves identically to a freshly constructed one.
+        """
         self._sets = [
-            make_policy(self.policy_name, self.ways, seed=i)
+            make_policy(self.policy_name, self.ways, seed=self._seed + i)
             for i in range(self.num_sets)
         ]
         self._pending_prefetched.clear()

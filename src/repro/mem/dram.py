@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import ConfigError
 from ..units import CACHE_LINE_BYTES
 
@@ -124,6 +126,48 @@ class DRAMModel:
             self._open_rows[bank] = row
             base = self.config.base_latency_cycles
         return base * self.queueing_factor()
+
+    def access_batch(self, lines: np.ndarray) -> np.ndarray:
+        """Fetch many cache lines; return their latencies in access order.
+
+        Exactly equivalent to calling :meth:`access` per line in order: an
+        access row-hits iff the previous access *to the same bank* opened
+        the same row, and per-bank access order is recovered with a stable
+        sort by bank (equal banks keep their stream order).  The queueing
+        factor is constant within a batch — utilization only changes
+        between batches via :meth:`set_utilization` — so latency scaling
+        is the same multiply the scalar path performs.
+        """
+        n = lines.size
+        if not n:
+            return np.empty(0, dtype=np.float64)
+        cfg = self.config
+        self.accesses += n
+        self.bytes_transferred += CACHE_LINE_BYTES * n
+        rows = (lines * CACHE_LINE_BYTES) // ROW_BUFFER_BYTES
+        banks = rows % cfg.banks
+        order = np.argsort(banks, kind="stable")
+        rs, bs = rows[order], banks[order]
+        first = np.empty(n, dtype=bool)
+        first[0] = True
+        np.not_equal(bs[1:], bs[:-1], out=first[1:])
+        hit_sorted = np.empty(n, dtype=bool)
+        np.equal(rs[1:], rs[:-1], out=hit_sorted[1:])
+        hit_sorted[first] = rs[first] == np.asarray(self._open_rows)[bs[first]]
+        hit = np.empty(n, dtype=bool)
+        hit[order] = hit_sorted
+        self.row_hits += int(np.count_nonzero(hit))
+        # The last access per bank leaves its row open: group ends are one
+        # before the next group's start (and the final element).
+        last = np.empty(n, dtype=bool)
+        last[-1] = True
+        last[:-1] = first[1:]
+        for b, r in zip(bs[last].tolist(), rs[last].tolist()):
+            self._open_rows[b] = r
+        return (
+            np.where(hit, cfg.row_hit_latency_cycles, cfg.base_latency_cycles)
+            * self.queueing_factor()
+        )
 
     # -- reporting ---------------------------------------------------------
 

@@ -1,0 +1,354 @@
+"""Array-backed set-associative cache — the "fast" simulation engine.
+
+:class:`FastCache` is a drop-in replacement for :class:`repro.mem.cache.Cache`
+with true-LRU replacement, designed so the trace-driven hot path (the
+embedding hierarchy walk) can be vectorized.  State lives in flat numpy
+planes instead of one Python :class:`~repro.mem.policies.SetPolicy` object
+per set:
+
+``_tags``
+    ``num_sets × ways`` int64 matrix of resident tags (-1 = empty way).
+``_stamp``
+    ``num_sets × ways`` int64 matrix of last-touch ticks from a global
+    monotone counter; the LRU victim of a set is the way with the smallest
+    stamp.  This reproduces :class:`~repro.mem.policies.LRUPolicy` exactly:
+    both order a set's ways by last touch (lookup hit or insert).
+``_pending``
+    ``num_sets × ways`` boolean plane marking lines filled by prefetch and
+    not yet demanded (the reference keeps a ``line -> True`` dict; a
+    resident-slot plane is equivalent because pending lines are always
+    resident).
+``_where``
+    A ``line -> way`` dict sidecar kept in sync by every mutation.  It
+    makes the *scalar* API (``access``/``contains``/``fill``) O(1) dict
+    operations — as fast as the reference's list scans — while the batch
+    API updates it in bulk.
+
+Scalar calls are stat-for-stat and eviction-for-eviction equivalent to
+``Cache(policy="lru")`` (enforced by the differential tests in
+``tests/test_mem_fastcache.py``).  The batch calls (`lookup_batch`,
+`fill_batch`) require the caller to guarantee that no two lines of a batch
+map to the same set — :meth:`repro.mem.hierarchy.MemoryHierarchy.access_lines`
+splits streams into conflict-free runs before calling them.
+
+Only ``policy="lru"`` is supported; construction with any other policy
+raises, and :func:`repro.mem.hierarchy.make_cache` falls back to the
+reference implementation for those.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..units import CACHE_LINE_BYTES
+from .stats import CacheStats
+
+__all__ = ["FastCache"]
+
+
+class FastCache:
+    """Array-backed set-associative LRU cache level.
+
+    Constructor signature matches :class:`~repro.mem.cache.Cache`; ``seed``
+    is accepted (and ignored — LRU is deterministic) so the two classes are
+    interchangeable at every call site.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        ways: int,
+        policy: str = "lru",
+        seed: int = 0,
+    ) -> None:
+        if size_bytes <= 0:
+            raise ConfigError(f"cache size must be positive, got {size_bytes}")
+        if policy.lower() != "lru":
+            raise ConfigError(
+                f"FastCache supports only the 'lru' policy, got {policy!r}; "
+                "use the reference Cache for other policies"
+            )
+        lines = size_bytes // CACHE_LINE_BYTES
+        if lines % ways:
+            raise ConfigError(
+                f"{name}: {size_bytes} bytes is not divisible into {ways}-way sets"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.num_sets = lines // ways
+        self.policy_name = "lru"
+        self.stats = CacheStats()
+        self._tags = np.full((self.num_sets, ways), -1, dtype=np.int64)
+        self._stamp = np.zeros((self.num_sets, ways), dtype=np.int64)
+        self._pending = np.zeros((self.num_sets, ways), dtype=bool)
+        self._where: Dict[int, int] = {}
+        self._tick = 0
+        # Sticky "a prefetch fill ever happened" flag; while False the
+        # batch paths skip all pending-plane reads (demand-only runs never
+        # pay for prefetch bookkeeping).
+        self._has_pending = False
+
+    # -- geometry ---------------------------------------------------------
+
+    @property
+    def capacity_lines(self) -> int:
+        """Total number of lines the cache can hold."""
+        return self.num_sets * self.ways
+
+    def set_index(self, line: int) -> int:
+        """Set that line ``line`` maps to."""
+        return line % self.num_sets
+
+    def tag_of(self, line: int) -> int:
+        """Tag of line ``line`` within its set."""
+        return line // self.num_sets
+
+    # -- scalar accesses (reference-equivalent) ---------------------------
+
+    def access(self, line: int, is_prefetch: bool = False) -> bool:
+        """Look up ``line``; return True on hit.  Mirrors ``Cache.access``."""
+        way = self._where.get(line)
+        stats = self.stats
+        if way is None:
+            if not is_prefetch:
+                stats.demand_misses += 1
+            return False
+        s = line % self.num_sets
+        self._tick += 1
+        self._stamp[s, way] = self._tick
+        if is_prefetch:
+            stats.prefetch_hits += 1
+        else:
+            stats.demand_hits += 1
+            if self._pending[s, way]:
+                self._pending[s, way] = False
+                stats.prefetch_useful += 1
+        return True
+
+    def contains(self, line: int) -> bool:
+        """Residency probe without recency or stats side effects."""
+        return line in self._where
+
+    def fill(self, line: int, from_prefetch: bool = False) -> Optional[int]:
+        """Install ``line``; return the evicted line number, if any."""
+        s = line % self.num_sets
+        way = self._where.get(line)
+        evicted_line: Optional[int] = None
+        if way is None:
+            # Python-list scans: for the handful of ways per set they beat
+            # numpy's per-call dispatch, keeping the scalar path as fast as
+            # the reference's policy lists.
+            row = self._tags[s]
+            row_list = row.tolist()
+            try:
+                way = row_list.index(-1)
+            except ValueError:
+                stamps = self._stamp[s].tolist()
+                way = stamps.index(min(stamps))
+                evicted_line = row_list[way] * self.num_sets + s
+                del self._where[evicted_line]
+                self.stats.evictions += 1
+                if self._pending[s, way]:
+                    self.stats.prefetch_evicted_unused += 1
+            row[way] = line // self.num_sets
+            self._pending[s, way] = False
+            self._where[line] = way
+        self._tick += 1
+        self._stamp[s, way] = self._tick
+        if from_prefetch:
+            self.stats.prefetch_fills += 1
+            self._pending[s, way] = True
+            self._has_pending = True
+        return evicted_line
+
+    def invalidate(self, line: int) -> bool:
+        """Drop ``line`` if resident; return whether it was resident."""
+        way = self._where.pop(line, None)
+        if way is None:
+            return False
+        s = line % self.num_sets
+        self._tags[s, way] = -1
+        self._pending[s, way] = False
+        return True
+
+    # -- batch accesses ----------------------------------------------------
+    #
+    # Precondition for both: the lines of one batch map to pairwise-distinct
+    # sets.  Under that precondition the batch is exactly equivalent to the
+    # scalar calls applied in index order (per-set event order — the only
+    # thing LRU state depends on — is preserved, because each set is touched
+    # at most once per batch).
+
+    def lookup_batch(self, lines: np.ndarray, is_prefetch: bool = False) -> np.ndarray:
+        """Vectorized ``access`` over conflict-free ``lines``; returns hits."""
+        n = lines.size
+        s = lines % self.num_sets
+        match = self._tags[s] == (lines // self.num_sets)[:, None]
+        hit = match.any(axis=1)
+        hs = s[hit]
+        k = hs.size
+        stats = self.stats
+        if k:
+            hw = match[hit].argmax(axis=1)
+            self._stamp[hs, hw] = np.arange(
+                self._tick + 1, self._tick + 1 + k, dtype=np.int64
+            )
+            self._tick += k
+            if is_prefetch:
+                stats.prefetch_hits += k
+            else:
+                stats.demand_hits += k
+                if self._has_pending:
+                    pend = self._pending[hs, hw]
+                    n_useful = int(np.count_nonzero(pend))
+                    if n_useful:
+                        stats.prefetch_useful += n_useful
+                        self._pending[hs[pend], hw[pend]] = False
+        if not is_prefetch:
+            stats.demand_misses += n - k
+        return hit
+
+    def demand_wave(self, lines: np.ndarray) -> np.ndarray:
+        """Fused demand lookup + miss fill for one conflict-free wave.
+
+        Equivalent to, for each line in order: ``access(line)`` followed by
+        ``fill(line)`` when the access missed — the per-line sequence the
+        hierarchy's demand walk performs at every level.  Fusing the two
+        halves the numpy dispatch count on the hot path.  Returns the hit
+        mask.
+        """
+        ns = self.num_sets
+        n = lines.size
+        t, s = np.divmod(lines, ns)
+        rows = self._tags[s]
+        match = rows == t[:, None]
+        way = match.argmax(axis=1)
+        hit = match.any(axis=1)
+        stats = self.stats
+        nhit = int(np.count_nonzero(hit))
+        stats.demand_hits += nhit
+        stats.demand_misses += n - nhit
+        pending = self._has_pending
+        if nhit and pending:
+            hs, hw = s[hit], way[hit]
+            pend = self._pending[hs, hw]
+            n_useful = int(np.count_nonzero(pend))
+            if n_useful:
+                stats.prefetch_useful += n_useful
+                self._pending[hs[pend], hw[pend]] = False
+        if nhit < n:
+            miss = ~hit
+            ms, mt = s[miss], t[miss]
+            freemask = rows[miss] == -1
+            has_free = freemask.any(axis=1)
+            fway = np.where(
+                has_free, freemask.argmax(axis=1), self._stamp[ms].argmin(axis=1)
+            )
+            way[miss] = fway
+            full = ~has_free
+            n_evict = int(np.count_nonzero(full))
+            where = self._where
+            if n_evict:
+                vs, vw = ms[full], fway[full]
+                stats.evictions += n_evict
+                if pending:
+                    ev_pend = self._pending[vs, vw]
+                    n_unused = int(np.count_nonzero(ev_pend))
+                    if n_unused:
+                        stats.prefetch_evicted_unused += n_unused
+                for ev in (self._tags[vs, vw] * ns + vs).tolist():
+                    del where[ev]
+            self._tags[ms, fway] = mt
+            if pending:
+                self._pending[ms, fway] = False
+            for ln, w in zip(lines[miss].tolist(), fway.tolist()):
+                where[ln] = w
+        self._stamp[s, way] = np.arange(
+            self._tick + 1, self._tick + 1 + n, dtype=np.int64
+        )
+        self._tick += n
+        return hit
+
+    def fill_batch(self, lines: np.ndarray, from_prefetch: bool = False) -> None:
+        """Vectorized ``fill`` over conflict-free ``lines``.
+
+        Unlike scalar :meth:`fill`, evicted line numbers are not returned
+        (no caller of the hierarchy walk consumes them); eviction statistics
+        are recorded identically.
+        """
+        n = lines.size
+        if not n:
+            return
+        s = lines % self.num_sets
+        tags = lines // self.num_sets
+        rows = self._tags[s]
+        match = rows == tags[:, None]
+        resident = match.any(axis=1)
+        ways = match.argmax(axis=1)
+        new_idx = np.nonzero(~resident)[0]
+        if new_idx.size:
+            nrows = rows[new_idx]
+            freemask = nrows == -1
+            has_free = freemask.any(axis=1)
+            ways[new_idx[has_free]] = freemask[has_free].argmax(axis=1)
+            vict_idx = new_idx[~has_free]
+            if vict_idx.size:
+                vs = s[vict_idx]
+                vw = self._stamp[vs].argmin(axis=1)
+                ways[vict_idx] = vw
+                ev_lines = self._tags[vs, vw] * self.num_sets + vs
+                self.stats.evictions += vict_idx.size
+                if self._has_pending:
+                    self.stats.prefetch_evicted_unused += int(
+                        np.count_nonzero(self._pending[vs, vw])
+                    )
+                for ev in ev_lines.tolist():
+                    del self._where[ev]
+            ns, nw = s[new_idx], ways[new_idx]
+            self._tags[ns, nw] = tags[new_idx]
+            if self._has_pending:
+                self._pending[ns, nw] = False
+            for ln, w in zip(lines[new_idx].tolist(), ways[new_idx].tolist()):
+                self._where[ln] = w
+        self._stamp[s, ways] = np.arange(
+            self._tick + 1, self._tick + 1 + n, dtype=np.int64
+        )
+        self._tick += n
+        if from_prefetch:
+            self.stats.prefetch_fills += n
+            self._pending[s, ways] = True
+            self._has_pending = True
+
+    # -- maintenance ------------------------------------------------------
+
+    def flush(self) -> None:
+        """Empty the cache, keeping statistics."""
+        self._tags.fill(-1)
+        self._stamp.fill(0)
+        self._pending.fill(False)
+        self._where.clear()
+        self._tick = 0
+        self._has_pending = False
+
+    def reset_stats(self) -> None:
+        """Zero statistics, keeping contents (for warmup/measure splits)."""
+        self.stats.reset()
+
+    def occupancy(self) -> int:
+        """Number of currently resident lines."""
+        return len(self._where)
+
+    def resident_lines(self) -> List[int]:
+        """Sorted snapshot of resident line numbers (test/debug aid)."""
+        return sorted(self._where)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FastCache({self.name}, {self.size_bytes}B, {self.ways}-way, "
+            f"{self.num_sets} sets, lru)"
+        )

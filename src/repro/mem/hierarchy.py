@@ -18,10 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+import numpy as np
+
 from ..errors import ConfigError
 from ..units import kib, mib
 from .cache import Cache
 from .dram import DRAMConfig, DRAMModel
+from .fastcache import FastCache
 from .prefetcher import (
     CompositePrefetcher,
     NextLinePrefetcher,
@@ -31,7 +34,61 @@ from .prefetcher import (
 )
 from .stats import HierarchyStats
 
-__all__ = ["AccessResult", "HierarchyConfig", "MemoryHierarchy", "build_hierarchy"]
+__all__ = [
+    "AccessResult",
+    "ENGINE_NAMES",
+    "HierarchyConfig",
+    "MemoryHierarchy",
+    "build_hierarchy",
+    "get_default_engine",
+    "make_cache",
+    "set_default_engine",
+]
+
+#: Recognized simulation engines: the per-set-object reference
+#: implementation (the correctness oracle) and the array-backed fast path.
+ENGINE_NAMES = ("reference", "fast")
+
+#: Process-wide engine used when callers do not pass one explicitly.
+#: Experiment entry points (:func:`repro.experiments.registry.run_experiment`)
+#: set this from ``SimConfig.engine``; direct library users keep the
+#: reference engine unless they opt in.
+_DEFAULT_ENGINE = "reference"
+
+
+def set_default_engine(engine: str) -> None:
+    """Set the process-wide default simulation engine."""
+    if engine not in ENGINE_NAMES:
+        raise ConfigError(f"unknown engine {engine!r}; expected one of {ENGINE_NAMES}")
+    global _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = engine
+
+
+def get_default_engine() -> str:
+    """Current process-wide default simulation engine."""
+    return _DEFAULT_ENGINE
+
+
+def make_cache(
+    name: str,
+    size_bytes: int,
+    ways: int,
+    policy: str = "lru",
+    seed: int = 0,
+    engine: Optional[str] = None,
+):
+    """Construct one cache level under the selected engine.
+
+    The fast engine only implements true LRU; non-LRU policies silently get
+    the reference implementation (they are ablation-only paths), so both
+    engines accept every policy name.
+    """
+    engine = engine or _DEFAULT_ENGINE
+    if engine not in ENGINE_NAMES:
+        raise ConfigError(f"unknown engine {engine!r}; expected one of {ENGINE_NAMES}")
+    if engine == "fast" and policy.lower() == "lru":
+        return FastCache(name, size_bytes, ways, policy=policy, seed=seed)
+    return Cache(name, size_bytes, ways, policy=policy, seed=seed)
 
 
 @dataclass(frozen=True)
@@ -107,6 +164,12 @@ class MemoryHierarchy:
         if not hw_prefetch:
             self.l1_prefetcher = NullPrefetcher()
             self.l2_prefetcher = NullPrefetcher()
+        # Batched walks need every level to expose the vectorized cache API;
+        # each level partitions its own stream into conflict-free waves by
+        # its own set count, so no cross-level geometry condition is needed.
+        self.batch_capable = all(
+            hasattr(c, "demand_wave") for c in (l1, l2, l3)
+        )
 
     # -- the walk ----------------------------------------------------------
 
@@ -138,6 +201,96 @@ class MemoryHierarchy:
             self.stats.dram_bytes += 64
         self.stats.record(result.level, result.latency)
         return result
+
+    # -- batched demand walk ------------------------------------------------
+
+    #: Upper bound on one vectorized chunk (keeps temporaries cache-friendly).
+    MAX_BATCH = 8192
+
+    #: Below this average wave size the chunk is walked scalar — numpy
+    #: dispatch overhead on tiny waves would lose to the per-line path
+    #: (hit on pathological streams like one row repeated back-to-back).
+    MIN_WAVE = 12
+
+    def access_lines(self, lines: np.ndarray) -> np.ndarray:
+        """Demand-load many lines; return their latencies in access order.
+
+        Exactly equivalent — same per-level stats, same fill ordering, same
+        eviction decisions, same DRAM access order — to::
+
+            np.array([self.load(int(l)).latency for l in lines])
+
+        but the walk is vectorized: each level partitions its slice of the
+        stream into *occurrence-rank waves* (wave k holds the lines whose
+        set already appeared k times in the chunk), so within a wave every
+        set is touched at most once and the fused lookup+fill can run as
+        array ops, while per-set event order — the only thing replacement
+        state depends on — stays sequential.  DRAM accesses are issued in
+        original stream order, so the open-row state also matches the
+        scalar walk bit for bit.  Falls back to the scalar walk when a
+        level lacks the batch API (reference engine).
+
+        Hardware-prefetcher observation is *not* performed here, matching
+        :meth:`load` — callers that model HW prefetching must use the
+        scalar walk, since candidates depend on each line's serving level.
+        """
+        lines = np.ascontiguousarray(lines, dtype=np.int64)
+        n = lines.size
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        if not self.batch_capable:
+            return np.fromiter(
+                (self.load(int(l)).latency for l in lines), np.float64, n
+            )
+        out = np.empty(n, dtype=np.float64)
+        pos = 0
+        while pos < n:
+            end = min(pos + self.MAX_BATCH, n)
+            out[pos:end] = self._access_chunk(lines[pos:end])
+            pos = end
+        return out
+
+    def _access_chunk(self, chunk: np.ndarray) -> np.ndarray:
+        """Walk one chunk of the batched demand stream through all levels."""
+        cfg = self.config
+        n = chunk.size
+        order, bounds = _wave_partition(chunk % self.l1.num_sets)
+        if n < bounds.size * self.MIN_WAVE:
+            return np.fromiter(
+                (self.load(int(l)).latency for l in chunk), np.float64, n
+            )
+        stats = self.stats
+        lat = np.full(n, cfg.l1_latency, dtype=np.float64)
+        hit1 = _run_waves(self.l1, chunk, order, bounds)
+        m1_idx = np.nonzero(~hit1)[0]
+        n_l2 = n_l3 = n_dram = 0
+        if m1_idx.size:
+            m1 = chunk[m1_idx]
+            lat[m1_idx] = cfg.l2_latency
+            m2_idx = m1_idx[~_demand_walk(self.l2, m1)]
+            if m2_idx.size:
+                m2 = chunk[m2_idx]
+                lat[m2_idx] = cfg.l3_latency
+                m3_idx = m2_idx[~_demand_walk(self.l3, m2)]
+                if m3_idx.size:
+                    m3 = chunk[m3_idx]
+                    lat[m3_idx] = cfg.l3_latency + self.dram.access_batch(m3)
+                    stats.dram_bytes += 64 * m3.size
+                    n_dram = m3_idx.size
+                n_l3 = m2_idx.size - n_dram
+            n_l2 = m1_idx.size - n_l3 - n_dram
+        hits = stats.level_hits
+        for level, count in (
+            ("l1", n - m1_idx.size),
+            ("l2", n_l2),
+            ("l3", n_l3),
+            ("dram", n_dram),
+        ):
+            if count:
+                hits[level] = hits.get(level, 0) + count
+        stats.total_latency_cycles += float(lat.sum())
+        stats.demand_accesses += n
+        return lat
 
     def prefetch(self, line: int, target_level: str = "l1") -> AccessResult:
         """Fetch ``line`` off the critical path into ``target_level``.
@@ -228,26 +381,91 @@ class MemoryHierarchy:
         self.l2.reset_stats()
 
 
+def _wave_partition(sets: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    """Partition indices of ``sets`` into conflict-free waves.
+
+    Wave k contains the indices whose set value appeared exactly k times
+    earlier in the array, in ascending index order.  Within a wave all set
+    values are therefore pairwise distinct (safe to vectorize), and for any
+    single set value its indices are spread across consecutive waves in
+    their original order — so processing waves 0, 1, 2, ... is exactly
+    equivalent, per set, to processing the array sequentially.
+
+    Returns ``(order, bounds)``: ``order`` is a permutation of indices and
+    ``bounds`` the cumulative wave end offsets, so wave k is
+    ``order[bounds[k-1]:bounds[k]]`` (with ``bounds[-1] == 0`` implied).
+
+    The occurrence rank is computed with one stable argsort: sorting groups
+    equal set values with their indices ascending, and the position within
+    each group is the rank.
+    """
+    n = sets.size
+    order = np.argsort(sets, kind="stable")
+    ss = sets[order]
+    idx = np.arange(n, dtype=np.int64)
+    newgrp = np.empty(n, dtype=bool)
+    newgrp[0] = True
+    np.not_equal(ss[1:], ss[:-1], out=newgrp[1:])
+    rank_sorted = idx - np.maximum.accumulate(np.where(newgrp, idx, 0))
+    max_rank = int(rank_sorted.max()) if n else 0
+    if max_rank == 0:
+        return idx, np.array([n], dtype=np.int64)
+    rank = np.empty(n, dtype=np.int64)
+    rank[order] = rank_sorted
+    waves = np.argsort(rank, kind="stable")
+    bounds = np.cumsum(np.bincount(rank, minlength=max_rank + 1))
+    return waves, bounds
+
+
+def _run_waves(cache, lines: np.ndarray, order: np.ndarray, bounds: np.ndarray) -> np.ndarray:
+    """Feed a pre-partitioned stream through ``cache.demand_wave``."""
+    if bounds.size == 1:
+        return cache.demand_wave(lines)
+    hit = np.empty(lines.size, dtype=bool)
+    start = 0
+    for end in bounds.tolist():
+        idxs = order[start:end]
+        hit[idxs] = cache.demand_wave(lines[idxs])
+        start = end
+    return hit
+
+
+def _demand_walk(cache, lines: np.ndarray) -> np.ndarray:
+    """Demand-access+fill ``lines`` at one level; returns hits in order."""
+    order, bounds = _wave_partition(lines % cache.num_sets)
+    return _run_waves(cache, lines, order, bounds)
+
+
 def build_hierarchy(
     config: HierarchyConfig = HierarchyConfig(),
     shared_l3: Optional[Cache] = None,
     shared_dram: Optional[DRAMModel] = None,
     hw_prefetch: bool = True,
     seed: int = 0,
+    engine: Optional[str] = None,
 ) -> MemoryHierarchy:
     """Construct one core's hierarchy.
 
     Pass the same ``shared_l3`` / ``shared_dram`` objects to several calls to
     model cores of one socket sharing their LLC and memory channels.
+    ``engine`` selects the cache implementation (``"reference"`` or
+    ``"fast"``); None uses the process default (:func:`get_default_engine`).
     """
-    l1 = Cache("l1", config.l1_size, config.l1_ways, policy=config.policy, seed=seed)
-    l2 = Cache("l2", config.l2_size, config.l2_ways, policy=config.policy, seed=seed + 1)
-    l3 = shared_l3 or Cache(
+    l1 = make_cache(
+        "l1", config.l1_size, config.l1_ways, policy=config.policy, seed=seed,
+        engine=engine,
+    )
+    l2 = make_cache(
+        "l2", config.l2_size, config.l2_ways, policy=config.policy, seed=seed + 1,
+        engine=engine,
+    )
+    l3 = shared_l3 or make_cache(
         "l3",
         config.l3_size,
         config.l3_ways,
         policy=config.l3_policy or config.policy,
         seed=seed + 2,
+        engine=engine,
     )
     dram = shared_dram or DRAMModel(config.dram)
     return MemoryHierarchy(l1, l2, l3, dram, config, hw_prefetch=hw_prefetch)

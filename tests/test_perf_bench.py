@@ -1,0 +1,47 @@
+"""Opt-in performance benchmark (``REPRO_BENCH=1 pytest -m perf``).
+
+Runs the quick mode of ``tools/bench_sim.py`` and asserts the fast engine
+actually beats the reference on the hot paths.  Skipped by default: wall
+time depends on the machine and CI boxes are noisy, so this only runs when
+explicitly requested via ``REPRO_BENCH=1``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.perf
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+if os.environ.get("REPRO_BENCH") != "1":
+    pytest.skip("set REPRO_BENCH=1 to run perf benchmarks", allow_module_level=True)
+
+
+def _load_bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_sim", REPO_ROOT / "tools" / "bench_sim.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["bench_sim"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quick_bench_fast_engine_wins(tmp_path):
+    bench = _load_bench_module()
+    out = tmp_path / "BENCH_sim.json"
+    assert bench.main(["--quick", "--skip-fig12", "--out", str(out)]) == 0
+    assert out.exists()
+    import json
+
+    records = json.loads(out.read_text())
+    assert len(records) == 1
+    benches = records[0]["benchmarks"]
+    assert benches["hierarchy"]["speedup"]["fast_over_reference"] > 1.0
+    assert benches["embedding"]["speedup"]["fast_over_reference"] > 1.0

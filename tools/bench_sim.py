@@ -1,0 +1,194 @@
+"""Micro-benchmark harness: reference vs fast simulation engines.
+
+Measures three levels of the stack:
+
+1. **hierarchy** — raw demand-walk throughput (simulated lines/sec) of
+   :meth:`MemoryHierarchy.access_lines` on a Zipf-distributed row stream.
+2. **embedding** — the end-to-end embedding hot path
+   (:func:`run_embedding_trace`, hardware prefetch off) that every figure
+   funnels through.
+3. **fig12** — wall time of the ``fig12`` experiment under each engine.
+
+Each run appends a record to ``BENCH_sim.json`` so future changes have a
+perf trajectory to regress against::
+
+    PYTHONPATH=src python tools/bench_sim.py            # full numbers
+    PYTHONPATH=src python tools/bench_sim.py --quick    # CI-sized
+
+The fast and reference engines produce bit-identical simulation results
+(enforced by tests/test_engine_fastpath.py); this harness only measures
+speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform as platform_mod
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import __version__  # noqa: E402
+from repro.config import SimConfig  # noqa: E402
+from repro.cpu.platform import get_platform  # noqa: E402
+from repro.engine.embedding_exec import run_embedding_trace  # noqa: E402
+from repro.mem.hierarchy import build_hierarchy  # noqa: E402
+
+__all__ = ["main", "run_benchmarks"]
+
+ENGINES = ("reference", "fast")
+
+
+def _zipf_stream(num_lines: int, seed: int = 7) -> np.ndarray:
+    """Row-expanded Zipf line stream (8-line rows, skewed row popularity)."""
+    rng = np.random.default_rng(seed)
+    rows = rng.zipf(1.2, num_lines // 8) % 200_000
+    return (rows[:, None] * 8 + np.arange(8)).ravel().astype(np.int64)
+
+
+def bench_hierarchy(engine: str, num_lines: int, repeats: int = 3) -> Dict[str, float]:
+    """Demand-walk throughput of one engine on a Zipf stream (best of N)."""
+    lines = _zipf_stream(num_lines)
+    spec = get_platform("csl")
+    best = float("inf")
+    for _ in range(repeats):
+        # Fresh hierarchy per trial so every run starts cold.
+        hierarchy = build_hierarchy(spec.hierarchy, hw_prefetch=False, engine=engine)
+        start = time.perf_counter()
+        hierarchy.access_lines(lines)
+        best = min(best, time.perf_counter() - start)
+    return {"lines": float(lines.size), "seconds": best,
+            "lines_per_sec": lines.size / best}
+
+
+def bench_embedding(
+    engine: str, scale: float, batch_size: int, num_batches: int, repeats: int = 3
+) -> Dict[str, float]:
+    """End-to-end embedding hot path (the paper's Algorithm 1 loop)."""
+    from repro.experiments.workloads import build_workload
+
+    config = SimConfig(seed=1234, engine=engine)
+    wl = build_workload(
+        "rm2_1", "low", scale=scale, batch_size=batch_size,
+        num_batches=num_batches, config=config,
+    )
+    spec = get_platform("csl")
+    best = float("inf")
+    loads = 0
+    for _ in range(repeats):
+        hierarchy = build_hierarchy(spec.hierarchy, hw_prefetch=False, engine=engine)
+        start = time.perf_counter()
+        result = run_embedding_trace(wl.trace, wl.amap, spec.core, hierarchy)
+        best = min(best, time.perf_counter() - start)
+        loads = result.loads
+    return {"lines": float(loads), "seconds": best,
+            "lines_per_sec": loads / best}
+
+
+def bench_fig12(engine: str, quick: bool, repeats: int = 1) -> Dict[str, float]:
+    """Wall time of the fig12 experiment under one engine (best of N)."""
+    from repro.experiments.registry import run_experiment
+
+    config = SimConfig(engine=engine)
+    overrides: Dict[str, object] = {}
+    if quick:
+        overrides = {"models": ("rm2_1",), "datasets": ("low",),
+                     "core_counts": (1,), "scale": 0.01, "num_batches": 1}
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_experiment("fig12", config=config, **overrides)
+        best = min(best, time.perf_counter() - start)
+    return {"seconds": best}
+
+
+def run_benchmarks(quick: bool, skip_fig12: bool = False) -> Dict[str, object]:
+    """Run every benchmark under both engines; return the record."""
+    num_lines = 200_000 if quick else 800_000
+    emb_args = (0.01, 8, 1) if quick else (0.05, 16, 4)
+    # Best-of-N: wall-clock noise on shared machines only ever adds time,
+    # so the minimum over repeats is the honest throughput estimate.
+    repeats = 1 if quick else 5
+    record: Dict[str, object] = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "version": __version__,
+        "mode": "quick" if quick else "full",
+        "python": platform_mod.python_version(),
+        "numpy": np.__version__,
+        "benchmarks": {},
+    }
+    benches: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name, fn in (
+        ("hierarchy", lambda eng: bench_hierarchy(eng, num_lines, repeats)),
+        ("embedding", lambda eng: bench_embedding(eng, *emb_args, repeats)),
+    ):
+        benches[name] = {eng: fn(eng) for eng in ENGINES}
+        ref, fast = benches[name]["reference"], benches[name]["fast"]
+        benches[name]["speedup"] = {
+            "fast_over_reference": ref["seconds"] / fast["seconds"]
+        }
+        print(
+            f"{name:10s} reference {ref['lines_per_sec']:>12,.0f} l/s   "
+            f"fast {fast['lines_per_sec']:>12,.0f} l/s   "
+            f"speedup {ref['seconds'] / fast['seconds']:.2f}x"
+        )
+    if not skip_fig12:
+        fig12_reps = 1 if quick else 2
+        benches["fig12"] = {
+            eng: bench_fig12(eng, quick, fig12_reps) for eng in ENGINES
+        }
+        ref, fast = benches["fig12"]["reference"], benches["fig12"]["fast"]
+        benches["fig12"]["speedup"] = {
+            "fast_over_reference": ref["seconds"] / fast["seconds"]
+        }
+        print(
+            f"{'fig12':10s} reference {ref['seconds']:>10.2f}s     "
+            f"fast {fast['seconds']:>10.2f}s     "
+            f"speedup {ref['seconds'] / fast['seconds']:.2f}x"
+        )
+    record["benchmarks"] = benches
+    return record
+
+
+def append_record(record: Dict[str, object], path: Path) -> None:
+    """Append ``record`` to the JSON benchmark log at ``path``."""
+    history: List[Dict[str, object]] = []
+    if path.exists():
+        try:
+            history = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            history = []
+    history.append(record)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small sizes (seconds, CI-friendly) instead of full sizes",
+    )
+    parser.add_argument(
+        "--skip-fig12", action="store_true",
+        help="skip the end-to-end fig12 wall-time benchmark",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "BENCH_sim.json",
+        help="benchmark log to append to (default: repo-root BENCH_sim.json)",
+    )
+    args = parser.parse_args(argv)
+    record = run_benchmarks(args.quick, skip_fig12=args.skip_fig12)
+    append_record(record, args.out)
+    print(f"appended record to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

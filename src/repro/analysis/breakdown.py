@@ -24,6 +24,8 @@ from ..engine.kernels import KernelCostModel
 from ..engine.mlp_exec import time_interaction, time_mlp, time_top_mlp
 from ..errors import ConfigError
 from ..model.configs import ModelConfig
+from ..obs import hooks as obs_hooks
+from ..obs.cpi import dense_cpi_stack, embedding_cpi_stack, publish_cpi_stack
 from ..trace.production import make_trace
 from ..units import CACHE_LINE_BYTES, FLOAT32_BYTES
 from .cache_model import analyze_trace_reuse
@@ -111,9 +113,56 @@ def estimate_stage_breakdown(
     top = time_top_mlp(
         model.num_tables, model.embedding_dim, model.top_mlp, batch_size, platform.core
     )
-    return StageTimes(
+    stages = StageTimes(
         bottom_mlp=bottom.cycles,
         embedding=embedding,
         interaction=interaction.cycles,
         top_mlp=top.cycles,
     )
+    obs = obs_hooks.active()
+    if obs is not None:
+        # Mirror the detailed engine's telemetry for the analytic path: one
+        # sim track of sequential stage spans, dense CPI stacks from the
+        # roofline stall fractions, and an embedding stack whose stall split
+        # comes from the reuse model's per-level service fractions.
+        tid = obs.tracer.new_sim_track(f"breakdown:{model.name}")
+        cursor = 0.0
+        for stage_name, cycles in (
+            ("bottom_mlp", stages.bottom_mlp),
+            ("embedding", stages.embedding),
+            ("interaction", stages.interaction),
+            ("top_mlp", stages.top_mlp),
+        ):
+            obs.tracer.add_sim_span(
+                stage_name, "sim.breakdown", cursor, cycles, tid=tid,
+                args={"model": model.name, "dataset": dataset},
+            )
+            cursor += cycles
+        hier = platform.hierarchy
+        row_lines = -(-model.embedding_dim * FLOAT32_BYTES // CACHE_LINE_BYTES)
+        issue_cycles = (
+            model.lookups_for_batch(batch_size)
+            * KernelCostModel().instructions_per_lookup(row_lines)
+            / platform.core.issue_width
+        )
+        publish_cpi_stack(
+            obs.metrics,
+            embedding_cpi_stack(
+                "embedding",
+                stages.embedding,
+                issue_cycles,
+                report.level_fractions,
+                hier.l3_latency,
+                hier.l3_latency + hier.dram.base_latency_cycles,
+            ),
+        )
+        for stage_name, timing in (
+            ("bottom_mlp", bottom),
+            ("interaction", interaction),
+            ("top_mlp", top),
+        ):
+            publish_cpi_stack(
+                obs.metrics,
+                dense_cpi_stack(stage_name, timing.cycles, timing.stall_fraction),
+            )
+    return stages

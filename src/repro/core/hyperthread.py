@@ -27,6 +27,7 @@ from ..cpu.smt import SMTModel, ThreadProfile
 from ..engine.inference import InferenceTiming
 from ..errors import ConfigError
 from ..mem.hierarchy import HierarchyConfig
+from ..obs import hooks as obs_hooks
 
 __all__ = [
     "sequential_batch_cycles",
@@ -51,6 +52,27 @@ def mp_ht_batch_cycles(timing: InferenceTiming, smt: SMTModel = SMTModel()) -> f
     penalty, which is where the SW-PF synergy enters.
     """
     overlapped = smt.overlapped_time(timing.embedding_profile, timing.bottom_mlp_profile)
+    obs = obs_hooks.active()
+    if obs is not None:
+        # Show the SMT overlap region and the post-join stages on one
+        # sim track; the gauge records how much serial time the overlap
+        # removed vs the sequential schedule.
+        tid = obs.tracer.new_sim_track(f"mp_ht:{timing.model}")
+        stages = timing.stages
+        obs.tracer.add_sim_span(
+            "embedding || bottom_mlp", "sim.smt", 0.0, overlapped, tid=tid,
+            args={"model": timing.model},
+        )
+        obs.tracer.add_sim_span(
+            "interaction", "sim.smt", overlapped, stages.interaction, tid=tid
+        )
+        obs.tracer.add_sim_span(
+            "top_mlp", "sim.smt", overlapped + stages.interaction,
+            stages.top_mlp, tid=tid,
+        )
+        obs.metrics.gauge("smt.mp_ht.overlap_saved_cycles").set(
+            stages.embedding + stages.bottom_mlp - overlapped
+        )
     return overlapped + timing.stages.interaction + timing.stages.top_mlp
 
 
@@ -71,6 +93,10 @@ def dp_ht_batch_cycles(
     mlp = timing_halved_cache.bottom_mlp_profile
     emb_inflation = smt.inflation(emb, emb, identical=True)
     mlp_inflation = smt.inflation(mlp, mlp, identical=True)
+    obs = obs_hooks.active()
+    if obs is not None:
+        obs.metrics.gauge("smt.dp_ht.embedding_inflation").set(emb_inflation)
+        obs.metrics.gauge("smt.dp_ht.mlp_inflation").set(mlp_inflation)
     return (
         stages.embedding * emb_inflation
         + (stages.bottom_mlp + stages.interaction + stages.top_mlp) * mlp_inflation

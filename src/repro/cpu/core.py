@@ -419,6 +419,25 @@ class CoreModel:
         """Issue-slot utilization in [0, 1] (IPC / issue width)."""
         return min(1.0, self.ipc / self.spec.issue_width)
 
+    def publish_metrics(self, registry, **labels: str) -> None:
+        """Accumulate this core's counters into an obs metrics registry.
+
+        ``registry`` is a :class:`repro.obs.metrics.MetricsRegistry`; the
+        engines call this once per run (the model is created fresh per
+        run, so cumulative counters are per-run deltas already).
+        """
+        registry.counter("core.instructions", **labels).inc(self.instr_count)
+        registry.counter("core.loads", **labels).inc(self.loads)
+        registry.counter("core.misses", **labels).inc(self.misses)
+        registry.counter("core.merged_loads", **labels).inc(self.merged_loads)
+        registry.counter("core.prefetches", **labels).inc(self.prefetches)
+        registry.counter("core.window_stall_cycles", **labels).inc(
+            self.window_stall_cycles
+        )
+        registry.counter("core.mshr_stall_cycles", **labels).inc(
+            self.mshr_stall_cycles
+        )
+
     def reset(self) -> None:
         """Return to time zero, dropping all state."""
         self.now = 0.0

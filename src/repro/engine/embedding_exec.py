@@ -26,6 +26,8 @@ from ..cpu.core import CoreModel, CoreSpec
 from ..errors import ConfigError
 from ..mem.hierarchy import AccessResult, MemoryHierarchy
 from ..mem.tlb import TLBModel
+from ..obs import hooks as obs_hooks
+from ..obs.cpi import embedding_cpi_stack, publish_cpi_stack
 from ..trace.dataset import EmbeddingTrace
 from ..trace.stream import AddressMap
 from .kernels import KernelCostModel
@@ -252,6 +254,22 @@ def run_embedding_trace(
     # line -> completion time of an in-flight prefetch of that line.
     pf_completion: Dict[int, float] = {}
 
+    # Observability: all hooks sit at batch granularity (one branch per
+    # batch / per load in the scalar loop), never inside the vectorized
+    # walk, so an active observation cannot perturb results or fast-path
+    # throughput.  Hierarchy stats are published as end-minus-start deltas
+    # because multicore runs reuse hierarchies across many calls.
+    obs = obs_hooks.active()
+    if obs is not None:
+        obs_tid = obs.tracer.new_sim_track("embedding")
+        obs_hist = obs.metrics.histogram("mem.load_latency_cycles")
+        hstats0 = hierarchy.stats
+        obs_start_hits = dict(hstats0.level_hits)
+        obs_start_latency = hstats0.total_latency_cycles
+        obs_start_accesses = hstats0.demand_accesses
+        obs_start_prefetches = hstats0.prefetch_requests
+        obs_start_dram_bytes = hstats0.dram_bytes
+
     # The bulk path exploits a decoupling: with no prefetching (software or
     # hardware), no TLB and no stores, the hierarchy's state depends only
     # on the access *order* (not on core time) and the core's state depends
@@ -290,6 +308,8 @@ def run_embedding_trace(
                 latencies = hierarchy.access_lines(lines_all)
                 core.issue_demand_chunk(latencies, pre_uops)
                 demand_loads += lines_all.size
+                if obs is not None:
+                    obs_hist.observe_many(latencies)
                 # Left-to-right accumulation matches the scalar loop's
                 # float rounding exactly (np.sum's pairwise order would
                 # not).
@@ -299,6 +319,12 @@ def run_embedding_trace(
                 effective_latency_sum = acc
             core.drain()
             batch_cycles.append(core.now - batch_start)
+            if obs is not None:
+                obs.tracer.add_sim_span(
+                    f"batch[{b}]", "sim.embedding", batch_start,
+                    core.now - batch_start, tid=obs_tid,
+                    args={"loads": int(n_lookups) * row_lines},
+                )
             continue
         for pos in range(n_lookups):
             if sample_flags[pos]:
@@ -353,11 +379,15 @@ def run_embedding_trace(
                     # no extra fill buffer.
                     effective_latency_sum += pending - core.now
                     demand_loads += 1
+                    if obs is not None:
+                        obs_hist.observe(pending - core.now)
                     core.issue_merged_load(pending)
                 else:
                     latency = result.latency
                     effective_latency_sum += latency
                     demand_loads += 1
+                    if obs is not None:
+                        obs_hist.observe(latency)
                     core.issue_load(latency, is_miss=latency > hit_threshold)
                 # Hardware prefetches ride the L2-side superqueue, not
                 # the core's L1 fill buffers, so they never throttle
@@ -375,9 +405,46 @@ def run_embedding_trace(
         core.drain()
         batch_cycles.append(core.now - batch_start)
         pf_completion.clear()
+        if obs is not None:
+            obs.tracer.add_sim_span(
+                f"batch[{b}]", "sim.embedding", batch_start,
+                core.now - batch_start, tid=obs_tid,
+            )
 
     total = core.now
     hstats = hierarchy.stats
+    if obs is not None:
+        registry = obs.metrics
+        delta_hits = {
+            level: hstats.level_hits.get(level, 0) - obs_start_hits.get(level, 0)
+            for level in hstats.level_hits
+        }
+        for level, count in delta_hits.items():
+            if count:
+                registry.counter("mem.level_hits", level=level).inc(count)
+        registry.counter("mem.demand_accesses").inc(
+            hstats.demand_accesses - obs_start_accesses
+        )
+        registry.counter("mem.latency_cycles_total").inc(
+            hstats.total_latency_cycles - obs_start_latency
+        )
+        registry.counter("mem.prefetch_requests").inc(
+            hstats.prefetch_requests - obs_start_prefetches
+        )
+        registry.counter("mem.dram_bytes").inc(hstats.dram_bytes - obs_start_dram_bytes)
+        core.publish_metrics(registry, stage="embedding")
+        cfg = hierarchy.config
+        publish_cpi_stack(
+            registry,
+            embedding_cpi_stack(
+                "embedding",
+                total,
+                core.instr_count / core_spec.issue_width,
+                delta_hits,
+                cfg.l3_latency,
+                cfg.l3_latency + cfg.dram.base_latency_cycles,
+            ),
+        )
     return EmbeddingRunResult(
         total_cycles=total,
         batch_cycles=batch_cycles,

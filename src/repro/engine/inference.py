@@ -18,6 +18,8 @@ from ..cpu.core import CoreSpec
 from ..cpu.smt import ThreadProfile
 from ..errors import ConfigError
 from ..model.configs import ModelConfig
+from ..obs import hooks as obs_hooks
+from ..obs.cpi import dense_cpi_stack, publish_cpi_stack
 from ..units import cycles_to_ms
 from .embedding_exec import EmbeddingRunResult
 from .mlp_exec import MLPTiming, time_interaction, time_mlp, time_top_mlp
@@ -105,6 +107,35 @@ def time_inference_sequential(
         interaction=interaction.cycles,
         top_mlp=top.cycles,
     )
+    obs = obs_hooks.active()
+    if obs is not None:
+        # One sim track showing the sequential stage layout of this batch;
+        # dense stages also publish Top-down CPI buckets (the embedding
+        # stage's stack comes from the trace-driven engine itself).
+        tid = obs.tracer.new_sim_track(f"inference:{model.name}")
+        cursor = 0.0
+        for stage_name, cycles in (
+            ("bottom_mlp", stages.bottom_mlp),
+            ("embedding", stages.embedding),
+            ("interaction", stages.interaction),
+            ("top_mlp", stages.top_mlp),
+        ):
+            obs.tracer.add_sim_span(
+                stage_name, "sim.inference", cursor, cycles, tid=tid,
+                args={"model": model.name},
+            )
+            cursor += cycles
+        for stage_name, timing_result in (
+            ("bottom_mlp", bottom),
+            ("interaction", interaction),
+            ("top_mlp", top),
+        ):
+            publish_cpi_stack(
+                obs.metrics,
+                dense_cpi_stack(
+                    stage_name, timing_result.cycles, timing_result.stall_fraction
+                ),
+            )
     emb_profile = ThreadProfile(
         name="embedding",
         time_cycles=emb_result.mean_batch_cycles,

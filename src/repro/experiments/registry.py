@@ -7,6 +7,7 @@ from typing import Callable, Dict, Optional, Tuple
 from ..config import SimConfig
 from ..errors import ConfigError
 from ..mem.hierarchy import get_default_engine, set_default_engine
+from ..obs import hooks as obs_hooks
 from . import (
     hotness_sweep,
     synergy,
@@ -91,6 +92,14 @@ def run_experiment(
     previous = get_default_engine()
     set_default_engine(cfg.engine)
     try:
+        obs = obs_hooks.active()
+        if obs is not None:
+            with obs.tracer.span(
+                f"experiment:{experiment_id.lower()}",
+                "experiment",
+                engine=cfg.engine,
+            ):
+                return runner(config=cfg, **overrides)
         return runner(config=cfg, **overrides)
     finally:
         set_default_engine(previous)

@@ -18,6 +18,7 @@ processes.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import dataclasses
 import hashlib
 import json
@@ -28,6 +29,9 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from ..config import SimConfig
+from ..obs import Observation
+from ..obs import hooks as obs_hooks
+from ..obs.cpi import collect_cpi_stacks, format_cpi_table
 from .base import format_report, report_from_dict, report_to_dict
 from .registry import EXPERIMENT_IDS, get_experiment, list_experiments, run_experiment
 
@@ -49,8 +53,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
+        nargs="?",
+        default=None,
         help="experiment id (fig1, fig4, ... table4), a comma-separated "
         "list of ids, 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--experiment",
+        dest="experiment_flag",
+        default=None,
+        metavar="ID",
+        help="alias for the positional experiment argument",
     )
     parser.add_argument("--seed", type=int, default=None, help="simulation seed")
     parser.add_argument("--scale", type=float, default=None, help="model shrink factor")
@@ -80,6 +93,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--plot", action="store_true",
         help="also render an ASCII bar chart of the report",
+    )
+    parser.add_argument(
+        "--trace", type=Path, default=None, metavar="FILE",
+        help="write a Chrome-trace JSON (chrome://tracing) of the run; "
+        "forces serial in-process execution and bypasses the result cache",
+    )
+    parser.add_argument(
+        "--metrics", type=Path, default=None, metavar="FILE",
+        help="write the metrics registry as JSONL (one metric per line)",
+    )
+    parser.add_argument(
+        "--cpi-stack", action="store_true",
+        help="print the per-stage CPI stack table after the reports",
     )
     return parser
 
@@ -153,7 +179,16 @@ def _emit(
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI main; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.experiment is not None and args.experiment_flag is not None:
+        parser.error(
+            "give the experiment either positionally or via --experiment, not both"
+        )
+    if args.experiment is None:
+        args.experiment = args.experiment_flag
+    if args.experiment is None:
+        parser.error("an experiment id is required (positional or --experiment)")
     if args.experiment == "list":
         for exp_id, title in list_experiments().items():
             print(f"{exp_id:8s} {title}")
@@ -169,7 +204,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         targets = [t.strip() for t in args.experiment.split(",") if t.strip()]
     multi = args.experiment == "all" or len(targets) > 1
-    use_cache = (args.cache or multi) and not args.no_cache
+    # Telemetry lives in this process: observed runs bypass the result
+    # cache (a cached report carries no spans/metrics) and run serially
+    # in-process (a fork pool's telemetry would die with the workers).
+    observing = args.trace is not None or args.metrics is not None or args.cpi_stack
+    use_cache = (args.cache or multi) and not args.no_cache and not observing
 
     failures: List[Tuple[str, str]] = []
     # Resolve runners (and thus overrides) up front.  Unknown ids in a
@@ -198,7 +237,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             pending.append(task)
 
+    observation = Observation() if observing else None
     jobs = max(1, min(args.jobs, len(pending) or 1))
+    if observing:
+        jobs = 1
     if jobs > 1:
         # fork shares the loaded interpreter (cheap start) and keeps
         # SimConfig/overrides without pickling surprises; results are
@@ -211,18 +253,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             results = pool.map(_run_one, pending)
     else:
         results = []
-        for task in pending:
-            if not multi:
-                # Single target: run inline so exceptions propagate with
-                # their original type and traceback.
-                exp_id, config, overrides = task
-                start = time.time()
-                report = run_experiment(exp_id, config=config, **overrides)
-                results.append(
-                    (exp_id, time.time() - start, report_to_dict(report), None)
-                )
-            else:
-                results.append(_run_one(task))
+        session = (
+            obs_hooks.session(observation)
+            if observation is not None
+            else contextlib.nullcontext()
+        )
+        with session:
+            for task in pending:
+                if not multi:
+                    # Single target: run inline so exceptions propagate with
+                    # their original type and traceback.
+                    exp_id, config, overrides = task
+                    start = time.time()
+                    report = run_experiment(exp_id, config=config, **overrides)
+                    results.append(
+                        (exp_id, time.time() - start, report_to_dict(report), None)
+                    )
+                else:
+                    results.append(_run_one(task))
 
     overrides_by_id = {t[0]: t[2] for t in tasks}
     for exp_id, elapsed, report_dict, error in results:
@@ -250,6 +298,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         if exp_id in finished:
             elapsed, report_dict, cached = finished[exp_id]
             _emit(args, exp_id, report_dict, elapsed, cached)
+
+    if observation is not None:
+        if args.cpi_stack:
+            stacks = collect_cpi_stacks(observation.metrics)
+            if stacks:
+                print(format_cpi_table(stacks))
+            else:
+                print("[cpi-stack: no core cycles were recorded]")
+            print()
+        if args.trace is not None:
+            args.trace.parent.mkdir(parents=True, exist_ok=True)
+            observation.tracer.to_chrome(args.trace)
+            n_events = len(observation.tracer.events)
+            print(f"[trace: {n_events} events -> {args.trace}]")
+        if args.metrics is not None:
+            args.metrics.parent.mkdir(parents=True, exist_ok=True)
+            observation.metrics.to_jsonl(args.metrics)
+            n_metrics = len(observation.metrics.snapshot())
+            print(f"[metrics: {n_metrics} series -> {args.metrics}]")
 
     if failures:
         print(f"{len(failures)} experiment(s) failed:", file=sys.stderr)

@@ -145,6 +145,10 @@ class Cache:
         """Zero statistics, keeping contents (for warmup/measure splits)."""
         self.stats.reset()
 
+    def publish_metrics(self, registry, **labels: str) -> None:
+        """Accumulate this level's counters into an obs metrics registry."""
+        self.stats.publish(registry, cache=self.name, **labels)
+
     def occupancy(self) -> int:
         """Number of currently resident lines."""
         return sum(len(s) for s in self._sets)

@@ -183,6 +183,13 @@ class DRAMModel:
         seconds = elapsed_cycles / frequency_hz
         return self.bytes_transferred / seconds / 1e9
 
+    def publish_metrics(self, registry, **labels: str) -> None:
+        """Accumulate channel counters into an obs metrics registry."""
+        registry.counter("dram.accesses", **labels).inc(self.accesses)
+        registry.counter("dram.row_hits", **labels).inc(self.row_hits)
+        registry.counter("dram.bytes", **labels).inc(self.bytes_transferred)
+        registry.gauge("dram.utilization", **labels).set(self._utilization)
+
     def reset(self) -> None:
         """Zero counters and close all row buffers; keep configuration."""
         self.bytes_transferred = 0

@@ -339,6 +339,10 @@ class FastCache:
         """Zero statistics, keeping contents (for warmup/measure splits)."""
         self.stats.reset()
 
+    def publish_metrics(self, registry, **labels: str) -> None:
+        """Accumulate this level's counters into an obs metrics registry."""
+        self.stats.publish(registry, cache=self.name, **labels)
+
     def occupancy(self) -> int:
         """Number of currently resident lines."""
         return len(self._where)

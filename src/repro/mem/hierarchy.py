@@ -380,6 +380,24 @@ class MemoryHierarchy:
         self.l1.reset_stats()
         self.l2.reset_stats()
 
+    def publish_metrics(self, registry, **labels: str) -> None:
+        """Publish hierarchy, per-level, and DRAM counters into ``registry``.
+
+        Called by the execution engines at end of run when an observation
+        is active (:mod:`repro.obs.hooks`) — never from the per-line walk,
+        so enabling observability cannot perturb simulation results or the
+        fast engine's throughput.  Shared L3/DRAM instances are published
+        by every owning hierarchy; callers who share levels across cores
+        should publish through one hierarchy only or label per core.
+        """
+        self.stats.publish(registry, **labels)
+        for level in (self.l1, self.l2, self.l3):
+            level.publish_metrics(registry, **labels)
+        self.dram.publish_metrics(registry, **labels)
+        registry.gauge("mem.avg_load_latency_cycles", **labels).set(
+            self.stats.avg_load_latency
+        )
+
 
 def _wave_partition(sets: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
     """Partition indices of ``sets`` into conflict-free waves.

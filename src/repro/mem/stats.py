@@ -69,6 +69,23 @@ class CacheStats:
         self.evictions = 0
         self.prefetch_evicted_unused = 0
 
+    def publish(self, registry, **labels: str) -> None:
+        """Accumulate these counters into an obs metrics registry.
+
+        ``registry`` is a :class:`repro.obs.metrics.MetricsRegistry` (typed
+        loosely to keep this module free of an obs dependency).
+        """
+        for name in (
+            "demand_hits",
+            "demand_misses",
+            "prefetch_hits",
+            "prefetch_fills",
+            "prefetch_useful",
+            "evictions",
+            "prefetch_evicted_unused",
+        ):
+            registry.counter(f"cache.{name}", **labels).inc(getattr(self, name))
+
 
 @dataclass
 class HierarchyStats:
@@ -104,14 +121,55 @@ class HierarchyStats:
         return self.level_hits.get(level, 0) / self.demand_accesses
 
     def merge(self, other: "HierarchyStats") -> "HierarchyStats":
-        """Return the sum of two hierarchy-stat records."""
-        merged = HierarchyStats(
-            level_hits=dict(self.level_hits),
+        """Return the sum of two hierarchy-stat records.
+
+        Symmetric in every field: ``a.merge(b) == b.merge(a)``.  Level
+        keys are emitted in canonical walk order so even the dict
+        iteration order of the result is operand-independent.
+        """
+        level_hits = {
+            level: self.level_hits.get(level, 0) + other.level_hits.get(level, 0)
+            for level in _canonical_levels(self.level_hits, other.level_hits)
+        }
+        return HierarchyStats(
+            level_hits=level_hits,
             total_latency_cycles=self.total_latency_cycles + other.total_latency_cycles,
             demand_accesses=self.demand_accesses + other.demand_accesses,
             prefetch_requests=self.prefetch_requests + other.prefetch_requests,
             dram_bytes=self.dram_bytes + other.dram_bytes,
         )
-        for level, count in other.level_hits.items():
-            merged.level_hits[level] = merged.level_hits.get(level, 0) + count
-        return merged
+
+    def reset(self) -> None:
+        """Zero every counter in place (mirrors :meth:`CacheStats.reset`)."""
+        self.level_hits = {}
+        self.total_latency_cycles = 0.0
+        self.demand_accesses = 0
+        self.prefetch_requests = 0
+        self.dram_bytes = 0
+
+    def publish(self, registry, **labels: str) -> None:
+        """Accumulate hierarchy-level counters into an obs metrics registry."""
+        for level in _canonical_levels(self.level_hits):
+            registry.counter("mem.level_hits", level=level, **labels).inc(
+                self.level_hits[level]
+            )
+        registry.counter("mem.demand_accesses", **labels).inc(self.demand_accesses)
+        registry.counter("mem.latency_cycles_total", **labels).inc(
+            self.total_latency_cycles
+        )
+        registry.counter("mem.prefetch_requests", **labels).inc(self.prefetch_requests)
+        registry.counter("mem.dram_bytes", **labels).inc(self.dram_bytes)
+
+
+#: Memory levels in walk order, for canonical level_hits key ordering.
+_LEVEL_ORDER = ("l1", "l2", "l3", "dram")
+
+
+def _canonical_levels(*hit_dicts: Dict[str, int]) -> "list[str]":
+    """Union of level keys, walk-order first, unknown levels sorted after."""
+    present = set()
+    for hits in hit_dicts:
+        present.update(hits)
+    ordered = [level for level in _LEVEL_ORDER if level in present]
+    ordered.extend(sorted(present.difference(_LEVEL_ORDER)))
+    return ordered

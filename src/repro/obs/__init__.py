@@ -1,0 +1,64 @@
+"""``repro.obs`` — the simulator's VTune: spans, metrics, CPI stacks.
+
+Three pieces, designed to cost nothing when not in use:
+
+* :class:`~repro.obs.tracer.Tracer` — nested spans on a wall-clock track
+  and per-run simulated-cycle tracks, exportable as Chrome
+  ``chrome://tracing`` JSON or flat JSONL.
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges, and
+  log2-bucket histograms that the memory hierarchy, cores, schedulers,
+  and serving loop publish into.
+* :mod:`~repro.obs.cpi` — Top-down-style CPI stacks (retire / frontend /
+  L1..DRAM-bound) derived from the published counters.
+
+Activation is explicit and scoped (:func:`~repro.obs.hooks.session`)::
+
+    from repro.obs import session, collect_cpi_stacks
+
+    with session() as obs:
+        run_experiment("fig13", config=config)
+    obs.tracer.to_chrome("trace.json")
+    obs.metrics.to_jsonl("metrics.jsonl")
+    print(format_cpi_table(collect_cpi_stacks(obs.metrics)))
+
+With no session active every hook in the simulator reduces to one
+``is None`` branch at batch granularity — results are bit-identical and
+the fast engine's throughput is unaffected (see docs/observability.md).
+"""
+
+from .cpi import (
+    CPI_BUCKETS,
+    CpiStack,
+    collect_cpi_stacks,
+    dense_cpi_stack,
+    embedding_cpi_stack,
+    format_cpi_table,
+    publish_cpi_stack,
+)
+from .hooks import Observation, active, enabled, session
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .schema import validate
+from .tracer import SIM_PID, WALL_PID, SpanEvent, Tracer
+
+__all__ = [
+    "CPI_BUCKETS",
+    "Counter",
+    "CpiStack",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observation",
+    "SIM_PID",
+    "SpanEvent",
+    "Tracer",
+    "WALL_PID",
+    "active",
+    "collect_cpi_stacks",
+    "dense_cpi_stack",
+    "embedding_cpi_stack",
+    "enabled",
+    "format_cpi_table",
+    "publish_cpi_stack",
+    "session",
+    "validate",
+]

@@ -11,11 +11,13 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from ..errors import ConfigError
+from ..obs import hooks as obs_hooks
+from ..obs.metrics import Histogram
 
 __all__ = ["ServerResult", "simulate_server"]
 
@@ -33,10 +35,23 @@ class ServerResult:
     num_cores: int
     offered_interarrival_ms: float
     extra: dict = field(default_factory=dict)
+    latency_hist: Optional[Histogram] = None
 
     def percentile(self, q: float) -> float:
-        """Latency percentile (q in [0, 100])."""
+        """Latency percentile (q in [0, 100]); 0.0 with no requests.
+
+        The empty case follows the same convention as
+        :meth:`repro.mem.stats.CacheStats.hit_rate`: degenerate inputs
+        yield 0.0 rather than an exception or NaN.
+        """
+        if self.latencies_ms.size == 0:
+            return 0.0
         return float(np.percentile(self.latencies_ms, q))
+
+    @property
+    def p50_ms(self) -> float:
+        """Median end-to-end request latency."""
+        return self.percentile(50.0)
 
     @property
     def p95_ms(self) -> float:
@@ -44,13 +59,22 @@ class ServerResult:
         return self.percentile(95.0)
 
     @property
+    def p99_ms(self) -> float:
+        """Tail latency reported by the serving telemetry."""
+        return self.percentile(99.0)
+
+    @property
     def mean_ms(self) -> float:
-        """Mean end-to-end request latency."""
+        """Mean end-to-end request latency; 0.0 with no requests."""
+        if self.latencies_ms.size == 0:
+            return 0.0
         return float(np.mean(self.latencies_ms))
 
     @property
     def utilization(self) -> float:
         """Offered load fraction: mean service / (cores x inter-arrival)."""
+        if self.services_ms.size == 0:
+            return 0.0
         return float(
             np.mean(self.services_ms)
             / (self.num_cores * self.offered_interarrival_ms)
@@ -105,10 +129,19 @@ def simulate_server(
         offered = float(np.mean(np.diff(arrivals_ms)))
     else:
         offered = float(arrivals_ms[0])
+    hist = Histogram()
+    hist.observe_many(latencies)
+    obs = obs_hooks.active()
+    if obs is not None:
+        obs.metrics.counter("serving.requests").inc(n)
+        obs.metrics.histogram("serving.latency_ms").observe_many(latencies)
+        obs.metrics.histogram("serving.wait_ms").observe_many(waits)
+        obs.metrics.gauge("serving.cores").set(num_cores)
     return ServerResult(
         latencies_ms=latencies,
         waits_ms=waits,
         services_ms=services,
         num_cores=num_cores,
         offered_interarrival_ms=offered,
+        latency_hist=hist,
     )

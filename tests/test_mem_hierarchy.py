@@ -142,3 +142,45 @@ def test_flush_keeps_shared_l3(small_hierarchy):
     small_hierarchy.load(123)
     small_hierarchy.flush()
     assert small_hierarchy.resident_level(123) == "l3"
+
+
+def test_hierarchy_stats_merge_commutative():
+    from repro.mem.stats import HierarchyStats
+
+    a = HierarchyStats(
+        level_hits={"dram": 1, "l1": 3},
+        total_latency_cycles=50.0,
+        demand_accesses=4,
+        prefetch_requests=2,
+        dram_bytes=64,
+    )
+    b = HierarchyStats(
+        level_hits={"l2": 5, "l1": 1},
+        total_latency_cycles=10.0,
+        demand_accesses=6,
+        prefetch_requests=0,
+        dram_bytes=128,
+    )
+    ab = a.merge(b)
+    ba = b.merge(a)
+    assert ab == ba  # dataclass eq: every field, including level_hits
+    # Key order is canonicalized, so even iteration order is symmetric.
+    assert list(ab.level_hits) == list(ba.level_hits)
+    assert ab.level_hits == {"l1": 4, "l2": 5, "dram": 1}
+    assert ab.total_latency_cycles == 60.0
+    assert ab.demand_accesses == 10
+    assert ab.prefetch_requests == 2
+    assert ab.dram_bytes == 192
+
+
+def test_hierarchy_stats_reset():
+    from repro.mem.stats import HierarchyStats
+
+    stats = HierarchyStats()
+    stats.record("l1", 5.0)
+    stats.record("dram", 300.0)
+    stats.prefetch_requests = 3
+    stats.dram_bytes = 64
+    stats.reset()
+    assert stats == HierarchyStats()
+    assert stats.avg_load_latency == 0.0

@@ -134,3 +134,37 @@ class TestLatencyAnalysis:
     def test_region_validation(self):
         with pytest.raises(ConfigError):
             sla_compliant_region({}, 0.0)
+
+
+def test_server_result_empty_latencies():
+    from repro.serving.server import ServerResult
+
+    empty = ServerResult(
+        latencies_ms=np.array([]),
+        waits_ms=np.array([]),
+        services_ms=np.array([]),
+        num_cores=2,
+        offered_interarrival_ms=1.0,
+    )
+    # Degenerate inputs yield 0.0, matching CacheStats.hit_rate's convention.
+    assert empty.percentile(95.0) == 0.0
+    assert empty.p50_ms == 0.0
+    assert empty.p95_ms == 0.0
+    assert empty.p99_ms == 0.0
+    assert empty.mean_ms == 0.0
+    assert empty.utilization == 0.0
+
+
+def test_server_result_percentile_properties_consistent():
+    rng = np.random.default_rng(3)
+    arrivals = np.sort(rng.uniform(0.0, 50.0, size=200))
+    result = simulate_server(arrivals, mean_service_ms=1.0, num_cores=4, rng=rng)
+    assert result.p50_ms == result.percentile(50.0)
+    assert result.p99_ms == result.percentile(99.0)
+    assert result.latency_hist is not None
+    assert result.latency_hist.count == 200
+    # The log2-bucket estimate brackets the exact percentile within 2x.
+    exact = result.percentile(95.0)
+    approx = result.latency_hist.percentile(95.0)
+    assert approx <= exact * 2.0
+    assert approx >= exact / 2.0

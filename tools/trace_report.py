@@ -1,0 +1,246 @@
+"""Summarize repro.obs artifacts: Chrome traces and metrics JSONL.
+
+The offline half of the telemetry layer — point it at the files written by
+``repro-experiment --trace/--metrics`` and it prints the VTune-style
+summary views::
+
+    PYTHONPATH=src python tools/trace_report.py t.json
+    PYTHONPATH=src python tools/trace_report.py t.json --metrics m.jsonl
+    PYTHONPATH=src python tools/trace_report.py t.json --top 20 --validate
+
+Views:
+
+* **top spans** — the N longest simulated spans (cycles), the first thing
+  to look at when asking "where did the time go";
+* **by name** — aggregate cycles/count per span name across all tracks;
+* **wall spans** — real elapsed time of orchestration code;
+* with ``--metrics``: the per-stage CPI stack table and every latency
+  histogram's count/mean/p50/p95/p99;
+* ``--validate`` checks the trace against ``tools/trace_schema.json``
+  (exit 1 on violations) — CI runs this on a fresh smoke trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.cpi import CPI_BUCKETS, CpiStack, format_cpi_table  # noqa: E402
+from repro.obs.schema import validate  # noqa: E402
+
+__all__ = ["main", "load_trace", "summarize"]
+
+SCHEMA_PATH = REPO_ROOT / "tools" / "trace_schema.json"
+
+
+def load_trace(path: Path) -> dict:
+    """Read a Chrome-trace JSON file."""
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _sim_spans(trace: dict) -> List[dict]:
+    """Simulated-time spans: pid 2 complete events, excluding track metadata."""
+    return [
+        e
+        for e in trace.get("traceEvents", [])
+        if e.get("ph") == "X" and e.get("pid") == 2 and e.get("cat") != "sim.meta"
+    ]
+
+
+def _wall_spans(trace: dict) -> List[dict]:
+    """Wall-clock spans: pid 1 complete events."""
+    return [
+        e for e in trace.get("traceEvents", []) if e.get("ph") == "X" and e.get("pid") == 1
+    ]
+
+
+def _table(header: List[str], rows: List[List[str]]) -> str:
+    """Right-aligned text table (first column left-aligned)."""
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    out = [
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in rows:
+        cells = [r[0].ljust(widths[0])] + [
+            c.rjust(w) for c, w in zip(r[1:], widths[1:])
+        ]
+        out.append("  ".join(cells))
+    return "\n".join(out)
+
+
+def summarize(trace: dict, top: int = 10) -> str:
+    """The text report for one trace dict."""
+    sections: List[str] = []
+    sim = _sim_spans(trace)
+    wall = _wall_spans(trace)
+    dropped = trace.get("otherData", {}).get("dropped_events", 0)
+
+    sections.append(
+        f"trace: {len(sim)} sim spans, {len(wall)} wall spans, "
+        f"{dropped} dropped"
+    )
+
+    if sim:
+        by_dur = sorted(sim, key=lambda e: e.get("dur", 0.0), reverse=True)[:top]
+        rows = [
+            [
+                str(e.get("name", "?")),
+                str(e.get("cat", "")),
+                str(e.get("tid", 0)),
+                f"{e.get('ts', 0.0):,.0f}",
+                f"{e.get('dur', 0.0):,.0f}",
+            ]
+            for e in by_dur
+        ]
+        sections.append(
+            f"== top {len(rows)} sim spans by cycles ==\n"
+            + _table(["name", "category", "tid", "start_cycles", "cycles"], rows)
+        )
+
+        agg: Dict[str, List[float]] = defaultdict(lambda: [0.0, 0])
+        for e in sim:
+            entry = agg[str(e.get("name", "?"))]
+            entry[0] += float(e.get("dur", 0.0))
+            entry[1] += 1
+        agg_rows = [
+            [name, f"{total:,.0f}", str(int(count))]
+            for name, (total, count) in sorted(
+                agg.items(), key=lambda kv: kv[1][0], reverse=True
+            )[:top]
+        ]
+        sections.append(
+            "== sim cycles by span name ==\n"
+            + _table(["name", "total_cycles", "spans"], agg_rows)
+        )
+
+    if wall:
+        wall_rows = [
+            [
+                str(e.get("name", "?")),
+                f"{e.get('dur', 0.0) / 1000.0:,.1f}",
+                str(e.get("args", {}).get("depth", "")),
+            ]
+            for e in sorted(wall, key=lambda e: e.get("dur", 0.0), reverse=True)[:top]
+        ]
+        sections.append(
+            "== wall spans (ms) ==\n" + _table(["name", "ms", "depth"], wall_rows)
+        )
+
+    return "\n\n".join(sections)
+
+
+def load_metrics(path: Path) -> List[dict]:
+    """Read a metrics JSONL file (one metric record per line)."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def summarize_metrics(records: List[dict]) -> str:
+    """CPI stacks and histogram summaries from exported metric records."""
+    sections: List[str] = []
+
+    cycles: Dict[str, float] = {}
+    buckets: Dict[str, Dict[str, float]] = defaultdict(dict)
+    for rec in records:
+        name, labels = rec.get("name", ""), rec.get("labels", {})
+        stage = labels.get("stage")
+        if stage is None:
+            continue
+        if name == "core.cycles":
+            cycles[stage] = float(rec.get("value", 0.0))
+        elif name.startswith("core.cpi."):
+            buckets[stage][name[len("core.cpi."):]] = float(rec.get("value", 0.0))
+    if cycles:
+        stacks = [
+            CpiStack(stage, total, {b: buckets[stage].get(b, 0.0) for b in CPI_BUCKETS})
+            for stage, total in cycles.items()
+        ]
+        stacks.sort(key=lambda s: s.total_cycles, reverse=True)
+        sections.append("== CPI stacks ==\n" + format_cpi_table(stacks))
+
+    hist_rows = []
+    for rec in records:
+        if rec.get("type") != "histogram" or not rec.get("count"):
+            continue
+        label_str = ",".join(f"{k}={v}" for k, v in sorted(rec.get("labels", {}).items()))
+        display = rec["name"] + (f"{{{label_str}}}" if label_str else "")
+        mean = rec["sum"] / rec["count"]
+        hist_rows.append(
+            [
+                display,
+                f"{rec['count']:,}",
+                f"{mean:,.1f}",
+                f"{rec.get('p50', 0.0):,.1f}",
+                f"{rec.get('p95', 0.0):,.1f}",
+                f"{rec.get('p99', 0.0):,.1f}",
+            ]
+        )
+    if hist_rows:
+        sections.append(
+            "== latency histograms ==\n"
+            + _table(["histogram", "count", "mean", "p50", "p95", "p99"], hist_rows)
+        )
+
+    counters = sum(1 for r in records if r.get("type") == "counter")
+    gauges = sum(1 for r in records if r.get("type") == "gauge")
+    hists = sum(1 for r in records if r.get("type") == "histogram")
+    sections.append(f"metrics: {counters} counters, {gauges} gauges, {hists} histograms")
+    return "\n\n".join(sections)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI main; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="trace_report",
+        description="Summarize repro.obs Chrome traces and metrics JSONL.",
+    )
+    parser.add_argument("trace", type=Path, help="Chrome-trace JSON from --trace")
+    parser.add_argument(
+        "--metrics", type=Path, default=None, help="metrics JSONL from --metrics"
+    )
+    parser.add_argument(
+        "--top", type=int, default=10, metavar="N", help="rows per table (default 10)"
+    )
+    parser.add_argument(
+        "--validate", action="store_true",
+        help=f"validate the trace against {SCHEMA_PATH.name}; exit 1 on violations",
+    )
+    args = parser.parse_args(argv)
+
+    trace = load_trace(args.trace)
+    if args.validate:
+        schema = json.loads(SCHEMA_PATH.read_text())
+        errors = validate(trace, schema)
+        if errors:
+            print(f"{args.trace}: {len(errors)} schema violation(s):", file=sys.stderr)
+            for err in errors[:20]:
+                print(f"  {err}", file=sys.stderr)
+            return 1
+        print(f"{args.trace}: schema OK")
+
+    print(summarize(trace, top=args.top))
+    if args.metrics is not None:
+        print()
+        print(summarize_metrics(load_metrics(args.metrics)))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

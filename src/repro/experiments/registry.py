@@ -10,6 +10,7 @@ from ..mem.hierarchy import get_default_engine, set_default_engine
 from ..obs import hooks as obs_hooks
 from . import (
     hotness_sweep,
+    resilience,
     synergy,
     fig01_breakdown,
     fig04_dataset_sweep,
@@ -51,6 +52,7 @@ _MODULES = (
     table4_batch_times,
     synergy,
     hotness_sweep,
+    resilience,
 )
 
 _REGISTRY: Dict[str, Callable[..., ExperimentReport]] = {

@@ -11,8 +11,11 @@ Multi-target runs (``all`` or a comma-separated id list) keep going past
 failing experiments and report them at the end (nonzero exit code); they
 also memoize finished reports under ``results/.cache/`` keyed by
 (experiment id, config, overrides, package version), so re-runs skip
-unchanged work.  ``--jobs N`` fans independent experiments out across
-processes.
+unchanged work.  Memo writes are atomic (temp file + rename) and corrupt
+or truncated entries are treated as misses, so an interrupted run can
+never poison later ones.  ``--jobs N`` fans independent experiments out
+across processes; ``--timeout S`` bounds each experiment's wall clock and
+``--retries N`` re-runs transient failures.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ import dataclasses
 import hashlib
 import json
 import multiprocessing
+import os
 import sys
 import time
 from pathlib import Path
@@ -39,7 +43,13 @@ __all__ = ["main"]
 
 #: Numeric override flags forwarded to experiment runners when accepted.
 _FORWARDED_FLOATS = ("scale",)
-_FORWARDED_INTS = ("batch_size", "num_batches", "num_cores", "detailed_cores")
+_FORWARDED_INTS = (
+    "batch_size",
+    "num_batches",
+    "num_cores",
+    "detailed_cores",
+    "num_requests",
+)
 
 #: Default location of the on-disk result cache (relative to the cwd).
 CACHE_DIR = Path("results") / ".cache"
@@ -71,6 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--num-batches", type=int, default=None)
     parser.add_argument("--num-cores", type=int, default=None)
     parser.add_argument("--detailed-cores", type=int, default=None)
+    parser.add_argument("--num-requests", type=int, default=None)
     parser.add_argument(
         "--engine", choices=("fast", "reference"), default=None,
         help="simulation engine (default: SimConfig default, 'fast')",
@@ -86,6 +97,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the result cache even for multi-target runs",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-experiment wall-clock budget; experiments exceeding it are "
+        "reported as failures (runs in worker processes; ignored for "
+        "observed runs, which must stay in-process)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="re-run failed experiments up to N more times (transient-"
+        "failure hardening for long multi-target runs)",
     )
     parser.add_argument(
         "--out", type=Path, default=None, help="directory to write reports into"
@@ -137,6 +159,44 @@ def _cache_key(exp_id: str, config: SimConfig, overrides: dict) -> str:
         default=str,
     )
     return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+
+def _load_cache_entry(path: Path) -> Optional[Tuple[float, dict]]:
+    """Read one memo file; a corrupt or truncated entry is a miss.
+
+    The bad file is removed (best-effort) so the fresh result can replace
+    it; a concurrent writer racing the unlink is harmless because writes
+    are atomic replaces.
+    """
+    try:
+        entry = json.loads(path.read_text())
+        report = entry["report"]
+        if not isinstance(report, dict):
+            raise ValueError("cache entry report is not a dict")
+        return float(entry.get("elapsed", 0.0)), report
+    except (OSError, ValueError, KeyError, TypeError):
+        with contextlib.suppress(OSError):
+            path.unlink()
+        return None
+
+
+def _write_cache_entry(path: Path, exp_id: str, elapsed: float, report: dict) -> None:
+    """Atomically persist one memo (temp file + rename).
+
+    A crash or timeout mid-write can therefore never leave a truncated
+    entry behind, and concurrent ``--jobs`` writers cannot interleave.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = json.dumps(
+        {"experiment_id": exp_id, "elapsed": elapsed, "report": report}
+    )
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        tmp.write_text(payload + "\n")
+        os.replace(tmp, path)
+    finally:
+        with contextlib.suppress(OSError):
+            tmp.unlink()
 
 
 def _run_one(task: Tuple[str, SimConfig, dict]) -> Tuple[str, float, Optional[dict], Optional[str]]:
@@ -225,33 +285,60 @@ def main(argv: Optional[List[str]] = None) -> int:
             continue
         tasks.append((exp_id, config, _overrides(args, runner)))
 
-    # Serve what the cache already has.
+    # Serve what the cache already has (corrupt entries count as misses).
     finished: Dict[str, Tuple[float, dict, bool]] = {}
     pending: List[Tuple[str, SimConfig, dict]] = []
     for task in tasks:
         exp_id = task[0]
         cache_path = CACHE_DIR / f"{_cache_key(exp_id, config, task[2])}.json"
-        if use_cache and cache_path.exists():
-            entry = json.loads(cache_path.read_text())
-            finished[exp_id] = (float(entry.get("elapsed", 0.0)), entry["report"], True)
+        entry = (
+            _load_cache_entry(cache_path)
+            if use_cache and cache_path.exists()
+            else None
+        )
+        if entry is not None:
+            finished[exp_id] = (entry[0], entry[1], True)
         else:
             pending.append(task)
 
     observation = Observation() if observing else None
-    jobs = max(1, min(args.jobs, len(pending) or 1))
-    if observing:
-        jobs = 1
-    if jobs > 1:
-        # fork shares the loaded interpreter (cheap start) and keeps
-        # SimConfig/overrides without pickling surprises; results are
-        # plain JSON dicts either way.
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX fallback
-            ctx = multiprocessing.get_context("spawn")
-        with ctx.Pool(processes=jobs) as pool:
-            results = pool.map(_run_one, pending)
-    else:
+    timeout = args.timeout if not observing else None
+    if args.timeout is not None and observing:
+        print("[--timeout ignored: observed runs stay in-process]", file=sys.stderr)
+
+    def execute(batch: List[Tuple[str, SimConfig, dict]]) -> List[tuple]:
+        """One execution round; failures become result tuples, not raises."""
+        if not batch:
+            return []
+        jobs = max(1, min(args.jobs, len(batch)))
+        if observing:
+            jobs = 1
+        if jobs > 1 or timeout is not None:
+            # fork shares the loaded interpreter (cheap start) and keeps
+            # SimConfig/overrides without pickling surprises; results are
+            # plain JSON dicts either way.  Timeouts also route through
+            # the pool so a stuck experiment can be abandoned: the with-
+            # block terminates straggler workers on exit.
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX fallback
+                ctx = multiprocessing.get_context("spawn")
+            results: List[tuple] = []
+            with ctx.Pool(processes=jobs) as pool:
+                handles = [pool.apply_async(_run_one, (task,)) for task in batch]
+                for task, handle in zip(batch, handles):
+                    try:
+                        results.append(handle.get(timeout))
+                    except multiprocessing.TimeoutError:
+                        results.append(
+                            (
+                                task[0],
+                                float(timeout),
+                                None,
+                                f"TimeoutError: exceeded --timeout {timeout:g}s",
+                            )
+                        )
+            return results
         results = []
         session = (
             obs_hooks.session(observation)
@@ -259,8 +346,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             else contextlib.nullcontext()
         )
         with session:
-            for task in pending:
-                if not multi:
+            for task in batch:
+                if not multi and args.retries == 0:
                     # Single target: run inline so exceptions propagate with
                     # their original type and traceback.
                     exp_id, config, overrides = task
@@ -271,27 +358,37 @@ def main(argv: Optional[List[str]] = None) -> int:
                     )
                 else:
                     results.append(_run_one(task))
+        return results
 
     overrides_by_id = {t[0]: t[2] for t in tasks}
-    for exp_id, elapsed, report_dict, error in results:
-        if error is not None:
-            failures.append((exp_id, error))
-            continue
-        finished[exp_id] = (elapsed, report_dict, False)
-        if use_cache:
-            CACHE_DIR.mkdir(parents=True, exist_ok=True)
-            key = _cache_key(exp_id, config, overrides_by_id[exp_id])
-            cache_path = CACHE_DIR / f"{key}.json"
-            cache_path.write_text(
-                json.dumps(
-                    {
-                        "experiment_id": exp_id,
-                        "elapsed": elapsed,
-                        "report": report_dict,
-                    }
+    remaining = pending
+    attempts_left = max(0, args.retries)
+    while True:
+        failed_tasks: List[Tuple[str, SimConfig, dict]] = []
+        errors: List[Tuple[str, str]] = []
+        for exp_id, elapsed, report_dict, error in execute(remaining):
+            if error is not None:
+                errors.append((exp_id, error))
+                continue
+            finished[exp_id] = (elapsed, report_dict, False)
+            if use_cache:
+                key = _cache_key(exp_id, config, overrides_by_id[exp_id])
+                _write_cache_entry(
+                    CACHE_DIR / f"{key}.json", exp_id, elapsed, report_dict
                 )
-                + "\n"
+        if errors and attempts_left > 0:
+            by_id = {t[0]: t for t in remaining}
+            failed_tasks = [by_id[exp_id] for exp_id, _ in errors]
+            print(
+                f"[retrying {len(failed_tasks)} failed experiment(s); "
+                f"{attempts_left} attempt(s) left]",
+                file=sys.stderr,
             )
+            attempts_left -= 1
+            remaining = failed_tasks
+            continue
+        failures.extend(errors)
+        break
 
     # Emit in the original target order.
     for exp_id in targets:

@@ -4,26 +4,61 @@ Recommendation inference is user-facing and governed by SLAs (Table 1).
 This subpackage reproduces the paper's tail-latency methodology: a Poisson
 load generator (:mod:`repro.serving.workload`), a discrete-event multi-core
 inference server (:mod:`repro.serving.server`), and percentile / SLA-region
-analysis (:mod:`repro.serving.latency`, :mod:`repro.serving.sla`).
+analysis (:mod:`repro.serving.latency`, :mod:`repro.serving.sla`) — plus a
+resilience testbed on top of it: deterministic fault injection
+(:mod:`repro.serving.faults`) and closed-loop graceful degradation along
+the paper's scheme ladder (:mod:`repro.serving.degradation`).  See
+``docs/serving.md``.
 """
 
 from .batcher import Batch, chunk_queries
+from .degradation import (
+    DegradationController,
+    DegradationLevel,
+    LevelChange,
+    scheme_ladder,
+)
+from .faults import (
+    ArrivalBurst,
+    BandwidthDegradation,
+    CoreFailure,
+    CoreSlowdown,
+    FaultPlan,
+    Stragglers,
+)
 from .latency import latency_percentile, sla_compliant_region
 from .pipeline import PipelineResult, serve_query_stream
-from .server import ServerResult, simulate_server
+from .server import (
+    OUTCOME_NAMES,
+    ServerResult,
+    ServingPolicy,
+    simulate_server,
+)
 from .sla import SLA_TARGETS, SLATarget, sla_for_model
 from .workload import poisson_arrivals
 
 __all__ = [
+    "ArrivalBurst",
+    "BandwidthDegradation",
     "Batch",
+    "CoreFailure",
+    "CoreSlowdown",
+    "DegradationController",
+    "DegradationLevel",
+    "FaultPlan",
+    "LevelChange",
+    "OUTCOME_NAMES",
     "PipelineResult",
     "SLA_TARGETS",
     "SLATarget",
     "ServerResult",
+    "ServingPolicy",
+    "Stragglers",
     "chunk_queries",
     "serve_query_stream",
     "latency_percentile",
     "poisson_arrivals",
+    "scheme_ladder",
     "simulate_server",
     "sla_compliant_region",
     "sla_for_model",

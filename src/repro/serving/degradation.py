@@ -1,0 +1,218 @@
+"""Closed-loop graceful degradation: the paper's schemes as a ladder.
+
+The paper's optimization schemes (Section 4) are strictly faster than the
+baseline, but a production fleet does not run them unconditionally:
+software prefetching burns instruction bandwidth and power, MP-HT claims
+the sibling hyperthread that co-located jobs would otherwise use, and
+shrinking the batch size sacrifices throughput efficiency for latency.
+That makes them natural *degradation levers* (the asymmetric-data-flow
+line of work motivates exactly this scheme-switching): under duress the
+server steps down a ladder —
+
+    level 0  baseline          normal operation
+    level 1  sw_pf             enable software prefetching
+    level 2  integrated        + model-parallel hyperthreading
+    level 3  integrated_small_batch   + reduced batch size
+
+— and steps back up once the tail recovers.  :class:`DegradationController`
+implements the closed loop: it watches a sliding window of completed
+request latencies, compares the windowed p95 against the SLA target with
+hysteresis (escalate above ``escalate_margin * sla``, recover only below
+``recover_margin * sla`` and after a cooldown), and emits
+:class:`LevelChange` events.  The controller is purely deterministic —
+no randomness — so identical latency streams produce identical ladders.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = [
+    "DegradationController",
+    "DegradationLevel",
+    "LevelChange",
+    "scheme_ladder",
+]
+
+
+@dataclass(frozen=True)
+class DegradationLevel:
+    """One rung of the ladder: a name and its relative mean service time."""
+
+    name: str
+    service_scale: float
+
+    def __post_init__(self) -> None:
+        if self.service_scale <= 0:
+            raise ConfigError("service scale must be positive")
+
+
+@dataclass(frozen=True)
+class LevelChange:
+    """One controller decision, recorded for reporting and tracing."""
+
+    time_ms: float
+    from_level: int
+    to_level: int
+    window_p95_ms: float
+
+    @property
+    def escalation(self) -> bool:
+        """Whether the change stepped toward more degradation."""
+        return self.to_level > self.from_level
+
+
+def scheme_ladder(
+    scheme_service_ms: Mapping[str, float],
+    batch_scale: float = 0.6,
+) -> Tuple[DegradationLevel, ...]:
+    """Build the default ladder from measured per-scheme service times.
+
+    ``scheme_service_ms`` maps scheme names to mean batch service times;
+    ``baseline`` is required and anchors level 0, ``sw_pf`` and
+    ``integrated`` are used when present.  The final rung models batch-size
+    reduction as a further ``batch_scale`` multiplier on the fastest
+    scheme's service time (smaller batches cut per-request latency at a
+    throughput-efficiency cost the goodput metric surfaces).
+    """
+    if "baseline" not in scheme_service_ms:
+        raise ConfigError("scheme ladder needs a 'baseline' service time")
+    if not 0.0 < batch_scale <= 1.0:
+        raise ConfigError("batch scale must be in (0, 1]")
+    base = float(scheme_service_ms["baseline"])
+    if base <= 0:
+        raise ConfigError("baseline service time must be positive")
+    levels = [DegradationLevel("baseline", 1.0)]
+    for scheme in ("sw_pf", "integrated"):
+        if scheme in scheme_service_ms:
+            scale = float(scheme_service_ms[scheme]) / base
+            # A scheme slower than the previous rung cannot serve as a
+            # degradation lever; skip it rather than build a broken ladder.
+            if scale < levels[-1].service_scale:
+                levels.append(DegradationLevel(scheme, scale))
+    levels.append(
+        DegradationLevel(
+            f"{levels[-1].name}_small_batch",
+            levels[-1].service_scale * batch_scale,
+        )
+    )
+    return tuple(levels)
+
+
+class DegradationController:
+    """Hysteretic p95-vs-SLA feedback controller over a degradation ladder.
+
+    Parameters
+    ----------
+    ladder:
+        Levels ordered from normal (index 0) to most degraded; each rung's
+        ``service_scale`` must not exceed the previous rung's (degrading
+        must never slow the server down).
+    sla_ms:
+        The Table 1 target the windowed p95 is compared against.
+    window:
+        Number of most recent completed-request latencies considered.
+    min_samples:
+        Observations required (since the last level change) before any
+        decision; the window is cleared on a change so each level is
+        judged on its own measurements.
+    escalate_margin / recover_margin:
+        Hysteresis band: escalate when ``p95 > escalate_margin * sla``,
+        recover only when ``p95 < recover_margin * sla``.
+    cooldown:
+        Extra observations required after a change before stepping back
+        toward normal (recovery is deliberately slower than escalation).
+    """
+
+    def __init__(
+        self,
+        ladder: Sequence[DegradationLevel],
+        sla_ms: float,
+        window: int = 64,
+        min_samples: int = 16,
+        escalate_margin: float = 1.0,
+        recover_margin: float = 0.6,
+        cooldown: int = 64,
+    ) -> None:
+        if not ladder:
+            raise ConfigError("degradation ladder must have at least one level")
+        for prev, cur in zip(ladder, ladder[1:]):
+            if cur.service_scale > prev.service_scale + 1e-12:
+                raise ConfigError(
+                    f"ladder level {cur.name!r} is slower than {prev.name!r}; "
+                    "degradation must not increase service time"
+                )
+        if sla_ms <= 0:
+            raise ConfigError("SLA must be positive")
+        if window <= 0 or min_samples <= 0 or min_samples > window:
+            raise ConfigError("need 0 < min_samples <= window")
+        if not 0.0 < recover_margin <= escalate_margin:
+            raise ConfigError("need 0 < recover_margin <= escalate_margin")
+        if cooldown < 0:
+            raise ConfigError("cooldown must be non-negative")
+        self.ladder: Tuple[DegradationLevel, ...] = tuple(ladder)
+        self.sla_ms = float(sla_ms)
+        self.window = int(window)
+        self.min_samples = int(min_samples)
+        self.escalate_margin = float(escalate_margin)
+        self.recover_margin = float(recover_margin)
+        self.cooldown = int(cooldown)
+        self.level = 0
+        self.events: List[LevelChange] = []
+        self._latencies: Deque[float] = deque(maxlen=self.window)
+        self._since_change = 0
+
+    @property
+    def level_name(self) -> str:
+        """Name of the current rung."""
+        return self.ladder[self.level].name
+
+    def scale(self) -> float:
+        """Service-time multiplier of the current rung."""
+        return self.ladder[self.level].service_scale
+
+    def window_p95(self) -> float:
+        """p95 of the sliding latency window (0.0 while empty)."""
+        if not self._latencies:
+            return 0.0
+        return float(np.percentile(np.fromiter(self._latencies, dtype=float), 95.0))
+
+    def observe(self, now_ms: float, latency_ms: float) -> Optional[LevelChange]:
+        """Feed one completed-request latency; maybe change level."""
+        self._latencies.append(float(latency_ms))
+        self._since_change += 1
+        if len(self._latencies) < self.min_samples:
+            return None
+        p95 = self.window_p95()
+        if (
+            p95 > self.sla_ms * self.escalate_margin
+            and self.level < len(self.ladder) - 1
+        ):
+            return self._change(now_ms, self.level + 1, p95)
+        if (
+            p95 < self.sla_ms * self.recover_margin
+            and self.level > 0
+            and self._since_change >= self.cooldown
+        ):
+            return self._change(now_ms, self.level - 1, p95)
+        return None
+
+    def _change(self, now_ms: float, to_level: int, p95: float) -> LevelChange:
+        event = LevelChange(
+            time_ms=float(now_ms),
+            from_level=self.level,
+            to_level=to_level,
+            window_p95_ms=p95,
+        )
+        self.events.append(event)
+        self.level = to_level
+        # Judge the new level on its own measurements.
+        self._latencies.clear()
+        self._since_change = 0
+        return event

@@ -1,0 +1,328 @@
+"""Deterministic fault injection for the serving simulator.
+
+A real DLRM fleet does not run on the happy path: cores get throttled or
+taken offline, DRAM bandwidth is stolen by co-located jobs (the tiered
+-memory placement studies show exactly this straggler pattern), load
+spikes arrive, and a small fraction of batches land on pathological cache
+state and run far past the mean.  :class:`FaultPlan` describes such a
+scenario as a composition of declarative fault models that the serving
+loop (:func:`repro.serving.server.simulate_server`) consults:
+
+* :class:`CoreSlowdown` — one core's service times are multiplied by a
+  factor inside a time window (thermal throttling, a noisy neighbour);
+* :class:`CoreFailure` — one core serves nothing inside a window and
+  *repairs* at its end (a crash-and-restart cycle);
+* :class:`BandwidthDegradation` — every core's service time is multiplied
+  inside a window (DRAM bandwidth contention hits the embedding stage
+  fleet-wide);
+* :class:`ArrivalBurst` — extra requests injected at a point in time (a
+  load spike on top of the Poisson baseline);
+* :class:`Stragglers` — a seeded fraction of requests draw a heavy-tail
+  service multiplier (cold caches, page faults, slow-memory placement).
+
+Everything is deterministic: the plan owns a seed, and every random
+quantity (straggler multipliers, retry jitter) derives from that seed and
+the request index — never from event ordering — so the same plan and
+workload produce identical per-request outcomes across runs and across
+``--jobs`` process parallelism.  A ``FaultPlan()`` with no faults is
+inert, and ``fault_plan=None`` keeps the serving loop on its original
+byte-identical fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = [
+    "ArrivalBurst",
+    "BandwidthDegradation",
+    "CoreFailure",
+    "CoreSlowdown",
+    "FaultPlan",
+    "Stragglers",
+]
+
+#: Sub-stream tags for the plan's derived random streams.
+_STREAM_STRAGGLER = 1
+_STREAM_RETRY = 2
+
+
+@dataclass(frozen=True)
+class CoreSlowdown:
+    """One core's service times are multiplied by ``factor`` in a window."""
+
+    core: int
+    start_ms: float
+    end_ms: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.core < 0:
+            raise ConfigError("core index must be non-negative")
+        _check_window(self.start_ms, self.end_ms)
+        if self.factor < 1.0:
+            raise ConfigError("slowdown factor must be >= 1")
+
+
+@dataclass(frozen=True)
+class CoreFailure:
+    """One core is offline in ``[start_ms, end_ms)`` and repairs at the end.
+
+    A failed core starts no new work; a request already running on it when
+    the window opens completes normally (the modeled failure is a drain +
+    restart, not a hard kill — in-flight state is not lost).
+    """
+
+    core: int
+    start_ms: float
+    end_ms: float
+
+    def __post_init__(self) -> None:
+        if self.core < 0:
+            raise ConfigError("core index must be non-negative")
+        _check_window(self.start_ms, self.end_ms)
+
+
+@dataclass(frozen=True)
+class BandwidthDegradation:
+    """Every core's service time is multiplied by ``factor`` in a window."""
+
+    start_ms: float
+    end_ms: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_ms, self.end_ms)
+        if self.factor < 1.0:
+            raise ConfigError("bandwidth degradation factor must be >= 1")
+
+
+@dataclass(frozen=True)
+class ArrivalBurst:
+    """``num_requests`` extra arrivals starting at ``start_ms``.
+
+    The burst is evenly spaced at ``interarrival_ms`` (a spike, not a
+    random stream) so its offered load is exact and reproducible.
+    """
+
+    start_ms: float
+    num_requests: int
+    interarrival_ms: float
+
+    def __post_init__(self) -> None:
+        if self.start_ms < 0:
+            raise ConfigError("burst start must be non-negative")
+        if self.num_requests <= 0:
+            raise ConfigError("burst request count must be positive")
+        if self.interarrival_ms <= 0:
+            raise ConfigError("burst inter-arrival time must be positive")
+
+    def arrivals(self) -> np.ndarray:
+        """The burst's arrival timestamps."""
+        return self.start_ms + self.interarrival_ms * np.arange(
+            self.num_requests, dtype=float
+        )
+
+
+@dataclass(frozen=True)
+class Stragglers:
+    """A seeded fraction of requests draw a heavy-tail service multiplier.
+
+    Each straggler's multiplier is ``multiplier`` when ``tail_alpha`` is 0,
+    or ``multiplier * (1 + Pareto(tail_alpha))`` for a genuinely heavy
+    tail (smaller alpha = heavier).
+    """
+
+    fraction: float
+    multiplier: float
+    tail_alpha: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ConfigError("straggler fraction must be in [0, 1]")
+        if self.multiplier < 1.0:
+            raise ConfigError("straggler multiplier must be >= 1")
+        if self.tail_alpha < 0.0:
+            raise ConfigError("tail alpha must be non-negative")
+
+
+class FaultPlan:
+    """A seeded, composable fault scenario for one serving simulation."""
+
+    def __init__(self, faults: Sequence[object] = (), seed: int = 0) -> None:
+        self.seed = int(seed)
+        self.slowdowns: List[CoreSlowdown] = []
+        self.failures: List[CoreFailure] = []
+        self.bandwidth: List[BandwidthDegradation] = []
+        self.bursts: List[ArrivalBurst] = []
+        self.stragglers: List[Stragglers] = []
+        for fault in faults:
+            if isinstance(fault, CoreSlowdown):
+                self.slowdowns.append(fault)
+            elif isinstance(fault, CoreFailure):
+                self.failures.append(fault)
+            elif isinstance(fault, BandwidthDegradation):
+                self.bandwidth.append(fault)
+            elif isinstance(fault, ArrivalBurst):
+                self.bursts.append(fault)
+            elif isinstance(fault, Stragglers):
+                self.stragglers.append(fault)
+            else:
+                raise ConfigError(
+                    f"unknown fault model {type(fault).__name__!r}"
+                )
+        self._failure_windows: Dict[int, List[Tuple[float, float]]] = {}
+        for failure in self.failures:
+            self._failure_windows.setdefault(failure.core, []).append(
+                (failure.start_ms, failure.end_ms)
+            )
+        for windows in self._failure_windows.values():
+            windows.sort()
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the plan injects nothing at all."""
+        return not (
+            self.slowdowns
+            or self.failures
+            or self.bandwidth
+            or self.bursts
+            or self.stragglers
+        )
+
+    # -- service-time perturbation ------------------------------------------
+
+    def service_multiplier(self, core: int, t_ms: float) -> float:
+        """Product of every slowdown active on ``core`` at time ``t_ms``."""
+        factor = 1.0
+        for slow in self.slowdowns:
+            if slow.core == core and slow.start_ms <= t_ms < slow.end_ms:
+                factor *= slow.factor
+        for band in self.bandwidth:
+            if band.start_ms <= t_ms < band.end_ms:
+                factor *= band.factor
+        return factor
+
+    def straggler_multipliers(self, num_requests: int) -> np.ndarray:
+        """Per-request heavy-tail multipliers (all 1.0 without stragglers).
+
+        Drawn in one vectorized pass from a stream derived from the plan
+        seed, so the multiplier of request *i* depends only on (seed, i) —
+        identical across runs regardless of event ordering.
+        """
+        out = np.ones(num_requests)
+        if not self.stragglers or num_requests == 0:
+            return out
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed, _STREAM_STRAGGLER])
+        )
+        for model in self.stragglers:
+            hit = rng.random(num_requests) < model.fraction
+            mult = np.full(num_requests, model.multiplier)
+            if model.tail_alpha > 0:
+                mult *= 1.0 + rng.pareto(model.tail_alpha, size=num_requests)
+            out = np.where(hit, out * mult, out)
+        return out
+
+    def retry_jitter_stream(self) -> np.random.Generator:
+        """The seeded generator the serving loop draws retry jitter from."""
+        return np.random.default_rng(
+            np.random.SeedSequence([self.seed, _STREAM_RETRY])
+        )
+
+    # -- core availability ---------------------------------------------------
+
+    def core_down(self, core: int, t_ms: float) -> bool:
+        """Whether ``core`` is inside a failure window at ``t_ms``."""
+        for start, end in self._failure_windows.get(core, ()):
+            if start <= t_ms < end:
+                return True
+        return False
+
+    def next_available(self, core: int, t_ms: float) -> float:
+        """Earliest time ``>= t_ms`` at which ``core`` may start work."""
+        t = t_ms
+        for start, end in self._failure_windows.get(core, ()):
+            if start <= t < end:
+                t = end
+        return t
+
+    # -- arrival perturbation ------------------------------------------------
+
+    def inject_arrivals(
+        self, arrivals_ms: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Merge burst arrivals into a sorted stream.
+
+        Returns ``(merged_arrivals, injected_mask)`` where the mask marks
+        burst-injected requests.  A stable mergesort keeps baseline
+        requests ahead of injected ones at equal timestamps.
+        """
+        if not self.bursts:
+            return arrivals_ms, np.zeros(arrivals_ms.size, dtype=bool)
+        extra = np.concatenate([burst.arrivals() for burst in self.bursts])
+        merged = np.concatenate([arrivals_ms, extra])
+        mask = np.concatenate(
+            [np.zeros(arrivals_ms.size, dtype=bool), np.ones(extra.size, dtype=bool)]
+        )
+        order = np.argsort(merged, kind="stable")
+        return merged[order], mask[order]
+
+    # -- reporting -----------------------------------------------------------
+
+    def windows(self) -> List[Tuple[str, float, float, Dict[str, object]]]:
+        """Every windowed fault as ``(name, start_ms, end_ms, attrs)``.
+
+        Point-in-time models (bursts) report their active span; stragglers
+        have no window and are omitted.  Used for trace-span emission.
+        """
+        out: List[Tuple[str, float, float, Dict[str, object]]] = []
+        for slow in self.slowdowns:
+            out.append(
+                (
+                    f"core_slowdown:{slow.core}",
+                    slow.start_ms,
+                    slow.end_ms,
+                    {"core": slow.core, "factor": slow.factor},
+                )
+            )
+        for failure in self.failures:
+            out.append(
+                (
+                    f"core_failure:{failure.core}",
+                    failure.start_ms,
+                    failure.end_ms,
+                    {"core": failure.core},
+                )
+            )
+        for band in self.bandwidth:
+            out.append(
+                (
+                    "bandwidth_degradation",
+                    band.start_ms,
+                    band.end_ms,
+                    {"factor": band.factor},
+                )
+            )
+        for burst in self.bursts:
+            out.append(
+                (
+                    "arrival_burst",
+                    burst.start_ms,
+                    burst.start_ms + burst.num_requests * burst.interarrival_ms,
+                    {"requests": burst.num_requests},
+                )
+            )
+        return out
+
+
+def _check_window(start_ms: float, end_ms: float) -> None:
+    if start_ms < 0:
+        raise ConfigError("fault window start must be non-negative")
+    if end_ms <= start_ms:
+        raise ConfigError("fault window must end after it starts")

@@ -99,9 +99,11 @@ def serve_query_stream(
         waits_ms=starts - dispatches,
         services_ms=services,
         num_cores=num_cores,
+        # A single dispatch defines no inter-arrival rate (same convention
+        # as simulate_server); utilization then reports 0.0.
         offered_interarrival_ms=float(np.mean(np.diff(dispatches)))
         if len(dispatches) > 1
-        else float(dispatches[0]),
+        else 0.0,
     )
     return PipelineResult(
         query_latencies_ms=np.asarray(query_latencies),

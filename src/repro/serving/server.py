@@ -5,29 +5,157 @@ execution model).  Requests queue FIFO; a free core picks the head of the
 queue; service time is drawn from a lognormal around the scheme's mean
 batch latency (real inference latency has a mild right tail from cache
 state and OS noise).
+
+Two execution paths share that model:
+
+* the **fast path** — the original vectorized-draw + heap loop, taken when
+  no fault plan, policy, or degradation controller is given; its results
+  are byte-identical to the pre-resilience simulator;
+* the **resilient path** — an event-driven loop (arrivals, core releases,
+  timeouts as heap events) that additionally supports per-request
+  deadlines from the Table 1 SLAs, queue-timeout + retry with exponential
+  backoff and seeded jitter, queue-depth / expired-deadline load shedding,
+  fault injection (:mod:`repro.serving.faults`), and closed-loop graceful
+  degradation (:mod:`repro.serving.degradation`).
+
+On the resilient path every *logical* request ends in exactly one outcome
+— ``completed``, ``shed``, or ``timed_out`` — and the latency arrays cover
+completed requests only (``latencies == waits + services`` still holds;
+waits of retried requests include their backoff).  ``ServerResult`` grows
+outcome counts and a goodput metric: the fraction of offered requests
+completed within their deadline.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
 from ..errors import ConfigError
 from ..obs import hooks as obs_hooks
 from ..obs.metrics import Histogram
+from .faults import FaultPlan
 
-__all__ = ["ServerResult", "simulate_server"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .degradation import DegradationController, LevelChange
+    from .sla import SLATarget
+
+__all__ = [
+    "OUTCOME_COMPLETED",
+    "OUTCOME_NAMES",
+    "OUTCOME_SHED",
+    "OUTCOME_TIMED_OUT",
+    "ServerResult",
+    "ServingPolicy",
+    "lognormal_services",
+    "simulate_server",
+]
 
 #: Default coefficient of variation of per-batch service times.
 DEFAULT_SERVICE_CV = 0.10
 
+#: Per-request outcome codes (indices into :data:`OUTCOME_NAMES`).
+OUTCOME_COMPLETED = 0
+OUTCOME_SHED = 1
+OUTCOME_TIMED_OUT = 2
+OUTCOME_NAMES = ("completed", "shed", "timed_out")
+
+#: Event kinds of the resilient loop, ordered so that at equal timestamps
+#: core releases precede arrivals (a core freeing exactly at an arrival
+#: serves it, matching the fast path's ``free_at <= arrival`` semantics)
+#: and timeouts fire last (a request that could start now is not expired).
+_EV_FREE = 0
+_EV_ARRIVE = 1
+_EV_TIMEOUT = 2
+
+
+@dataclass(frozen=True)
+class ServingPolicy:
+    """Admission-control and retry policy of one serving simulation.
+
+    Parameters
+    ----------
+    deadline_ms:
+        End-to-end latency budget per request (typically the model class's
+        Table 1 SLA, see :meth:`for_sla`).  Used for goodput accounting
+        and — when ``shed_expired`` — to drop requests whose deadline has
+        already passed on (re-)arrival.
+    timeout_ms:
+        Maximum time a request waits in queue before abandoning.  A timed
+        -out request retries (below) or ends ``timed_out``.
+    max_retries:
+        Retry budget per request after a queue timeout.  Each retry
+        re-enqueues the request after an exponential backoff.
+    retry_backoff_ms / retry_jitter:
+        Backoff of retry *k* is ``retry_backoff_ms * 2**(k-1)`` scaled by
+        ``1 + retry_jitter * u`` with ``u ~ U[0,1)`` drawn from the fault
+        plan's seeded jitter stream (deterministic per run).
+    max_queue_depth:
+        Load-shedding bound: a request arriving to a queue at this depth
+        is shed immediately.
+    shed_expired:
+        Shed (re-)arrivals whose deadline has already passed instead of
+        queueing doomed work.
+    """
+
+    deadline_ms: Optional[float] = None
+    timeout_ms: Optional[float] = None
+    max_retries: int = 0
+    retry_backoff_ms: float = 1.0
+    retry_jitter: float = 0.5
+    max_queue_depth: Optional[int] = None
+    shed_expired: bool = True
+
+    def __post_init__(self) -> None:
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ConfigError("deadline must be positive")
+        if self.timeout_ms is not None and self.timeout_ms <= 0:
+            raise ConfigError("timeout must be positive")
+        if self.max_retries < 0:
+            raise ConfigError("retry budget must be non-negative")
+        if self.retry_backoff_ms <= 0:
+            raise ConfigError("retry backoff must be positive")
+        if self.retry_jitter < 0:
+            raise ConfigError("retry jitter must be non-negative")
+        if self.max_queue_depth is not None and self.max_queue_depth <= 0:
+            raise ConfigError("queue depth bound must be positive")
+        if self.max_retries > 0 and self.timeout_ms is None:
+            raise ConfigError("retries require a queue timeout")
+
+    @classmethod
+    def for_sla(cls, sla: "SLATarget", **overrides: object) -> "ServingPolicy":
+        """Policy whose deadline and queue timeout are the SLA target."""
+        kwargs: Dict[str, object] = {
+            "deadline_ms": sla.sla_ms,
+            "timeout_ms": sla.sla_ms,
+        }
+        kwargs.update(overrides)
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    @property
+    def is_null(self) -> bool:
+        """Whether this policy changes nothing about the fast path."""
+        return (
+            self.deadline_ms is None
+            and self.timeout_ms is None
+            and self.max_queue_depth is None
+        )
+
 
 @dataclass
 class ServerResult:
-    """Per-request latencies of one serving simulation."""
+    """Per-request latencies and outcomes of one serving simulation.
+
+    The latency/wait/service arrays cover **completed** requests in
+    arrival order (on the fast path every request completes, so they cover
+    everything).  ``outcomes`` — when the resilient path ran — has one
+    code per *logical* request (including burst-injected ones) in arrival
+    order; ``retry_counts`` counts queue-timeout retries per request.
+    """
 
     latencies_ms: np.ndarray
     waits_ms: np.ndarray
@@ -36,6 +164,13 @@ class ServerResult:
     offered_interarrival_ms: float
     extra: dict = field(default_factory=dict)
     latency_hist: Optional[Histogram] = None
+    core_ids: Optional[np.ndarray] = None
+    outcomes: Optional[np.ndarray] = None
+    retry_counts: Optional[np.ndarray] = None
+    injected: Optional[np.ndarray] = None
+    deadline_ms: Optional[float] = None
+    degradation_events: List["LevelChange"] = field(default_factory=list)
+    final_degradation_level: int = 0
 
     def percentile(self, q: float) -> float:
         """Latency percentile (q in [0, 100]); 0.0 with no requests.
@@ -72,13 +207,67 @@ class ServerResult:
 
     @property
     def utilization(self) -> float:
-        """Offered load fraction: mean service / (cores x inter-arrival)."""
-        if self.services_ms.size == 0:
+        """Offered load fraction: mean service / (cores x inter-arrival).
+
+        0.0 when the inter-arrival time is unknown (fewer than two
+        arrivals) — a single request defines no offered rate.
+        """
+        if self.services_ms.size == 0 or self.offered_interarrival_ms <= 0:
             return 0.0
         return float(
             np.mean(self.services_ms)
             / (self.num_cores * self.offered_interarrival_ms)
         )
+
+    # -- outcome accounting --------------------------------------------------
+
+    def outcome_count(self, name: str) -> int:
+        """Number of logical requests with the given outcome name."""
+        try:
+            code = OUTCOME_NAMES.index(name)
+        except ValueError:
+            raise ConfigError(
+                f"unknown outcome {name!r}; known: {OUTCOME_NAMES}"
+            ) from None
+        if self.outcomes is None:
+            # Fast path: every request completed.
+            return self.latencies_ms.size if code == OUTCOME_COMPLETED else 0
+        return int(np.count_nonzero(self.outcomes == code))
+
+    @property
+    def outcome_counts(self) -> Dict[str, int]:
+        """Outcome name -> request count (all logical requests)."""
+        return {name: self.outcome_count(name) for name in OUTCOME_NAMES}
+
+    @property
+    def offered_requests(self) -> int:
+        """Total logical requests (completed or not, injected included)."""
+        if self.outcomes is None:
+            return int(self.latencies_ms.size)
+        return int(self.outcomes.size)
+
+    @property
+    def retries_total(self) -> int:
+        """Total queue-timeout retries across all requests."""
+        if self.retry_counts is None:
+            return 0
+        return int(self.retry_counts.sum())
+
+    @property
+    def goodput(self) -> float:
+        """Fraction of offered requests completed within their deadline.
+
+        Without a configured deadline every completion counts; 0.0 with no
+        offered requests.
+        """
+        total = self.offered_requests
+        if total == 0:
+            return 0.0
+        if self.deadline_ms is None:
+            good = self.outcome_count("completed")
+        else:
+            good = int(np.count_nonzero(self.latencies_ms <= self.deadline_ms))
+        return good / total
 
 
 def lognormal_services(
@@ -102,46 +291,273 @@ def simulate_server(
     num_cores: int,
     rng: np.random.Generator,
     service_cv: float = DEFAULT_SERVICE_CV,
+    fault_plan: Optional[FaultPlan] = None,
+    policy: Optional[ServingPolicy] = None,
+    controller: Optional["DegradationController"] = None,
 ) -> ServerResult:
-    """Run the FIFO M/G/c simulation and collect per-request latencies."""
+    """Run the FIFO M/G/c simulation and collect per-request latencies.
+
+    With ``fault_plan``, ``policy``, and ``controller`` all ``None`` (or a
+    null policy and an empty plan) this takes the original fast path and
+    returns byte-identical arrays to the pre-resilience simulator; any
+    configured resilience feature switches to the event-driven loop.
+    """
     if num_cores <= 0:
         raise ConfigError("need at least one core")
     if arrivals_ms.ndim != 1 or arrivals_ms.size == 0:
         raise ConfigError("need a non-empty 1-D arrival array")
     if np.any(np.diff(arrivals_ms) < 0):
         raise ConfigError("arrival times must be non-decreasing")
+    plain = (
+        (fault_plan is None or fault_plan.is_empty)
+        and (policy is None or policy.is_null)
+        and controller is None
+    )
+    if plain:
+        return _simulate_fast(arrivals_ms, mean_service_ms, num_cores, rng, service_cv)
+    return _simulate_resilient(
+        arrivals_ms,
+        mean_service_ms,
+        num_cores,
+        rng,
+        service_cv,
+        fault_plan if fault_plan is not None else FaultPlan(),
+        policy if policy is not None else ServingPolicy(),
+        controller,
+    )
+
+
+def _simulate_fast(
+    arrivals_ms: np.ndarray,
+    mean_service_ms: float,
+    num_cores: int,
+    rng: np.random.Generator,
+    service_cv: float,
+) -> ServerResult:
+    """The original happy-path loop (byte-identical results)."""
     n = arrivals_ms.size
     services = lognormal_services(mean_service_ms, n, rng, cv=service_cv)
-    # Min-heap of core-free times; FIFO dispatch = assign each request to
-    # the earliest-free core.
-    cores: List[float] = [0.0] * num_cores
+    # Min-heap of (core-free time, core id); FIFO dispatch = assign each
+    # request to the earliest-free core.  The core id only breaks ties
+    # between equally free cores, so start times (and thus every latency)
+    # match the id-less original exactly.
+    cores = [(0.0, c) for c in range(num_cores)]
     heapq.heapify(cores)
     starts = np.empty(n)
+    core_ids = np.empty(n, dtype=np.int64)
     for i in range(n):
-        free_at = heapq.heappop(cores)
+        free_at, core = heapq.heappop(cores)
         start = max(arrivals_ms[i], free_at)
         starts[i] = start
-        heapq.heappush(cores, start + services[i])
+        core_ids[i] = core
+        heapq.heappush(cores, (start + services[i], core))
     completions = starts + services
     latencies = completions - arrivals_ms
     waits = starts - arrivals_ms
-    if arrivals_ms.size > 1:
-        offered = float(np.mean(np.diff(arrivals_ms)))
-    else:
-        offered = float(arrivals_ms[0])
-    hist = Histogram()
-    hist.observe_many(latencies)
-    obs = obs_hooks.active()
-    if obs is not None:
-        obs.metrics.counter("serving.requests").inc(n)
-        obs.metrics.histogram("serving.latency_ms").observe_many(latencies)
-        obs.metrics.histogram("serving.wait_ms").observe_many(waits)
-        obs.metrics.gauge("serving.cores").set(num_cores)
-    return ServerResult(
+    result = ServerResult(
         latencies_ms=latencies,
         waits_ms=waits,
         services_ms=services,
         num_cores=num_cores,
-        offered_interarrival_ms=offered,
-        latency_hist=hist,
+        offered_interarrival_ms=_offered_interarrival(arrivals_ms),
+        core_ids=core_ids,
     )
+    _finalize(result)
+    return result
+
+
+def _simulate_resilient(
+    arrivals_ms: np.ndarray,
+    mean_service_ms: float,
+    num_cores: int,
+    rng: np.random.Generator,
+    service_cv: float,
+    plan: FaultPlan,
+    policy: ServingPolicy,
+    controller: Optional["DegradationController"],
+) -> ServerResult:
+    """Event-driven loop with faults, deadlines, retries, and shedding."""
+    arrivals, injected = plan.inject_arrivals(arrivals_ms)
+    n = arrivals.size
+    base_services = lognormal_services(mean_service_ms, n, rng, cv=service_cv)
+    base_services = base_services * plan.straggler_multipliers(n)
+    jitter_rng = plan.retry_jitter_stream()
+
+    deadline = (
+        arrivals + policy.deadline_ms if policy.deadline_ms is not None else None
+    )
+    outcome = np.full(n, -1, dtype=np.int64)
+    retry_count = np.zeros(n, dtype=np.int64)
+    in_queue = np.zeros(n, dtype=bool)
+    started = np.zeros(n, dtype=bool)
+    starts = np.zeros(n)
+    services = np.zeros(n)
+    core_of = np.full(n, -1, dtype=np.int64)
+
+    events: List[tuple] = []  # (time, kind, seq, payload)
+    seq = 0
+
+    def push(t: float, kind: int, payload: int) -> None:
+        nonlocal seq
+        heapq.heappush(events, (t, kind, seq, payload))
+        seq += 1
+
+    running: Dict[int, int] = {}  # core -> request currently on it
+    idle: List[tuple] = []  # heap of (idle-since, core)
+    queue: deque = deque()
+    depth = 0  # live queue entries (lazily cancelled ones excluded)
+
+    for core in range(num_cores):
+        push(plan.next_available(core, 0.0), _EV_FREE, core)
+    for i in range(n):
+        push(float(arrivals[i]), _EV_ARRIVE, i)
+
+    def dispatch(now: float) -> None:
+        nonlocal depth
+        while queue and idle:
+            _, core = idle[0]
+            if plan.core_down(core, now):
+                # The core failed while idle; it re-enters service at the
+                # end of its repair window.
+                heapq.heappop(idle)
+                push(plan.next_available(core, now), _EV_FREE, core)
+                continue
+            i = queue[0]
+            if not in_queue[i]:  # lazily cancelled by a timeout
+                queue.popleft()
+                continue
+            heapq.heappop(idle)
+            queue.popleft()
+            in_queue[i] = False
+            depth -= 1
+            started[i] = True
+            scale = controller.scale() if controller is not None else 1.0
+            svc = base_services[i] * scale * plan.service_multiplier(core, now)
+            starts[i] = now
+            services[i] = svc
+            core_of[i] = core
+            running[core] = i
+            push(now + svc, _EV_FREE, core)
+
+    while events:
+        now, kind, _, payload = heapq.heappop(events)
+        if kind == _EV_FREE:
+            core = payload
+            finished = running.pop(core, None)
+            if finished is not None:
+                outcome[finished] = OUTCOME_COMPLETED
+                if controller is not None:
+                    # Level changes are recorded in controller.events.
+                    controller.observe(now, now - float(arrivals[finished]))
+            if plan.core_down(core, now):
+                push(plan.next_available(core, now), _EV_FREE, core)
+            else:
+                heapq.heappush(idle, (now, core))
+                dispatch(now)
+        elif kind == _EV_ARRIVE:
+            i = payload
+            if (
+                policy.shed_expired
+                and deadline is not None
+                and now >= deadline[i]
+            ):
+                outcome[i] = OUTCOME_TIMED_OUT
+            elif (
+                policy.max_queue_depth is not None
+                and depth >= policy.max_queue_depth
+            ):
+                outcome[i] = OUTCOME_SHED
+            else:
+                in_queue[i] = True
+                queue.append(i)
+                depth += 1
+                if policy.timeout_ms is not None:
+                    push(now + policy.timeout_ms, _EV_TIMEOUT, i)
+                dispatch(now)
+        else:  # _EV_TIMEOUT
+            i = payload
+            if started[i] or outcome[i] >= 0 or not in_queue[i]:
+                continue  # already dispatched or resolved
+            in_queue[i] = False  # lazy removal from the FIFO deque
+            depth -= 1
+            if retry_count[i] < policy.max_retries:
+                retry_count[i] += 1
+                backoff = policy.retry_backoff_ms * 2.0 ** (retry_count[i] - 1)
+                backoff *= 1.0 + policy.retry_jitter * float(jitter_rng.random())
+                push(now + backoff, _EV_ARRIVE, i)
+            else:
+                outcome[i] = OUTCOME_TIMED_OUT
+
+    completed = outcome == OUTCOME_COMPLETED
+    completions = starts + services
+    result = ServerResult(
+        latencies_ms=(completions - arrivals)[completed],
+        waits_ms=(starts - arrivals)[completed],
+        services_ms=services[completed],
+        num_cores=num_cores,
+        offered_interarrival_ms=_offered_interarrival(arrivals),
+        core_ids=core_of[completed],
+        outcomes=outcome,
+        retry_counts=retry_count,
+        injected=injected,
+        deadline_ms=policy.deadline_ms,
+        degradation_events=list(controller.events) if controller is not None else [],
+        final_degradation_level=controller.level if controller is not None else 0,
+    )
+    _finalize(result, plan=plan, controller=controller)
+    return result
+
+
+def _offered_interarrival(arrivals_ms: np.ndarray) -> float:
+    """Mean inter-arrival time; 0.0 when a single arrival defines none."""
+    if arrivals_ms.size > 1:
+        return float(np.mean(np.diff(arrivals_ms)))
+    return 0.0
+
+
+def _finalize(
+    result: ServerResult,
+    plan: Optional[FaultPlan] = None,
+    controller: Optional["DegradationController"] = None,
+) -> None:
+    """Attach the latency histogram and publish telemetry."""
+    hist = Histogram()
+    hist.observe_many(result.latencies_ms)
+    result.latency_hist = hist
+    obs = obs_hooks.active()
+    if obs is None:
+        return
+    obs.metrics.counter("serving.requests").inc(result.offered_requests)
+    obs.metrics.histogram("serving.latency_ms").observe_many(result.latencies_ms)
+    obs.metrics.histogram("serving.wait_ms").observe_many(result.waits_ms)
+    obs.metrics.gauge("serving.cores").set(result.num_cores)
+    if result.outcomes is not None:
+        obs.metrics.counter("serving.shed").inc(result.outcome_count("shed"))
+        obs.metrics.counter("serving.timeouts").inc(
+            result.outcome_count("timed_out")
+        )
+        obs.metrics.counter("serving.retries").inc(result.retries_total)
+        obs.metrics.gauge("serving.degradation_level").set(
+            result.final_degradation_level
+        )
+    if plan is not None and not plan.is_empty:
+        tid = obs.tracer.new_sim_track("serving.faults (ms)")
+        for name, start, end, attrs in plan.windows():
+            obs.tracer.add_sim_span(
+                name, "serving.fault", start, end - start, tid=tid, args=attrs
+            )
+    if controller is not None and controller.events:
+        tid = obs.tracer.new_sim_track("serving.degradation (ms)")
+        for event in controller.events:
+            obs.tracer.add_sim_span(
+                f"level:{controller.ladder[event.to_level].name}",
+                "serving.degradation",
+                event.time_ms,
+                0.0,
+                tid=tid,
+                args={
+                    "from": event.from_level,
+                    "to": event.to_level,
+                    "window_p95_ms": event.window_p95_ms,
+                },
+            )

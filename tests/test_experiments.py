@@ -57,12 +57,14 @@ class TestBase:
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        # 12 figures + 4 tables + two extensions (synergy, hotness sweep).
-        assert len(EXPERIMENT_IDS) == 18
+        # 12 figures + 4 tables + three extensions (synergy, hotness
+        # sweep, resilience).
+        assert len(EXPERIMENT_IDS) == 19
         assert "fig12" in EXPERIMENT_IDS
         assert "table4" in EXPERIMENT_IDS
         assert "synergy" in EXPERIMENT_IDS
         assert "hotness_sweep" in EXPERIMENT_IDS
+        assert "resilience" in EXPERIMENT_IDS
 
     def test_titles_listed(self):
         titles = list_experiments()

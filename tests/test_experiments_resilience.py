@@ -1,0 +1,83 @@
+"""Resilience experiment: acceptance — degradation recovers the SLA."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.experiments import resilience
+from repro.experiments.registry import EXPERIMENT_IDS, run_experiment
+
+CHEAP = dict(
+    scale=0.01, batch_size=8, num_batches=2, num_cores=4,
+    num_requests=700, detailed_cores=1,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return resilience.run(config=SimConfig(seed=21), **CHEAP)
+
+
+def rows_for(report, scenario, mode=None):
+    rows = [r for r in report.rows if r["scenario"] == scenario]
+    if mode is not None:
+        rows = [r for r in rows if r["mode"] == mode]
+    return rows
+
+
+class TestResilience:
+    def test_registered(self):
+        assert "resilience" in EXPERIMENT_IDS
+
+    def test_shape(self, report):
+        scenarios = {r["scenario"] for r in report.rows}
+        assert {"none", "bw_x2", "bw_x4", "core_fail", "burst", "straggler"} \
+            <= scenarios
+        for scenario in scenarios:
+            assert {r["mode"] for r in rows_for(report, scenario)} == {
+                "static", "degraded", "degraded_shed",
+            }
+
+    def test_no_fault_meets_sla_everywhere(self, report):
+        for row in rows_for(report, "none"):
+            assert row["meets_sla"], row
+
+    def test_degradation_recovers_sla_where_static_violates(self, report):
+        """The headline acceptance property: some fault scenario breaks the
+        static server's p95 SLA, and the closed-loop controller fixes it."""
+        recovered = [
+            scenario
+            for scenario in ("bw_x2", "bw_x4", "core_fail", "burst", "straggler")
+            if not rows_for(report, scenario, "static")[0]["meets_sla"]
+            and rows_for(report, scenario, "degraded")[0]["meets_sla"]
+        ]
+        assert recovered, [
+            (r["scenario"], r["mode"], r["p95_ms"]) for r in report.rows
+        ]
+        for scenario in recovered:
+            degraded = rows_for(report, scenario, "degraded")[0]
+            assert degraded["level_changes"] > 0
+
+    def test_goodput_not_worse_under_degradation(self, report):
+        for scenario in ("bw_x4", "straggler"):
+            static = rows_for(report, scenario, "static")[0]
+            degraded = rows_for(report, scenario, "degraded")[0]
+            assert degraded["goodput"] >= static["goodput"]
+
+    def test_shedding_mode_bounds_tail(self, report):
+        """Admission control sacrifices some requests to bound the tail."""
+        for scenario in ("bw_x4", "burst"):
+            shed = rows_for(report, scenario, "degraded_shed")[0]
+            assert shed["p95_ms"] <= shed["sla_ms"]
+            assert shed["completed"] + shed["shed"] + shed["timed_out"] > 0
+
+    def test_deterministic_across_runs(self):
+        a = resilience.run(config=SimConfig(seed=21), **CHEAP)
+        b = resilience.run(config=SimConfig(seed=21), **CHEAP)
+        assert a.rows == b.rows
+
+    def test_runs_via_registry(self):
+        report = run_experiment(
+            "resilience", config=SimConfig(seed=5), **CHEAP
+        )
+        assert report.experiment_id == "resilience"
+        assert report.rows

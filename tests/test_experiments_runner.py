@@ -1,8 +1,19 @@
 """CLI runner tests."""
 
+import json
+import time
+
 import pytest
 
-from repro.experiments.runner import build_parser, main
+from repro.experiments import registry
+from repro.experiments.base import ExperimentReport
+from repro.experiments.runner import (
+    CACHE_DIR,
+    _load_cache_entry,
+    _write_cache_entry,
+    build_parser,
+    main,
+)
 
 
 def test_list_command(capsys):
@@ -55,3 +66,103 @@ def test_parser_flags_exist():
 def test_irrelevant_overrides_not_forwarded(capsys):
     # table1's runner takes no scale; passing one must not crash.
     assert main(["table1", "--scale", "0.5"]) == 0
+
+
+def test_new_parser_flags():
+    args = build_parser().parse_args(
+        ["fig4", "--timeout", "30", "--retries", "2", "--num-requests", "500"]
+    )
+    assert args.timeout == 30.0
+    assert args.retries == 2
+    assert args.num_requests == 500
+
+
+class TestResultCache:
+    def test_write_is_atomic_and_readable(self, tmp_path):
+        path = tmp_path / "entry.json"
+        _write_cache_entry(path, "table1", 1.5, {"experiment_id": "table1"})
+        # No temp droppings left behind.
+        assert list(tmp_path.iterdir()) == [path]
+        elapsed, report = _load_cache_entry(path)
+        assert elapsed == 1.5
+        assert report == {"experiment_id": "table1"}
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "",  # truncated
+            "{not json",  # garbage
+            '{"elapsed": 1.0}',  # missing report
+            '{"report": "not-a-dict"}',  # wrong type
+        ],
+    )
+    def test_corrupt_entry_is_miss_and_removed(self, tmp_path, payload):
+        path = tmp_path / "entry.json"
+        path.write_text(payload)
+        assert _load_cache_entry(path) is None
+        assert not path.exists()
+
+    def test_corrupt_cache_regenerated_end_to_end(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert main(["table1", "--cache"]) == 0
+        entries = list((tmp_path / CACHE_DIR).glob("*.json"))
+        assert len(entries) == 1
+        # A cached re-run serves the memo.
+        assert main(["table1", "--cache"]) == 0
+        assert "[table1 cached]" in capsys.readouterr().out
+        # Corrupt the entry: the next run treats it as a miss and rebuilds.
+        entries[0].write_text("{truncated")
+        assert main(["table1", "--cache"]) == 0
+        out = capsys.readouterr().out
+        assert "cached" not in out
+        rebuilt = list((tmp_path / CACHE_DIR).glob("*.json"))
+        assert len(rebuilt) == 1
+        assert isinstance(json.loads(rebuilt[0].read_text())["report"], dict)
+
+
+def _flaky_factory(fail_times):
+    calls = {"n": 0}
+
+    def run(config=None, **overrides):
+        calls["n"] += 1
+        if calls["n"] <= fail_times:
+            raise RuntimeError(f"transient failure {calls['n']}")
+        return ExperimentReport(experiment_id="flaky", title="flaky test stub")
+
+    return run, calls
+
+
+class TestRetriesAndTimeout:
+    def test_retries_recover_transient_failure(self, monkeypatch, capsys):
+        run, calls = _flaky_factory(fail_times=1)
+        monkeypatch.setitem(registry._REGISTRY, "flaky", run)
+        assert main(["flaky", "--retries", "2"]) == 0
+        assert calls["n"] == 2
+        assert "retrying 1 failed experiment(s)" in capsys.readouterr().err
+
+    def test_retries_exhausted_reports_failure(self, monkeypatch, capsys):
+        run, calls = _flaky_factory(fail_times=10)
+        monkeypatch.setitem(registry._REGISTRY, "flaky", run)
+        assert main(["flaky", "--retries", "1"]) == 1
+        assert calls["n"] == 2
+        assert "RuntimeError" in capsys.readouterr().err
+
+    def test_single_target_without_retries_raises_inline(self, monkeypatch):
+        run, _ = _flaky_factory(fail_times=10)
+        monkeypatch.setitem(registry._REGISTRY, "flaky", run)
+        with pytest.raises(RuntimeError):
+            main(["flaky"])
+
+    def test_timeout_abandons_stuck_experiment(self, monkeypatch, capsys):
+        def stuck(config=None, **overrides):
+            time.sleep(60.0)
+            return ExperimentReport(experiment_id="stuck", title="never")
+
+        monkeypatch.setitem(registry._REGISTRY, "stuck", stuck)
+        start = time.time()
+        # The fork pool inherits the monkeypatched registry.
+        assert main(["stuck", "--timeout", "1"]) == 1
+        assert time.time() - start < 30.0
+        assert "exceeded --timeout" in capsys.readouterr().err

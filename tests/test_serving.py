@@ -35,6 +35,19 @@ class TestSLA:
         with pytest.raises(ConfigError):
             target.meets(-1.0)
 
+    def test_meets_boundary_is_inclusive(self):
+        # Exactly at the target satisfies the SLA (<=, not <).
+        for target in SLA_TARGETS.values():
+            assert target.meets(target.sla_ms)
+        assert SLA_TARGETS["RMC1"].meets(0.0)
+
+    def test_unknown_category_rejected(self):
+        import dataclasses
+
+        bogus = dataclasses.replace(get_model("rm1"), category="RMC9")
+        with pytest.raises(ConfigError):
+            sla_for_model(bogus)
+
 
 class TestWorkload:
     def test_arrivals_are_sorted_and_positive(self, rng):
@@ -153,6 +166,64 @@ def test_server_result_empty_latencies():
     assert empty.p99_ms == 0.0
     assert empty.mean_ms == 0.0
     assert empty.utilization == 0.0
+
+
+def test_single_arrival_defines_no_rate():
+    # n=1 convention: one arrival has no inter-arrival time, so the result
+    # reports 0.0 and utilization degrades to 0.0 instead of dividing by a
+    # bogus rate (or by zero).
+    rng = np.random.default_rng(0)
+    result = simulate_server(np.array([5.0]), 10.0, num_cores=2, rng=rng)
+    assert result.offered_interarrival_ms == 0.0
+    assert result.utilization == 0.0
+    assert result.latencies_ms.size == 1
+
+
+def test_fast_path_outcome_accounting():
+    # The fast path never sheds or times out; the outcome API still works.
+    rng = np.random.default_rng(1)
+    arrivals = poisson_arrivals(10.0, 50, rng)
+    result = simulate_server(arrivals, 5.0, num_cores=2, rng=rng)
+    assert result.outcomes is None
+    assert result.outcome_count("completed") == 50
+    assert result.outcome_count("shed") == 0
+    assert result.outcome_counts["timed_out"] == 0
+    assert result.offered_requests == 50
+    assert result.retries_total == 0
+    assert result.goodput == 1.0
+    with pytest.raises(ConfigError):
+        result.outcome_count("vanished")
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_server_invariants_randomized(seed):
+    """Randomized invariant check over the queueing simulation.
+
+    For any seeded workload: latency decomposes exactly into wait +
+    service, no request starts before it arrives, and each core serves
+    its requests back to back in FIFO order (start >= previous
+    completion on the same core).
+    """
+    rng = np.random.default_rng(seed)
+    num_cores = int(rng.integers(1, 6))
+    n = int(rng.integers(50, 400))
+    arrivals = poisson_arrivals(float(rng.uniform(1.0, 20.0)), n, rng)
+    result = simulate_server(
+        arrivals, float(rng.uniform(2.0, 30.0)), num_cores, rng
+    )
+    assert np.allclose(result.latencies_ms, result.waits_ms + result.services_ms)
+    assert np.all(result.waits_ms >= -1e-12)
+    starts = arrivals + result.waits_ms
+    completions = starts + result.services_ms
+    assert result.core_ids is not None
+    assert set(np.unique(result.core_ids)) <= set(range(num_cores))
+    for core in range(num_cores):
+        on_core = result.core_ids == core
+        # FIFO per core: a request starts only after the previous one on
+        # the same core completes (with float tolerance).
+        assert np.all(
+            starts[on_core][1:] >= completions[on_core][:-1] - 1e-9
+        )
 
 
 def test_server_result_percentile_properties_consistent():

@@ -1,0 +1,156 @@
+"""Degradation controller tests: ladder, hysteresis, recovery."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serving.degradation import (
+    DegradationController,
+    DegradationLevel,
+    scheme_ladder,
+)
+
+LADDER = (
+    DegradationLevel("baseline", 1.0),
+    DegradationLevel("integrated", 0.5),
+    DegradationLevel("integrated_small_batch", 0.3),
+)
+
+
+def feed(controller, latency_ms, count, start_ms=0.0, step_ms=1.0):
+    """Feed `count` identical samples, returning the last change (if any)."""
+    change = None
+    for i in range(count):
+        event = controller.observe(start_ms + i * step_ms, latency_ms)
+        if event is not None:
+            change = event
+    return change
+
+
+class TestSchemeLadder:
+    def test_orders_by_speed_and_appends_batch_rung(self):
+        ladder = scheme_ladder(
+            {"baseline": 10.0, "sw_pf": 8.0, "integrated": 5.0}, batch_scale=0.6
+        )
+        assert [lvl.name for lvl in ladder] == [
+            "baseline", "sw_pf", "integrated", "integrated_small_batch",
+        ]
+        assert ladder[0].service_scale == 1.0
+        assert ladder[2].service_scale == pytest.approx(0.5)
+        assert ladder[3].service_scale == pytest.approx(0.3)
+
+    def test_drops_schemes_that_are_not_faster(self):
+        ladder = scheme_ladder({"baseline": 10.0, "sw_pf": 11.0, "integrated": 5.0})
+        assert [lvl.name for lvl in ladder] == [
+            "baseline", "integrated", "integrated_small_batch",
+        ]
+
+    def test_requires_baseline(self):
+        with pytest.raises(ConfigError):
+            scheme_ladder({"integrated": 5.0})
+
+    def test_batch_scale_validation(self):
+        with pytest.raises(ConfigError):
+            scheme_ladder({"baseline": 10.0}, batch_scale=0.0)
+        with pytest.raises(ConfigError):
+            scheme_ladder({"baseline": 10.0}, batch_scale=1.5)
+
+
+class TestController:
+    def make(self, **overrides):
+        kwargs = dict(
+            ladder=LADDER, sla_ms=100.0, window=32, min_samples=8,
+            escalate_margin=1.0, recover_margin=0.5, cooldown=16,
+        )
+        kwargs.update(overrides)
+        return DegradationController(**kwargs)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DegradationController(ladder=(), sla_ms=100.0)
+        with pytest.raises(ConfigError):
+            # Ladder must not slow down as it escalates.
+            DegradationController(
+                ladder=(DegradationLevel("a", 0.5), DegradationLevel("b", 1.0)),
+                sla_ms=100.0,
+            )
+        with pytest.raises(ConfigError):
+            self.make(sla_ms=0.0)
+        with pytest.raises(ConfigError):
+            self.make(recover_margin=1.5)
+        with pytest.raises(ConfigError):
+            self.make(min_samples=0)
+        with pytest.raises(ConfigError):
+            self.make(min_samples=64, window=32)
+
+    def test_starts_at_baseline_and_holds_when_healthy(self):
+        ctl = self.make()
+        assert ctl.level_name == "baseline"
+        assert ctl.scale() == 1.0
+        assert feed(ctl, 50.0, 200) is None
+        assert ctl.level_name == "baseline"
+        assert not ctl.events
+
+    def test_escalates_on_sustained_violation(self):
+        ctl = self.make()
+        change = feed(ctl, 150.0, ctl.min_samples)
+        assert change is not None
+        assert change.escalation
+        assert change.from_level == 0
+        assert change.to_level == 1
+        assert ctl.level_name == "integrated"
+        assert ctl.scale() == pytest.approx(0.5)
+        assert change.window_p95_ms == pytest.approx(150.0)
+
+    def test_needs_min_samples_before_acting(self):
+        ctl = self.make()
+        assert feed(ctl, 500.0, ctl.min_samples - 1) is None
+        assert ctl.level_name == "baseline"
+
+    def test_escalates_to_bottom_under_persistent_violation(self):
+        ctl = self.make()
+        feed(ctl, 500.0, 200)
+        assert ctl.level_name == "integrated_small_batch"
+        # Saturates: no further events once at the last rung.
+        n_events = len(ctl.events)
+        assert feed(ctl, 500.0, 200) is None or len(ctl.events) == n_events
+
+    def test_hysteresis_band_prevents_flapping(self):
+        ctl = self.make()
+        feed(ctl, 150.0, ctl.min_samples)  # escalate once
+        assert ctl.level_name == "integrated"
+        # Latency between recover (50) and escalate (100) thresholds: hold.
+        assert feed(ctl, 70.0, 500) is None
+        assert ctl.level_name == "integrated"
+        assert len(ctl.events) == 1
+
+    def test_recovers_after_cooldown(self):
+        ctl = self.make()
+        feed(ctl, 150.0, ctl.min_samples)
+        assert ctl.level_name == "integrated"
+        change = feed(ctl, 20.0, ctl.cooldown + ctl.window)
+        assert change is not None
+        assert not change.escalation
+        assert change.to_level == 0
+        assert ctl.level_name == "baseline"
+        assert ctl.scale() == 1.0
+
+    def test_no_recovery_before_cooldown(self):
+        ctl = self.make(cooldown=1000)
+        feed(ctl, 150.0, ctl.min_samples)
+        assert feed(ctl, 20.0, 500) is None
+        assert ctl.level_name == "integrated"
+
+    def test_deterministic(self):
+        def run():
+            ctl = self.make()
+            pattern = [150.0] * 40 + [20.0] * 200 + [300.0] * 60
+            for i, lat in enumerate(pattern):
+                ctl.observe(float(i), lat)
+            return [(e.time_ms, e.from_level, e.to_level) for e in ctl.events]
+
+        assert run() == run()
+
+    def test_window_p95_reflects_recent_samples(self):
+        ctl = self.make()
+        feed(ctl, 10.0, ctl.window)
+        assert ctl.window_p95() == pytest.approx(10.0)

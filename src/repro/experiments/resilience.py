@@ -184,6 +184,7 @@ def run(
                 fault_plan=plan,
                 policy=policy,
                 controller=controller,
+                label=f"{scenario}:{mode}",
             )
             report.rows.append(
                 {
@@ -191,7 +192,13 @@ def run(
                     "mode": mode,
                     "p95_ms": server.p95_ms,
                     "sla_ms": sla.sla_ms,
-                    "meets_sla": server.p95_ms <= sla.sla_ms,
+                    # A server that completed nothing has p95 == 0.0 by the
+                    # degenerate-input convention; that must not read as
+                    # meeting the SLA.
+                    "meets_sla": (
+                        server.outcome_count("completed") > 0
+                        and server.p95_ms <= sla.sla_ms
+                    ),
                     "goodput": server.goodput,
                     "completed": server.outcome_count("completed"),
                     "shed": server.outcome_count("shed"),

@@ -129,6 +129,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--cpi-stack", action="store_true",
         help="print the per-stage CPI stack table after the reports",
     )
+    parser.add_argument(
+        "--request-log", type=Path, default=None, metavar="FILE",
+        help="write per-request serving lifecycles as JSONL (arrival, "
+        "queueing, retries, faults, outcome + cause); like --trace this "
+        "forces serial in-process execution and bypasses the result cache",
+    )
+    parser.add_argument(
+        "--bench-record", type=Path, default=None, metavar="FILE",
+        help="append per-experiment wall-clock records to a benchmark "
+        "history JSONL (see tools/bench_all.py for the pinned suite)",
+    )
     return parser
 
 
@@ -267,7 +278,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     # Telemetry lives in this process: observed runs bypass the result
     # cache (a cached report carries no spans/metrics) and run serially
     # in-process (a fork pool's telemetry would die with the workers).
-    observing = args.trace is not None or args.metrics is not None or args.cpi_stack
+    observing = (
+        args.trace is not None
+        or args.metrics is not None
+        or args.cpi_stack
+        or args.request_log is not None
+    )
     use_cache = (args.cache or multi) and not args.no_cache and not observing
 
     failures: List[Tuple[str, str]] = []
@@ -301,7 +317,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             pending.append(task)
 
-    observation = Observation() if observing else None
+    if observing:
+        from ..obs import RequestLog
+
+        observation = Observation(
+            requests=RequestLog() if args.request_log is not None else None
+        )
+    else:
+        observation = None
     timeout = args.timeout if not observing else None
     if args.timeout is not None and observing:
         print("[--timeout ignored: observed runs stay in-process]", file=sys.stderr)
@@ -414,6 +437,46 @@ def main(argv: Optional[List[str]] = None) -> int:
             observation.metrics.to_jsonl(args.metrics)
             n_metrics = len(observation.metrics.snapshot())
             print(f"[metrics: {n_metrics} series -> {args.metrics}]")
+        if args.request_log is not None:
+            args.request_log.parent.mkdir(parents=True, exist_ok=True)
+            n_requests = observation.requests.to_jsonl(args.request_log)
+            print(f"[request-log: {n_requests} requests -> {args.request_log}]")
+
+    if args.bench_record is not None:
+        from ..obs.regress import Benchmark, append_record, make_record
+
+        fresh = [
+            (exp_id, finished[exp_id][0])
+            for exp_id in targets
+            if exp_id in finished and not finished[exp_id][2]
+        ]
+        if fresh:
+            record = make_record(
+                mode="runner",
+                repeats=1,
+                benchmarks=[
+                    Benchmark(
+                        name=f"experiment.{exp_id}.wall_s",
+                        value=elapsed,
+                        unit="s",
+                        direction="lower",
+                        # Single-shot experiment wall clocks are noisy;
+                        # only flag multi-fold blowups.
+                        noise_floor=0.5 * elapsed,
+                        kind="wall",
+                    )
+                    for exp_id, elapsed in fresh
+                ],
+            )
+            append_record(args.bench_record, record)
+            print(
+                f"[bench-record: {len(fresh)} experiment(s) -> {args.bench_record}]"
+            )
+        else:
+            print(
+                "[bench-record: nothing recorded (all results were cached)]",
+                file=sys.stderr,
+            )
 
     if failures:
         print(f"{len(failures)} experiment(s) failed:", file=sys.stderr)

@@ -37,28 +37,51 @@ from .cpi import (
 )
 from .hooks import Observation, active, enabled, session
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
-from .schema import validate
+from .regress import (
+    Benchmark,
+    Regression,
+    compare,
+    load_history,
+    make_record,
+)
+from .requests import (
+    RequestLog,
+    attribute_miss,
+    load_request_log,
+    miss_attribution,
+)
+from .schema import validate, validate_def
 from .tracer import SIM_PID, WALL_PID, SpanEvent, Tracer
 
 __all__ = [
     "CPI_BUCKETS",
+    "Benchmark",
     "Counter",
     "CpiStack",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Observation",
+    "Regression",
+    "RequestLog",
     "SIM_PID",
     "SpanEvent",
     "Tracer",
     "WALL_PID",
     "active",
+    "attribute_miss",
     "collect_cpi_stacks",
+    "compare",
     "dense_cpi_stack",
     "embedding_cpi_stack",
     "enabled",
     "format_cpi_table",
+    "load_history",
+    "load_request_log",
+    "make_record",
+    "miss_attribution",
     "publish_cpi_stack",
     "session",
     "validate",
+    "validate_def",
 ]

@@ -25,24 +25,37 @@ sessions observe into the innermost observation only.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from .metrics import MetricsRegistry
 from .tracer import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .requests import RequestLog
 
 __all__ = ["Observation", "active", "enabled", "session"]
 
 
 class Observation:
-    """One observed run: a tracer and a metrics registry that share a lifetime."""
+    """One observed run: a tracer and a metrics registry that share a lifetime.
+
+    ``requests`` is the opt-in third instrument: attach a
+    :class:`repro.obs.requests.RequestLog` and every serving simulation in
+    the session records per-request lifecycles (the runner's
+    ``--request-log`` flag does this).  It defaults to ``None`` — request
+    logging is a further opt-in on top of tracing/metrics because it
+    records one object per request rather than per run.
+    """
 
     def __init__(
         self,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        requests: Optional["RequestLog"] = None,
     ) -> None:
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.requests = requests
 
 
 #: The installed observation; None means every hook is a no-op branch.

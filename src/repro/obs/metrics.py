@@ -108,6 +108,10 @@ class Histogram:
 
     NUM_BUCKETS = LOG2_MAX - LOG2_MIN + 1
 
+    #: Exemplar ids kept per bucket; enough to find concrete offending
+    #: requests without letting the snapshot grow with the request count.
+    MAX_EXEMPLARS_PER_BUCKET = 4
+
     def __init__(self, name: str = "", labels: LabelSet = ()) -> None:
         self.name = name
         self.labels = labels
@@ -116,6 +120,7 @@ class Histogram:
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self.exemplars: Dict[int, List[str]] = {}
 
     @staticmethod
     def bucket_index(value: float) -> int:
@@ -161,6 +166,21 @@ class Histogram:
         self.min = min(self.min, float(values.min()))
         self.max = max(self.max, float(values.max()))
 
+    def observe_exemplar(self, value: float, exemplar_id: str) -> None:
+        """Record one observation with an exemplar id for its bucket.
+
+        Exemplars link histogram buckets back to concrete events (request
+        ids from :mod:`repro.obs.requests`): the first
+        :data:`MAX_EXEMPLARS_PER_BUCKET` ids per bucket are kept, so every
+        populated bucket — in particular the slow tail buckets — names
+        requests that landed in it.
+        """
+        value = float(value)
+        self.observe(value)
+        ids = self.exemplars.setdefault(self.bucket_index(value), [])
+        if len(ids) < self.MAX_EXEMPLARS_PER_BUCKET:
+            ids.append(str(exemplar_id))
+
     @property
     def mean(self) -> float:
         """Exact mean of all observations (0.0 when empty)."""
@@ -172,7 +192,9 @@ class Histogram:
         Linear interpolation within the containing bucket, clamped to the
         observed min/max so the estimate never leaves the data range.
         Returns 0.0 when the histogram is empty, matching the empty-case
-        convention of :class:`repro.mem.stats.CacheStats.hit_rate`.
+        convention of :class:`repro.mem.stats.CacheStats.hit_rate` (the
+        snapshot form reports ``None`` instead, alongside min/max — a
+        reconstructed 0.0 percentile would read as "fast", not "absent").
         """
         if not 0.0 <= q <= 100.0:
             raise ConfigError(f"percentile must be in [0, 100], got {q}")
@@ -200,12 +222,21 @@ class Histogram:
         merged.sum = self.sum + other.sum
         merged.min = min(self.min, other.min)
         merged.max = max(self.max, other.max)
+        for source in (self, other):
+            for bucket, ids in source.exemplars.items():
+                kept = merged.exemplars.setdefault(bucket, [])
+                kept.extend(ids[: self.MAX_EXEMPLARS_PER_BUCKET - len(kept)])
         return merged
 
     def snapshot(self) -> Dict[str, object]:
-        """JSON-ready record: sparse non-zero buckets plus summary stats."""
+        """JSON-ready record: sparse non-zero buckets plus summary stats.
+
+        A zero-sample histogram reports ``None`` for min/max *and* the
+        percentiles — consistently "no data", never a reconstructed 0.0
+        that downstream tooling could mistake for a measured latency.
+        """
         nonzero = np.nonzero(self.buckets)[0]
-        return {
+        record: Dict[str, object] = {
             "type": "histogram",
             "name": self.name,
             "labels": dict(self.labels),
@@ -213,14 +244,20 @@ class Histogram:
             "sum": self.sum,
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
-            "p50": self.percentile(50.0),
-            "p95": self.percentile(95.0),
-            "p99": self.percentile(99.0),
+            "p50": self.percentile(50.0) if self.count else None,
+            "p95": self.percentile(95.0) if self.count else None,
+            "p99": self.percentile(99.0) if self.count else None,
             "buckets": {
                 str(self.bucket_upper_bound(int(i))): int(self.buckets[i])
                 for i in nonzero
             },
         }
+        if self.exemplars:
+            record["exemplars"] = {
+                str(self.bucket_upper_bound(int(bucket))): list(ids)
+                for bucket, ids in sorted(self.exemplars.items())
+            }
+        return record
 
 
 class MetricsRegistry:

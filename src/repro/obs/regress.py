@@ -1,0 +1,255 @@
+"""Deterministic performance-regression gate over a benchmark history.
+
+``tools/bench_all.py`` appends one schema-versioned record per run to
+``BENCH_history.jsonl`` (the repo's perf trajectory); this module decides
+whether the newest record *regressed* relative to the last accepted one.
+The comparison is deliberately boring and deterministic:
+
+* every benchmark value entering a record is the **median of K repeats**
+  (:func:`median`) — the median, unlike best-of-N, is monotone under a
+  real slowdown yet robust to one bad repeat;
+* a benchmark regresses only when it moved in its *worse* direction
+  (``direction`` is ``"higher"``-is-better or ``"lower"``-is-better) by
+  more than a **relative threshold** of the baseline *and* by more than
+  its absolute **noise floor** (recorded per benchmark, in its own unit)
+  — so a 0.01 ms wobble on a 0.05 ms p50 never trips a 20 % gate;
+* benchmarks are split by ``kind``: ``"sim"`` values are exact simulator
+  outputs (identical on any host — gate strictly), ``"wall"`` values are
+  host-dependent wall-clock throughputs (gate only when comparing records
+  from the same machine, see ``tools/bench_gate.py --include-wall``).
+
+Records are plain dicts validated against ``$defs.bench_record`` in
+``tools/trace_schema.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ConfigError
+
+__all__ = [
+    "Benchmark",
+    "Regression",
+    "append_record",
+    "compare",
+    "format_regressions",
+    "last_record",
+    "load_history",
+    "make_record",
+    "median",
+]
+
+#: Version stamp of the bench-record line format.
+SCHEMA_VERSION = 1
+
+#: Directions a benchmark value can prefer.
+DIRECTIONS = ("higher", "lower")
+
+#: Benchmark kinds: exact simulator outputs vs host wall-clock.
+KINDS = ("sim", "wall")
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One measured benchmark value entering a record.
+
+    ``noise_floor`` is an absolute bound (same unit as ``value``) below
+    which a delta is considered measurement noise; deterministic sim
+    metrics use 0.0.
+    """
+
+    name: str
+    value: float
+    unit: str
+    direction: str = "higher"
+    noise_floor: float = 0.0
+    kind: str = "sim"
+
+    def __post_init__(self) -> None:
+        if self.direction not in DIRECTIONS:
+            raise ConfigError(
+                f"benchmark direction must be one of {DIRECTIONS}, "
+                f"got {self.direction!r}"
+            )
+        if self.kind not in KINDS:
+            raise ConfigError(
+                f"benchmark kind must be one of {KINDS}, got {self.kind!r}"
+            )
+        if self.noise_floor < 0:
+            raise ConfigError("noise floor must be non-negative")
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One gated benchmark that moved past its thresholds."""
+
+    name: str
+    baseline: float
+    candidate: float
+    delta_frac: float  # worseness as a fraction of the baseline, > 0
+    unit: str
+    direction: str
+
+    def describe(self) -> str:
+        """The gate-failure line: name, values, and delta."""
+        return (
+            f"REGRESSION {self.name}: {self.baseline:g} -> "
+            f"{self.candidate:g} {self.unit} "
+            f"({self.delta_frac * 100.0:+.1f}% worse)"
+        )
+
+
+def median(values: Sequence[float]) -> float:
+    """Median of K repeats (even K averages the middle pair)."""
+    if not values:
+        raise ConfigError("median of no repeats")
+    ordered = sorted(float(v) for v in values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def make_record(
+    mode: str,
+    repeats: int,
+    benchmarks: Sequence[Benchmark],
+    host: Optional[Dict[str, str]] = None,
+    timestamp: Optional[str] = None,
+) -> Dict[str, object]:
+    """Assemble one schema-versioned history record."""
+    if repeats < 1:
+        raise ConfigError("repeats must be at least 1")
+    names = [b.name for b in benchmarks]
+    if len(set(names)) != len(names):
+        raise ConfigError(f"duplicate benchmark names in record: {names}")
+    return {
+        "kind": "bench_record",
+        "schema_version": SCHEMA_VERSION,
+        "timestamp": (
+            timestamp
+            if timestamp is not None
+            else time.strftime("%Y-%m-%dT%H:%M:%S")
+        ),
+        "mode": mode,
+        "repeats": int(repeats),
+        "host": dict(host) if host else {},
+        "benchmarks": {
+            b.name: {
+                "value": float(b.value),
+                "unit": b.unit,
+                "direction": b.direction,
+                "noise_floor": float(b.noise_floor),
+                "kind": b.kind,
+            }
+            for b in benchmarks
+        },
+    }
+
+
+def load_history(path) -> List[Dict[str, object]]:
+    """Read a JSONL history, keeping only well-formed bench records.
+
+    Malformed lines are skipped: a torn write at the tail must not take
+    the whole trajectory down, and the gate then simply compares against
+    the last record that did survive intact.
+    """
+    records: List[Dict[str, object]] = []
+    path = Path(path)
+    if not path.exists():
+        return records
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict) and record.get("kind") == "bench_record":
+            records.append(record)
+    return records
+
+
+def append_record(path, record: Dict[str, object]) -> None:
+    """Append one record as a JSONL line (atomic enough: single write)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(record) + "\n")
+
+
+def last_record(
+    history: Sequence[Dict[str, object]], offset: int = 0
+) -> Optional[Dict[str, object]]:
+    """The newest record (``offset=0``) or an earlier one (``offset=1`` =
+    second newest); None when the history is too short."""
+    if len(history) <= offset:
+        return None
+    return history[-(offset + 1)]
+
+
+def compare(
+    baseline: Dict[str, object],
+    candidate: Dict[str, object],
+    rel_threshold: float = 0.2,
+    include_wall: bool = False,
+) -> List[Regression]:
+    """Regressions of ``candidate`` vs ``baseline``.
+
+    A benchmark present in only one record is ignored (adding or retiring
+    a benchmark is not a regression).  ``rel_threshold`` is the relative
+    worseness bound; each benchmark's own ``noise_floor`` (the larger of
+    the two records') additionally bounds the absolute delta.  Wall-clock
+    benchmarks are skipped unless ``include_wall`` — their values only
+    compare within one host.
+    """
+    if not 0.0 < rel_threshold:
+        raise ConfigError("relative threshold must be positive")
+    base_benches = baseline.get("benchmarks", {})
+    cand_benches = candidate.get("benchmarks", {})
+    out: List[Regression] = []
+    for name in sorted(set(base_benches) & set(cand_benches)):
+        base, cand = base_benches[name], cand_benches[name]
+        if not include_wall and (
+            base.get("kind") == "wall" or cand.get("kind") == "wall"
+        ):
+            continue
+        direction = str(base.get("direction", "higher"))
+        base_value = float(base["value"])
+        cand_value = float(cand["value"])
+        if direction == "lower":
+            worse_by = cand_value - base_value
+        else:
+            worse_by = base_value - cand_value
+        if worse_by <= 0:
+            continue
+        floor = max(
+            float(base.get("noise_floor", 0.0)),
+            float(cand.get("noise_floor", 0.0)),
+        )
+        scale = abs(base_value)
+        delta_frac = worse_by / scale if scale > 0 else float("inf")
+        if delta_frac > rel_threshold and worse_by > floor:
+            out.append(
+                Regression(
+                    name=name,
+                    baseline=base_value,
+                    candidate=cand_value,
+                    delta_frac=delta_frac,
+                    unit=str(base.get("unit", "")),
+                    direction=direction,
+                )
+            )
+    return out
+
+
+def format_regressions(regressions: Sequence[Regression]) -> str:
+    """One line per regressed benchmark, worst first."""
+    ordered = sorted(regressions, key=lambda r: r.delta_frac, reverse=True)
+    return "\n".join(r.describe() for r in ordered)

@@ -1,9 +1,12 @@
 """Minimal JSON-Schema validator (dependency-free).
 
-Supports the subset of draft-07 the trace schema in
-``tools/trace_schema.json`` uses: ``type`` (string or list of strings),
-``properties``, ``required``, ``items``, ``enum``, ``minimum``,
-``minItems``, and ``additionalProperties: true`` (the permissive form).
+Supports the subset of draft-07 the schemas in ``tools/trace_schema.json``
+use: ``type`` (string or list of strings), ``properties``, ``required``,
+``items``, ``enum``, ``minimum``, ``minItems``,
+``additionalProperties`` as a schema (applied to every property not named
+in ``properties`` — how the bench-record's dynamic benchmark map is
+validated), and ``$defs`` with :func:`validate_def` (named sub-schemas
+for the request-event and bench-record line formats).
 ``repro-experiment --trace`` output and the CI smoke test validate
 against it without pulling in the ``jsonschema`` package.
 """
@@ -12,7 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-__all__ = ["validate"]
+__all__ = ["validate", "validate_def"]
 
 _TYPE_CHECKS = {
     "object": lambda v: isinstance(v, dict),
@@ -46,9 +49,15 @@ def _check(instance: object, schema: Dict, path: str, errors: List[str]) -> None
         for name in schema.get("required", ()):
             if name not in instance:
                 errors.append(f"{path or '$'}: missing required property {name!r}")
-        for name, subschema in schema.get("properties", {}).items():
+        properties = schema.get("properties", {})
+        for name, subschema in properties.items():
             if name in instance:
                 _check(instance[name], subschema, f"{path}.{name}", errors)
+        additional = schema.get("additionalProperties")
+        if isinstance(additional, dict):
+            for name, value in instance.items():
+                if name not in properties:
+                    _check(value, additional, f"{path}.{name}", errors)
     if isinstance(instance, list):
         min_items = schema.get("minItems")
         if min_items is not None and len(instance) < min_items:
@@ -69,3 +78,20 @@ def validate(instance: object, schema: Dict) -> List[str]:
     errors: List[str] = []
     _check(instance, schema, "", errors)
     return errors
+
+
+def validate_def(instance: object, schema: Dict, def_name: str) -> List[str]:
+    """Validate ``instance`` against the named ``$defs`` entry of ``schema``.
+
+    Used for the line-oriented contracts that share
+    ``tools/trace_schema.json``: request-log events
+    (``$defs.request_event``) and benchmark-history records
+    (``$defs.bench_record``).  Raises ``KeyError`` for an unknown name so
+    a typo fails loudly rather than validating against nothing.
+    """
+    defs = schema.get("$defs", {})
+    if def_name not in defs:
+        raise KeyError(
+            f"schema has no $defs entry {def_name!r}; known: {sorted(defs)}"
+        )
+    return validate(instance, defs[def_name])

@@ -180,6 +180,20 @@ class Tracer:
                 "tid": 0,
                 "args": {"name": "sim (core cycles)"},
             },
+            # Drop accounting as an in-band metadata event: viewers that
+            # never surface otherData still show whether the trace is
+            # complete.
+            {
+                "name": "tracer_stats",
+                "ph": "M",
+                "pid": WALL_PID,
+                "tid": 0,
+                "args": {
+                    "recorded_events": len(self.events),
+                    "dropped_events": self.dropped,
+                    "max_events": self.max_events,
+                },
+            },
         ]
         trace_events.extend(e.to_chrome() for e in self.events)
         return {
@@ -200,8 +214,24 @@ class Tracer:
         return len(self.events)
 
     def to_jsonl(self, path) -> int:
-        """Write spans as flat JSONL (one object per span, field order fixed)."""
+        """Write spans as flat JSONL (one object per span, field order fixed).
+
+        A leading metadata line carries the drop counter, mirroring the
+        Chrome export's ``otherData`` — a truncated JSONL log declares
+        itself truncated.
+        """
         with open(path, "w") as fh:
+            fh.write(
+                json.dumps(
+                    {
+                        "kind": "trace_meta",
+                        "recorded_events": len(self.events),
+                        "dropped_events": self.dropped,
+                        "max_events": self.max_events,
+                    }
+                )
+                + "\n"
+            )
             for event in self.events:
                 fh.write(
                     json.dumps(

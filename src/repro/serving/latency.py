@@ -46,7 +46,8 @@ def sweep_arrival_times(
         rng = config.rng(f"serving:{arrival_ms}:{mean_service_ms}")
         arrivals = poisson_arrivals(arrival_ms, num_requests, rng)
         results[float(arrival_ms)] = simulate_server(
-            arrivals, mean_service_ms, num_cores, rng, service_cv=service_cv
+            arrivals, mean_service_ms, num_cores, rng, service_cv=service_cv,
+            label=f"sweep:arrival={arrival_ms:g}ms",
         )
     return results
 

@@ -71,7 +71,8 @@ def serve_query_stream(
     # would distort queueing, so instead simulate with per-batch means via
     # a two-step: draw normalized services once, scale, then replay FIFO.
     normalized = simulate_server(
-        dispatches, 1.0, num_cores, rng, service_cv=service_cv
+        dispatches, 1.0, num_cores, rng, service_cv=service_cv,
+        label="pipeline:normalized",
     ).services_ms
     services = normalized * mean_service_ms_full_batch * scale
 

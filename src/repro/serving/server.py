@@ -285,6 +285,12 @@ def lognormal_services(
     return rng.lognormal(mu, np.sqrt(sigma2), size=count)
 
 
+def _active_request_log():
+    """The session's RequestLog, or None (the zero-cost branch)."""
+    obs = obs_hooks.active()
+    return obs.requests if obs is not None else None
+
+
 def simulate_server(
     arrivals_ms: np.ndarray,
     mean_service_ms: float,
@@ -294,6 +300,7 @@ def simulate_server(
     fault_plan: Optional[FaultPlan] = None,
     policy: Optional[ServingPolicy] = None,
     controller: Optional["DegradationController"] = None,
+    label: Optional[str] = None,
 ) -> ServerResult:
     """Run the FIFO M/G/c simulation and collect per-request latencies.
 
@@ -301,6 +308,10 @@ def simulate_server(
     null policy and an empty plan) this takes the original fast path and
     returns byte-identical arrays to the pre-resilience simulator; any
     configured resilience feature switches to the event-driven loop.
+
+    ``label`` names this simulation in request-scoped telemetry (the
+    :class:`repro.obs.requests.RequestLog` run label and its trace track);
+    it has no effect on simulation results.
     """
     if num_cores <= 0:
         raise ConfigError("need at least one core")
@@ -314,7 +325,9 @@ def simulate_server(
         and controller is None
     )
     if plain:
-        return _simulate_fast(arrivals_ms, mean_service_ms, num_cores, rng, service_cv)
+        return _simulate_fast(
+            arrivals_ms, mean_service_ms, num_cores, rng, service_cv, label
+        )
     return _simulate_resilient(
         arrivals_ms,
         mean_service_ms,
@@ -324,6 +337,7 @@ def simulate_server(
         fault_plan if fault_plan is not None else FaultPlan(),
         policy if policy is not None else ServingPolicy(),
         controller,
+        label,
     )
 
 
@@ -333,6 +347,7 @@ def _simulate_fast(
     num_cores: int,
     rng: np.random.Generator,
     service_cv: float,
+    label: Optional[str] = None,
 ) -> ServerResult:
     """The original happy-path loop (byte-identical results)."""
     n = arrivals_ms.size
@@ -362,7 +377,16 @@ def _simulate_fast(
         offered_interarrival_ms=_offered_interarrival(arrivals_ms),
         core_ids=core_ids,
     )
-    _finalize(result)
+    log = _active_request_log()
+    run = None
+    if log is not None:
+        run = log.start_run(label=label, num_cores=num_cores, num_requests=n)
+        obs = obs_hooks.active()
+        run.finish_fast(
+            arrivals_ms, starts, services, core_ids,
+            tracer=obs.tracer if obs is not None else None,
+        )
+    _finalize(result, run=run)
     return result
 
 
@@ -375,13 +399,27 @@ def _simulate_resilient(
     plan: FaultPlan,
     policy: ServingPolicy,
     controller: Optional["DegradationController"],
+    label: Optional[str] = None,
 ) -> ServerResult:
     """Event-driven loop with faults, deadlines, retries, and shedding."""
     arrivals, injected = plan.inject_arrivals(arrivals_ms)
     n = arrivals.size
     base_services = lognormal_services(mean_service_ms, n, rng, cv=service_cv)
-    base_services = base_services * plan.straggler_multipliers(n)
+    strag = plan.straggler_multipliers(n)
+    base_services = base_services * strag
     jitter_rng = plan.retry_jitter_stream()
+
+    log = _active_request_log()
+    run = (
+        log.start_run(
+            label=label,
+            num_cores=num_cores,
+            num_requests=n,
+            deadline_ms=policy.deadline_ms,
+        )
+        if log is not None
+        else None
+    )
 
     deadline = (
         arrivals + policy.deadline_ms if policy.deadline_ms is not None else None
@@ -432,11 +470,27 @@ def _simulate_resilient(
             depth -= 1
             started[i] = True
             scale = controller.scale() if controller is not None else 1.0
-            svc = base_services[i] * scale * plan.service_multiplier(core, now)
+            fault_mult = plan.service_multiplier(core, now)
+            svc = base_services[i] * scale * fault_mult
             starts[i] = now
             services[i] = svc
             core_of[i] = core
             running[core] = i
+            if run is not None:
+                run.event(
+                    i,
+                    "dispatch",
+                    now,
+                    core=core,
+                    level=controller.level if controller is not None else None,
+                    scheme=(
+                        controller.ladder[controller.level].name
+                        if controller is not None
+                        else None
+                    ),
+                    fault_mult=float(fault_mult),
+                    straggler_mult=float(strag[i]),
+                )
             push(now + svc, _EV_FREE, core)
 
     while events:
@@ -446,6 +500,8 @@ def _simulate_resilient(
             finished = running.pop(core, None)
             if finished is not None:
                 outcome[finished] = OUTCOME_COMPLETED
+                if run is not None:
+                    run.event(finished, "complete", now, core=core)
                 if controller is not None:
                     # Level changes are recorded in controller.events.
                     controller.observe(now, now - float(arrivals[finished]))
@@ -456,17 +512,26 @@ def _simulate_resilient(
                 dispatch(now)
         elif kind == _EV_ARRIVE:
             i = payload
+            if run is not None:
+                if retry_count[i] > 0:
+                    run.event(i, "retry_arrive", now, attempt=int(retry_count[i]))
+                else:
+                    run.event(i, "arrive", now)
             if (
                 policy.shed_expired
                 and deadline is not None
                 and now >= deadline[i]
             ):
                 outcome[i] = OUTCOME_TIMED_OUT
+                if run is not None:
+                    run.event(i, "expired", now)
             elif (
                 policy.max_queue_depth is not None
                 and depth >= policy.max_queue_depth
             ):
                 outcome[i] = OUTCOME_SHED
+                if run is not None:
+                    run.event(i, "shed", now, depth=depth)
             else:
                 in_queue[i] = True
                 queue.append(i)
@@ -484,9 +549,19 @@ def _simulate_resilient(
                 retry_count[i] += 1
                 backoff = policy.retry_backoff_ms * 2.0 ** (retry_count[i] - 1)
                 backoff *= 1.0 + policy.retry_jitter * float(jitter_rng.random())
+                if run is not None:
+                    run.event(
+                        i,
+                        "timeout_retry",
+                        now,
+                        attempt=int(retry_count[i]),
+                        backoff_ms=float(backoff),
+                    )
                 push(now + backoff, _EV_ARRIVE, i)
             else:
                 outcome[i] = OUTCOME_TIMED_OUT
+                if run is not None:
+                    run.event(i, "timeout", now)
 
     completed = outcome == OUTCOME_COMPLETED
     completions = starts + services
@@ -504,7 +579,20 @@ def _simulate_resilient(
         degradation_events=list(controller.events) if controller is not None else [],
         final_degradation_level=controller.level if controller is not None else 0,
     )
-    _finalize(result, plan=plan, controller=controller)
+    if run is not None:
+        obs = obs_hooks.active()
+        run.finish(
+            arrivals=arrivals,
+            injected=injected,
+            outcomes=outcome,
+            retry_counts=retry_count,
+            starts=starts,
+            services=services,
+            core_of=core_of,
+            plan=plan,
+            tracer=obs.tracer if obs is not None else None,
+        )
+    _finalize(result, plan=plan, controller=controller, run=run)
     return result
 
 
@@ -519,6 +607,7 @@ def _finalize(
     result: ServerResult,
     plan: Optional[FaultPlan] = None,
     controller: Optional["DegradationController"] = None,
+    run=None,
 ) -> None:
     """Attach the latency histogram and publish telemetry."""
     hist = Histogram()
@@ -528,7 +617,18 @@ def _finalize(
     if obs is None:
         return
     obs.metrics.counter("serving.requests").inc(result.offered_requests)
-    obs.metrics.histogram("serving.latency_ms").observe_many(result.latencies_ms)
+    lat_hist = obs.metrics.histogram("serving.latency_ms")
+    if run is not None:
+        # Link histogram buckets back to concrete requests: same exemplar
+        # id as the request-log line and the per-request trace span.
+        ids = run.completed_ids()
+        for k, value in enumerate(result.latencies_ms):
+            if k < len(ids):
+                lat_hist.observe_exemplar(float(value), ids[k])
+            else:  # run log truncated by its bound; keep the observation
+                lat_hist.observe(float(value))
+    else:
+        lat_hist.observe_many(result.latencies_ms)
     obs.metrics.histogram("serving.wait_ms").observe_many(result.waits_ms)
     obs.metrics.gauge("serving.cores").set(result.num_cores)
     if result.outcomes is not None:

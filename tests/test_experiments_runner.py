@@ -122,6 +122,68 @@ class TestResultCache:
         assert isinstance(json.loads(rebuilt[0].read_text())["report"], dict)
 
 
+_RESILIENCE_SMALL = [
+    "resilience", "--scale", "0.01", "--num-requests", "150",
+    "--batch-size", "8", "--num-batches", "1", "--num-cores", "4",
+]
+
+
+class TestRequestLogFlag:
+    def test_request_log_written_and_nonempty(self, tmp_path, capsys):
+        log = tmp_path / "req.jsonl"
+        assert main(_RESILIENCE_SMALL + ["--request-log", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "[request-log:" in out
+        lines = [json.loads(l) for l in log.read_text().splitlines()]
+        assert lines[0]["kind"] == "request_log_meta"
+        assert lines[0]["requests"] == len(lines) - 1 > 0
+        labels = {rec["label"] for rec in lines[1:]}
+        assert "none:static" in labels  # scenario:mode labels from resilience
+
+    def test_request_logged_run_bypasses_cache(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """ISSUE acceptance: a cached result is never served with a stale
+        or empty request log."""
+        monkeypatch.chdir(tmp_path)
+        assert main(_RESILIENCE_SMALL + ["--cache"]) == 0
+        assert list((tmp_path / CACHE_DIR).glob("*.json"))
+        capsys.readouterr()
+        log = tmp_path / "req.jsonl"
+        assert main(
+            _RESILIENCE_SMALL + ["--cache", "--request-log", str(log)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cached" not in out  # ran fresh despite a warm cache
+        assert json.loads(log.read_text().splitlines()[0])["requests"] > 0
+
+    def test_request_log_deterministic_across_jobs(self, tmp_path, capsys):
+        """Same seed + fault plan => byte-identical export at any --jobs."""
+        exports = []
+        for jobs in ("1", "3"):
+            log = tmp_path / f"req{jobs}.jsonl"
+            assert main(
+                _RESILIENCE_SMALL
+                + ["--jobs", jobs, "--request-log", str(log)]
+            ) == 0
+            exports.append(log.read_bytes())
+        assert exports[0] == exports[1]
+
+
+def test_bench_record_flag_appends_wall_records(tmp_path, capsys):
+    from repro.obs.regress import load_history
+
+    history = tmp_path / "hist.jsonl"
+    assert main(["table1", "--bench-record", str(history)]) == 0
+    assert "[bench-record: 1 experiment(s)" in capsys.readouterr().out
+    records = load_history(history)
+    assert len(records) == 1
+    bench = records[0]["benchmarks"]["experiment.table1.wall_s"]
+    assert bench["kind"] == "wall"
+    assert bench["direction"] == "lower"
+    assert bench["value"] >= 0.0
+
+
 def _flaky_factory(fail_times):
     calls = {"n": 0}
 

@@ -79,9 +79,16 @@ def test_chrome_export_shape(tmp_path):
     assert [e["ph"] for e in events[:2]] == ["M", "M"]
     assert {e["pid"] for e in events[:2]} == {WALL_PID, SIM_PID}
     assert all(e["ph"] in ("X", "M") for e in events)
+    # The tracer_stats metadata event carries the drop accounting in-band.
+    stats = next(e for e in events if e["name"] == "tracer_stats")
+    assert stats["args"]["recorded_events"] == len(tracer.events)
+    assert stats["args"]["dropped_events"] == 0
     jsonl = tmp_path / "t.jsonl"
     assert tracer.to_jsonl(jsonl) == len(tracer.events)
-    lines = [json.loads(line) for line in jsonl.read_text().splitlines()]
+    meta, *lines = [json.loads(line) for line in jsonl.read_text().splitlines()]
+    assert meta["kind"] == "trace_meta"
+    assert meta["recorded_events"] == len(tracer.events)
+    assert meta["dropped_events"] == 0
     assert {rec["track"] for rec in lines} == {"wall", "sim"}
 
 

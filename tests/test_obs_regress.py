@@ -1,0 +1,177 @@
+"""Benchmark records and the deterministic regression gate."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.regress import (
+    Benchmark,
+    append_record,
+    compare,
+    format_regressions,
+    last_record,
+    load_history,
+    make_record,
+    median,
+)
+from repro.obs.schema import validate_def
+
+SCHEMA_PATH = Path(__file__).parent.parent / "tools" / "trace_schema.json"
+
+
+def _record(**values):
+    benches = [
+        Benchmark(name, value, "ms", direction="lower")
+        for name, value in values.items()
+    ]
+    return make_record("test", 3, benches, timestamp="2026-01-01T00:00:00")
+
+
+# -- building blocks ---------------------------------------------------------
+
+
+def test_median_odd_even_and_empty():
+    assert median([3.0, 1.0, 2.0]) == 2.0
+    assert median([4.0, 1.0, 2.0, 3.0]) == 2.5
+    assert median([7.0]) == 7.0
+    with pytest.raises(ConfigError):
+        median([])
+
+
+def test_benchmark_validation():
+    with pytest.raises(ConfigError):
+        Benchmark("x", 1.0, "ms", direction="sideways")
+    with pytest.raises(ConfigError):
+        Benchmark("x", 1.0, "ms", kind="cpu")
+    with pytest.raises(ConfigError):
+        Benchmark("x", 1.0, "ms", noise_floor=-1.0)
+
+
+def test_make_record_rejects_duplicates_and_bad_repeats():
+    bench = Benchmark("a", 1.0, "ms")
+    with pytest.raises(ConfigError):
+        make_record("test", 3, [bench, bench])
+    with pytest.raises(ConfigError):
+        make_record("test", 0, [bench])
+
+
+def test_record_validates_against_schema():
+    record = make_record(
+        "smoke",
+        3,
+        [
+            Benchmark("sim.metric", 1.5, "x", direction="higher"),
+            Benchmark(
+                "wall.metric", 2.0, "s", direction="lower",
+                noise_floor=0.3, kind="wall",
+            ),
+        ],
+        host={"python": "3.11"},
+    )
+    schema = json.loads(SCHEMA_PATH.read_text())
+    assert validate_def(record, schema, "bench_record") == []
+
+
+# -- the gate ----------------------------------------------------------------
+
+
+def test_identical_records_pass():
+    record = _record(p95=30.0, p50=5.0)
+    assert compare(record, record) == []
+
+
+def test_twenty_percent_regression_flagged_by_name():
+    base = _record(p95=30.0, p50=5.0)
+    cand = _record(p95=37.5, p50=5.0)  # +25% on lower-is-better
+    regressions = compare(base, cand, rel_threshold=0.2)
+    assert [r.name for r in regressions] == ["p95"]
+    text = format_regressions(regressions)
+    assert "REGRESSION p95" in text
+    assert "+25.0% worse" in text
+
+
+def test_improvement_never_flags():
+    base = _record(p95=30.0)
+    cand = _record(p95=10.0)
+    assert compare(base, cand) == []
+    # higher-is-better: a higher candidate is an improvement too.
+    base_h = make_record("t", 1, [Benchmark("speedup", 1.0, "x")])
+    cand_h = make_record("t", 1, [Benchmark("speedup", 2.0, "x")])
+    assert compare(base_h, cand_h) == []
+
+
+def test_higher_is_better_direction():
+    base = make_record("t", 1, [Benchmark("goodput", 1.0, "frac")])
+    cand = make_record("t", 1, [Benchmark("goodput", 0.7, "frac")])
+    regressions = compare(base, cand, rel_threshold=0.2)
+    assert [r.name for r in regressions] == ["goodput"]
+    assert regressions[0].delta_frac == pytest.approx(0.3)
+
+
+def test_noise_floor_suppresses_tiny_absolute_deltas():
+    def rec(value):
+        return make_record(
+            "t", 1,
+            [Benchmark("p50", value, "ms", direction="lower", noise_floor=0.05)],
+        )
+
+    # +60% relative but only 0.03 ms absolute: under the floor, no flag.
+    assert compare(rec(0.05), rec(0.08)) == []
+    # Same relative move with a large absolute delta does flag.
+    assert len(compare(rec(50.0), rec(80.0))) == 1
+
+
+def test_wall_benchmarks_skipped_unless_included():
+    def rec(value):
+        return make_record(
+            "t", 1,
+            [Benchmark("tput", value, "l/s", direction="higher", kind="wall")],
+        )
+
+    base, cand = rec(100.0), rec(50.0)
+    assert compare(base, cand) == []
+    regressions = compare(base, cand, include_wall=True)
+    assert [r.name for r in regressions] == ["tput"]
+
+
+def test_added_or_retired_benchmarks_ignored():
+    base = _record(p95=30.0, old=1.0)
+    cand = _record(p95=30.0, new=99.0)
+    assert compare(base, cand) == []
+
+
+def test_format_regressions_worst_first():
+    base = _record(a=10.0, b=10.0)
+    cand = _record(a=15.0, b=30.0)
+    lines = format_regressions(compare(base, cand)).splitlines()
+    assert lines[0].startswith("REGRESSION b")
+    assert lines[1].startswith("REGRESSION a")
+
+
+# -- history file ------------------------------------------------------------
+
+
+def test_history_roundtrip_and_offsets(tmp_path):
+    path = tmp_path / "hist.jsonl"
+    assert load_history(path) == []
+    first, second = _record(p95=1.0), _record(p95=2.0)
+    append_record(path, first)
+    append_record(path, second)
+    history = load_history(path)
+    assert len(history) == 2
+    assert last_record(history) == second
+    assert last_record(history, offset=1) == first
+    assert last_record(history, offset=2) is None
+
+
+def test_history_skips_malformed_and_foreign_lines(tmp_path):
+    path = tmp_path / "hist.jsonl"
+    append_record(path, _record(p95=1.0))
+    with open(path, "a") as fh:
+        fh.write("{torn wri")  # torn tail write
+        fh.write('\n{"kind": "something_else"}\n')
+    history = load_history(path)
+    assert len(history) == 1
+    assert history[0]["benchmarks"]["p95"]["value"] == 1.0

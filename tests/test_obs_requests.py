@@ -1,0 +1,291 @@
+"""Request-scoped tracing: lifecycle records, causes, links, determinism."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.obs import RequestLog, attribute_miss, miss_attribution
+from repro.obs.hooks import Observation, session
+from repro.obs.requests import MISS_CAUSES
+from repro.obs.schema import validate_def
+from repro.serving.degradation import DegradationController, scheme_ladder
+from repro.serving.faults import (
+    ArrivalBurst,
+    BandwidthDegradation,
+    FaultPlan,
+    Stragglers,
+)
+from repro.serving.server import ServingPolicy, simulate_server
+from repro.serving.workload import poisson_arrivals
+
+SCHEMA_PATH = Path(__file__).parent.parent / "tools" / "trace_schema.json"
+
+
+def _arrivals(n=150, interarrival=1.5, seed=5):
+    rng = np.random.default_rng(seed)
+    return poisson_arrivals(interarrival, n, rng)
+
+
+def _stressed_args():
+    """A serving setup that sheds, times out, retries, and completes late."""
+    arrivals = _arrivals()
+    horizon = float(arrivals[-1])
+    plan = FaultPlan(
+        [
+            BandwidthDegradation(0.2 * horizon, 0.7 * horizon, 3.0),
+            ArrivalBurst(0.4 * horizon, 50, 0.2),
+            Stragglers(0.1, 4.0, tail_alpha=1.5),
+        ],
+        seed=3,
+    )
+    policy = ServingPolicy(
+        deadline_ms=8.0,
+        timeout_ms=6.0,
+        max_retries=1,
+        retry_backoff_ms=2.0,
+        max_queue_depth=6,
+    )
+    return arrivals, plan, policy
+
+
+# -- recording ---------------------------------------------------------------
+
+
+def test_fast_path_records_every_request():
+    arrivals = _arrivals()
+    baseline = simulate_server(arrivals, 4.0, 2, np.random.default_rng(1))
+    with session(Observation(requests=RequestLog())) as obs:
+        result = simulate_server(
+            arrivals, 4.0, 2, np.random.default_rng(1), label="fast"
+        )
+    assert np.array_equal(baseline.latencies_ms, result.latencies_ms)
+    records = obs.requests.records()
+    assert len(records) == arrivals.size
+    assert all(r["outcome"] == "completed" for r in records)
+    assert all(r["cause"] is None for r in records)
+    kinds = [e["kind"] for e in records[0]["events"]]
+    assert kinds == ["arrive", "dispatch", "complete"]
+    assert records[0]["label"] == "fast"
+    # latency == wait + service holds per record.
+    for r in records:
+        assert r["latency_ms"] == pytest.approx(r["wait_ms"] + r["service_ms"])
+
+
+def test_resilient_path_results_byte_identical_with_log_on():
+    arrivals, plan, policy = _stressed_args()
+    controller = DegradationController(
+        scheme_ladder({"baseline": 1.0, "sw_pf": 0.8}), sla_ms=8.0
+    )
+    baseline = simulate_server(
+        arrivals, 4.0, 2, np.random.default_rng(2),
+        fault_plan=plan, policy=policy,
+        controller=DegradationController(
+            scheme_ladder({"baseline": 1.0, "sw_pf": 0.8}), sla_ms=8.0
+        ),
+    )
+    with session(Observation(requests=RequestLog())) as obs:
+        observed = simulate_server(
+            arrivals, 4.0, 2, np.random.default_rng(2),
+            fault_plan=plan, policy=policy, controller=controller,
+            label="stressed",
+        )
+    assert baseline.latencies_ms.tobytes() == observed.latencies_ms.tobytes()
+    assert baseline.outcomes.tobytes() == observed.outcomes.tobytes()
+    assert baseline.retry_counts.tobytes() == observed.retry_counts.tobytes()
+    assert obs.requests.num_requests == observed.offered_requests
+
+
+def test_every_miss_has_cause_and_linked_span():
+    """ISSUE acceptance: shed/timed-out => recorded cause + >=1 trace span."""
+    arrivals, plan, policy = _stressed_args()
+    with session(Observation(requests=RequestLog())) as obs:
+        result = simulate_server(
+            arrivals, 4.0, 2, np.random.default_rng(2),
+            fault_plan=plan, policy=policy, label="stressed",
+        )
+    assert result.outcome_count("shed") > 0
+    assert result.outcome_count("timed_out") > 0
+    span_ids = {
+        e.args.get("id")
+        for e in obs.tracer.events
+        if e.category == "serving.request"
+    }
+    for record in obs.requests.records():
+        if record["outcome"] in ("shed", "timed_out"):
+            assert record["cause"], record
+            assert attribute_miss(record) in MISS_CAUSES
+        assert record["id"] in span_ids
+
+
+def test_dispatch_event_carries_scheme_and_level():
+    arrivals, plan, policy = _stressed_args()
+    controller = DegradationController(
+        scheme_ladder({"baseline": 1.0, "sw_pf": 0.8}), sla_ms=8.0,
+        window=16, min_samples=4, escalate_margin=0.5, recover_margin=0.2,
+        cooldown=8,
+    )
+    with session(Observation(requests=RequestLog())) as obs:
+        simulate_server(
+            arrivals, 4.0, 2, np.random.default_rng(2),
+            fault_plan=plan, policy=policy, controller=controller,
+            label="ctl",
+        )
+    assert controller.events, "controller never changed level"
+    dispatched = [
+        r for r in obs.requests.records()
+        if any(e["kind"] == "dispatch" for e in r["events"])
+    ]
+    schemes = {r["scheme"] for r in dispatched}
+    assert "baseline" in schemes
+    assert len(schemes) > 1  # some requests ran under a degraded scheme
+    for r in dispatched:
+        assert r["degradation_level"] is not None
+
+
+def test_fault_windows_only_overlapping(monkeypatch):
+    arrivals = _arrivals()
+    horizon = float(arrivals[-1])
+    window = (0.5 * horizon, 0.8 * horizon)
+    plan = FaultPlan([BandwidthDegradation(*window, 4.0)], seed=1)
+    with session(Observation(requests=RequestLog())) as obs:
+        simulate_server(
+            arrivals, 4.0, 2, np.random.default_rng(2),
+            fault_plan=plan, policy=ServingPolicy(deadline_ms=8.0),
+        )
+    for r in obs.requests.records():
+        overlaps = float(r["arrival_ms"]) <= window[1] and float(
+            r["end_ms"]
+        ) >= window[0]
+        assert bool(r["fault_windows"]) == overlaps
+
+
+# -- exemplar linkage --------------------------------------------------------
+
+
+def test_latency_histogram_exemplars_reference_logged_requests():
+    arrivals = _arrivals()
+    with session(Observation(requests=RequestLog())) as obs:
+        simulate_server(arrivals, 4.0, 2, np.random.default_rng(1))
+    snap = obs.metrics.histogram("serving.latency_ms").snapshot()
+    assert snap["count"] == arrivals.size
+    exemplars = snap["exemplars"]
+    assert exemplars, "no exemplar buckets recorded"
+    logged_ids = {r["id"] for r in obs.requests.records()}
+    for ids in exemplars.values():
+        assert 1 <= len(ids) <= 4  # per-bucket cap
+        assert set(ids) <= logged_ids
+
+
+# -- bounds ------------------------------------------------------------------
+
+
+def test_request_log_bound_counts_drops():
+    arrivals = _arrivals(n=50)
+    log = RequestLog(max_requests=30)
+    with session(Observation(requests=log)):
+        simulate_server(arrivals, 4.0, 2, np.random.default_rng(1))
+    assert log.num_requests == 30
+    assert log.dropped == 20
+    assert log.meta()["dropped"] == 20
+    assert len(log.records()) == 30
+
+
+# -- attribution -------------------------------------------------------------
+
+
+def _rec(**kwargs):
+    base = {
+        "outcome": "completed",
+        "cause": None,
+        "deadline_met": True,
+        "fault_windows": [],
+        "retries": 0,
+        "wait_ms": 1.0,
+        "service_ms": 2.0,
+    }
+    base.update(kwargs)
+    return base
+
+
+@pytest.mark.parametrize(
+    "record, expected",
+    [
+        (_rec(), None),
+        (_rec(outcome="shed", cause="queue_full"), "shed_queue_full"),
+        (
+            _rec(outcome="timed_out", cause="deadline_expired"),
+            "expired_on_arrival",
+        ),
+        (_rec(outcome="timed_out", cause="queue_timeout"), "queue_timeout"),
+        (_rec(deadline_met=False, fault_windows=["bw_degradation"]), "fault"),
+        (_rec(deadline_met=False, retries=2), "retry_backoff"),
+        (_rec(deadline_met=False, wait_ms=5.0, service_ms=2.0), "queueing"),
+        (_rec(deadline_met=False, wait_ms=1.0, service_ms=9.0), "slow_service"),
+        (_rec(deadline_met=None), None),  # no deadline configured
+    ],
+)
+def test_attribute_miss_cases(record, expected):
+    assert attribute_miss(record) == expected
+
+
+def test_miss_attribution_orders_and_counts():
+    records = [
+        _rec(outcome="shed", cause="queue_full"),
+        _rec(deadline_met=False, wait_ms=5.0, service_ms=1.0),
+        _rec(outcome="shed", cause="queue_full"),
+        _rec(),
+    ]
+    table = miss_attribution(records)
+    assert table == {"shed_queue_full": 2, "queueing": 1}
+    assert list(table) == ["shed_queue_full", "queueing"]  # MISS_CAUSES order
+
+
+# -- export ------------------------------------------------------------------
+
+
+def test_export_roundtrip_and_schema(tmp_path):
+    from repro.obs.requests import load_request_log
+
+    arrivals, plan, policy = _stressed_args()
+    log = RequestLog()
+    with session(Observation(requests=log)):
+        simulate_server(
+            arrivals, 4.0, 2, np.random.default_rng(2),
+            fault_plan=plan, policy=policy, label="export",
+        )
+    path = tmp_path / "req.jsonl"
+    assert log.to_jsonl(path) == log.num_requests
+    meta, records = load_request_log(path)
+    assert meta["requests"] == log.num_requests
+    assert len(records) == log.num_requests
+    schema = json.loads(SCHEMA_PATH.read_text())
+    for record in records:
+        assert validate_def(record, schema, "request_event") == []
+
+
+def test_export_is_deterministic_across_sessions(tmp_path):
+    """Same seed + same FaultPlan => byte-identical JSONL export."""
+    arrivals, _, policy = _stressed_args()
+    exports = []
+    for trial in range(2):
+        plan = FaultPlan(
+            [BandwidthDegradation(20.0, 80.0, 3.0), Stragglers(0.1, 4.0)],
+            seed=3,
+        )
+        log = RequestLog()
+        with session(Observation(requests=log)):
+            simulate_server(
+                arrivals, 4.0, 2, np.random.default_rng(2),
+                fault_plan=plan, policy=policy, label="det",
+            )
+        path = tmp_path / f"req{trial}.jsonl"
+        log.to_jsonl(path)
+        exports.append(path.read_bytes())
+    assert exports[0] == exports[1]
+
+
+def test_unknown_def_name_raises():
+    with pytest.raises(KeyError):
+        validate_def({}, {"$defs": {"a": {}}}, "missing")

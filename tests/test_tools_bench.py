@@ -1,0 +1,223 @@
+"""The observatory CLIs: bench_all, bench_gate, obs_dashboard, trace_report."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.regress import Benchmark, append_record, make_record
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_tool(name):
+    spec = importlib.util.spec_from_file_location(
+        name, REPO_ROOT / "tools" / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def bench_gate():
+    return _load_tool("bench_gate")
+
+
+@pytest.fixture(scope="module")
+def obs_dashboard():
+    return _load_tool("obs_dashboard")
+
+
+def _record(p95, tput=100.0, timestamp="2026-01-01T00:00:00"):
+    return make_record(
+        "smoke",
+        1,
+        [
+            Benchmark("serving.p95_ms", p95, "ms", direction="lower"),
+            Benchmark(
+                "engine.tput", tput, "l/s", direction="higher",
+                noise_floor=0.15 * tput, kind="wall",
+            ),
+        ],
+        timestamp=timestamp,
+    )
+
+
+# -- bench_gate --------------------------------------------------------------
+
+
+def test_gate_passes_with_short_history(bench_gate, tmp_path, capsys):
+    path = tmp_path / "hist.jsonl"
+    assert bench_gate.main(["--history", str(path)]) == 0
+    append_record(path, _record(30.0))
+    assert bench_gate.main(["--history", str(path)]) == 0
+    assert "nothing to compare" in capsys.readouterr().out
+
+
+def test_gate_passes_on_identical_rerun(bench_gate, tmp_path, capsys):
+    path = tmp_path / "hist.jsonl"
+    append_record(path, _record(30.0))
+    append_record(path, _record(30.0))
+    assert bench_gate.main(["--history", str(path)]) == 0
+    assert "bench gate OK" in capsys.readouterr().out
+
+
+def test_gate_fails_naming_benchmark_and_delta(bench_gate, tmp_path, capsys):
+    """ISSUE acceptance: >=20% synthetic regression => nonzero exit + name."""
+    path = tmp_path / "hist.jsonl"
+    append_record(path, _record(30.0))
+    append_record(path, _record(39.0))  # +30% on lower-is-better
+    assert bench_gate.main(["--history", str(path)]) == 1
+    err = capsys.readouterr().err
+    assert "REGRESSION serving.p95_ms" in err
+    assert "+30.0% worse" in err
+
+
+def test_gate_skips_wall_by_default_includes_on_flag(
+    bench_gate, tmp_path, capsys
+):
+    path = tmp_path / "hist.jsonl"
+    append_record(path, _record(30.0, tput=100.0))
+    append_record(path, _record(30.0, tput=40.0))  # -60% wall throughput
+    assert bench_gate.main(["--history", str(path)]) == 0
+    assert bench_gate.main(["--history", str(path), "--include-wall"]) == 1
+    assert "REGRESSION engine.tput" in capsys.readouterr().err
+
+
+# -- obs_dashboard -----------------------------------------------------------
+
+
+def test_dashboard_renders_all_sections(obs_dashboard, tmp_path, capsys):
+    hist = tmp_path / "hist.jsonl"
+    append_record(hist, _record(30.0, timestamp="2026-01-01T00:00:00"))
+    append_record(hist, _record(33.0, timestamp="2026-01-02T00:00:00"))
+    metrics = tmp_path / "metrics.jsonl"
+    metrics.write_text(
+        json.dumps(
+            {
+                "name": "core.cycles", "type": "counter", "value": 1000.0,
+                "labels": {"stage": "embedding"},
+            }
+        )
+        + "\n"
+        + json.dumps(
+            {
+                "name": "core.cpi.dram_bound", "type": "counter",
+                "value": 600.0, "labels": {"stage": "embedding"},
+            }
+        )
+        + "\n"
+    )
+    reqlog = tmp_path / "req.jsonl"
+    reqlog.write_text(
+        json.dumps(
+            {
+                "kind": "request_log_meta", "schema_version": 1,
+                "runs": 1, "requests": 1, "dropped": 0,
+            }
+        )
+        + "\n"
+        + json.dumps(
+            {
+                "kind": "request", "outcome": "shed", "cause": "queue_full",
+                "deadline_met": None, "fault_windows": [], "retries": 0,
+            }
+        )
+        + "\n"
+    )
+    out = tmp_path / "dash.html"
+    assert obs_dashboard.main(
+        [
+            "--history", str(hist), "--metrics", str(metrics),
+            "--request-log", str(reqlog), "--out", str(out),
+        ]
+    ) == 0
+    page = out.read_text()
+    assert "benchmark trajectories (2 record(s))" in page
+    assert "serving.p95_ms" in page
+    assert "<svg" in page  # sparkline rendered
+    assert "CPI stacks" in page
+    assert "dram_bound" in page
+    assert "SLA-miss attribution" in page
+    assert "shed_queue_full" in page
+    # +10% move on a lower-is-better benchmark renders as worse.
+    assert 'class="worse"' in page
+
+
+def test_dashboard_handles_missing_inputs(obs_dashboard, tmp_path):
+    out = tmp_path / "dash.html"
+    assert obs_dashboard.main(
+        ["--history", str(tmp_path / "absent.jsonl"), "--out", str(out)]
+    ) == 0
+    assert "no artifacts" in out.read_text()
+
+
+# -- bench_all (tiny run) ----------------------------------------------------
+
+
+@pytest.mark.slow
+def test_bench_all_smoke_appends_schema_valid_record(tmp_path):
+    from repro.obs.schema import validate_def
+
+    bench_all = _load_tool("bench_all")
+    hist = tmp_path / "hist.jsonl"
+    assert bench_all.main(
+        ["--mode", "smoke", "--repeats", "1", "--history", str(hist)]
+    ) == 0
+    lines = [json.loads(l) for l in hist.read_text().splitlines()]
+    assert len(lines) == 1
+    record = lines[0]
+    schema = json.loads((REPO_ROOT / "tools" / "trace_schema.json").read_text())
+    assert validate_def(record, schema, "bench_record") == []
+    kinds = {b["kind"] for b in record["benchmarks"].values()}
+    assert kinds == {"sim", "wall"}
+    assert "serving.resilient.p95_ms" in record["benchmarks"]
+    assert "scheme.mp_ht.speedup" in record["benchmarks"]
+
+
+# -- trace_report --requests -------------------------------------------------
+
+
+def test_trace_report_requests_mode(tmp_path, capsys):
+    import numpy as np
+
+    from repro.obs import RequestLog
+    from repro.obs.hooks import Observation, session
+    from repro.serving.faults import BandwidthDegradation, FaultPlan
+    from repro.serving.server import ServingPolicy, simulate_server
+    from repro.serving.workload import poisson_arrivals
+
+    trace_report = _load_tool("trace_report")
+    arrivals = poisson_arrivals(1.2, 120, np.random.default_rng(4))
+    log = RequestLog()
+    with session(Observation(requests=log)):
+        simulate_server(
+            arrivals, 4.0, 2, np.random.default_rng(2),
+            fault_plan=FaultPlan(
+                [BandwidthDegradation(20.0, 90.0, 3.0)], seed=1
+            ),
+            policy=ServingPolicy(
+                deadline_ms=8.0, timeout_ms=6.0, max_queue_depth=6
+            ),
+            label="report-test",
+        )
+    path = tmp_path / "req.jsonl"
+    log.to_jsonl(path)
+    assert trace_report.main(
+        ["--requests", str(path), "--validate", "--top", "3"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "schema OK" in out
+    assert "SLA-miss attribution" in out
+    assert "slowest 3 requests" in out
+    assert "report-test" in out
+
+
+def test_trace_report_requires_some_input(capsys):
+    trace_report = _load_tool("trace_report")
+    with pytest.raises(SystemExit):
+        trace_report.main([])

@@ -1,0 +1,273 @@
+"""Pinned benchmark suite feeding the regression observatory.
+
+Runs a fixed set of benchmarks spanning every layer the paper's story
+depends on and appends one schema-versioned record per invocation to
+``BENCH_history.jsonl`` (the repo's performance trajectory)::
+
+    PYTHONPATH=src python tools/bench_all.py --mode smoke --repeats 3
+    PYTHONPATH=src python tools/bench_all.py --mode full
+
+The suite:
+
+* **engine wall clocks** (kind ``wall``) — demand-walk and embedding
+  hot-path throughput of the fast and reference engines, median of
+  ``--repeats`` trials; host-dependent, so the gate skips them unless
+  ``bench_gate.py --include-wall``.
+* **scheme sim outputs** (kind ``sim``) — MP-HT / DP-HT / Integrated
+  end-to-end speedups over baseline from :func:`evaluate_all_schemes`;
+  exact simulator outputs, identical on every host, gated strictly.
+* **serving sim outputs** (kind ``sim``) — p50/p95/p99 and goodput of a
+  pinned resilience scenario (bandwidth degradation + arrival burst +
+  stragglers against a retry/shed policy and a degradation controller)
+  plus the fast-path p95; also exact.
+
+Records validate against ``$defs.bench_record`` in
+``tools/trace_schema.json``; ``tools/bench_gate.py`` compares the two
+newest records and fails CI on a regression, and
+``tools/obs_dashboard.py`` renders the trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform as platform_mod
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import bench_sim  # noqa: E402
+
+from repro.config import SimConfig  # noqa: E402
+from repro.core.schemes import evaluate_all_schemes  # noqa: E402
+from repro.cpu.platform import get_platform  # noqa: E402
+from repro.experiments.workloads import build_workload  # noqa: E402
+from repro.obs.regress import (  # noqa: E402
+    Benchmark,
+    append_record,
+    make_record,
+    median,
+)
+from repro.obs.schema import validate_def  # noqa: E402
+from repro.serving.degradation import (  # noqa: E402
+    DegradationController,
+    scheme_ladder,
+)
+from repro.serving.faults import (  # noqa: E402
+    ArrivalBurst,
+    BandwidthDegradation,
+    FaultPlan,
+    Stragglers,
+)
+from repro.serving.server import ServingPolicy, simulate_server  # noqa: E402
+from repro.serving.workload import poisson_arrivals  # noqa: E402
+
+__all__ = ["main", "run_suite"]
+
+SCHEMA_PATH = REPO_ROOT / "tools" / "trace_schema.json"
+DEFAULT_HISTORY = REPO_ROOT / "BENCH_history.jsonl"
+
+#: Relative wobble tolerated on wall-clock throughputs before the
+#: absolute noise floor is exceeded (shared CI machines are noisy).
+WALL_NOISE_FRAC = 0.15
+
+MODES = ("smoke", "full")
+
+
+def _wall_benchmarks(mode: str, repeats: int) -> List[Benchmark]:
+    """Engine throughput wall clocks, median of ``repeats`` trials each."""
+    num_lines = 100_000 if mode == "smoke" else 800_000
+    emb_args = (0.01, 8, 1) if mode == "smoke" else (0.05, 16, 4)
+    out: List[Benchmark] = []
+    for engine in ("fast", "reference"):
+        for bench, runner in (
+            (
+                "hierarchy",
+                lambda: bench_sim.bench_hierarchy(engine, num_lines, repeats=1),
+            ),
+            (
+                "embedding",
+                lambda: bench_sim.bench_embedding(engine, *emb_args, repeats=1),
+            ),
+        ):
+            value = median([runner()["lines_per_sec"] for _ in range(repeats)])
+            out.append(
+                Benchmark(
+                    name=f"engine.{bench}.{engine}.lines_per_sec",
+                    value=value,
+                    unit="lines/s",
+                    direction="higher",
+                    noise_floor=WALL_NOISE_FRAC * value,
+                    kind="wall",
+                )
+            )
+    return out
+
+
+def _scheme_benchmarks(mode: str) -> List[Benchmark]:
+    """MP-HT / DP-HT / Integrated speedups (exact simulator outputs)."""
+    scale, batch_size, num_batches = (
+        (0.01, 8, 1) if mode == "smoke" else (0.02, 16, 2)
+    )
+    config = SimConfig(seed=1234)
+    wl = build_workload(
+        "rm2_1", "low", scale=scale, batch_size=batch_size,
+        num_batches=num_batches, config=config,
+    )
+    spec = get_platform("csl")
+    results = evaluate_all_schemes(
+        wl.model, wl.trace, wl.amap, spec,
+        schemes=("baseline", "dp_ht", "mp_ht", "integrated"),
+    )
+    base = results["baseline"]
+    return [
+        Benchmark(
+            name=f"scheme.{scheme}.speedup",
+            value=results[scheme].speedup_over(base),
+            unit="x",
+            direction="higher",
+        )
+        for scheme in ("dp_ht", "mp_ht", "integrated")
+    ]
+
+
+def _serving_benchmarks(mode: str) -> List[Benchmark]:
+    """Tail latency + goodput of one pinned resilience scenario (exact)."""
+    num_requests = 400 if mode == "smoke" else 2000
+    mean_service_ms = 5.0
+    num_cores = 4
+    interarrival_ms = mean_service_ms / (num_cores * 0.6)
+    config = SimConfig(seed=99)
+    arrivals = poisson_arrivals(
+        interarrival_ms, num_requests, config.rng("bench:arrivals")
+    )
+    horizon_ms = num_requests * interarrival_ms
+
+    fast = simulate_server(
+        arrivals, mean_service_ms, num_cores, config.rng("bench:fast"),
+        label="bench:fast",
+    )
+
+    plan = FaultPlan(
+        [
+            BandwidthDegradation(0.25 * horizon_ms, 0.6 * horizon_ms, 2.5),
+            ArrivalBurst(
+                0.4 * horizon_ms, num_requests // 4, interarrival_ms / 5.0
+            ),
+            Stragglers(0.05, 5.0, tail_alpha=1.5),
+        ],
+        seed=99,
+    )
+    policy = ServingPolicy(
+        deadline_ms=5.0 * mean_service_ms,
+        timeout_ms=5.0 * mean_service_ms,
+        max_retries=1,
+        retry_backoff_ms=mean_service_ms,
+        max_queue_depth=20 * num_cores,
+    )
+    ladder = scheme_ladder(
+        {"baseline": 1.0, "sw_pf": 0.8, "integrated": 0.65}, batch_scale=0.6
+    )
+    controller = DegradationController(
+        ladder,
+        sla_ms=policy.deadline_ms,
+        window=48,
+        min_samples=12,
+        escalate_margin=0.75,
+        recover_margin=0.4,
+        cooldown=256,
+    )
+    resilient = simulate_server(
+        arrivals, mean_service_ms, num_cores, config.rng("bench:resilient"),
+        fault_plan=plan, policy=policy, controller=controller,
+        label="bench:resilient",
+    )
+    return [
+        Benchmark("serving.fast.p95_ms", fast.p95_ms, "ms", direction="lower"),
+        Benchmark(
+            "serving.resilient.p50_ms", resilient.p50_ms, "ms", direction="lower"
+        ),
+        Benchmark(
+            "serving.resilient.p95_ms", resilient.p95_ms, "ms", direction="lower"
+        ),
+        Benchmark(
+            "serving.resilient.p99_ms", resilient.p99_ms, "ms", direction="lower"
+        ),
+        Benchmark(
+            "serving.resilient.goodput", resilient.goodput, "frac",
+            direction="higher",
+        ),
+    ]
+
+
+def run_suite(mode: str, repeats: int) -> Dict[str, object]:
+    """Run the pinned suite; return the (schema-valid) history record."""
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    benchmarks: List[Benchmark] = []
+    benchmarks.extend(_wall_benchmarks(mode, repeats))
+    benchmarks.extend(_scheme_benchmarks(mode))
+    benchmarks.extend(_serving_benchmarks(mode))
+    for bench in benchmarks:
+        print(
+            f"{bench.name:42s} {bench.value:>14,.4g} {bench.unit:<8s} "
+            f"[{bench.kind}]"
+        )
+    record = make_record(
+        mode=mode,
+        repeats=repeats,
+        benchmarks=benchmarks,
+        host={
+            "python": platform_mod.python_version(),
+            "numpy": np.__version__,
+            "machine": platform_mod.machine(),
+        },
+    )
+    schema = json.loads(SCHEMA_PATH.read_text())
+    errors = validate_def(record, schema, "bench_record")
+    if errors:  # pragma: no cover - suite bug, not an input condition
+        raise RuntimeError(f"bench record fails its own schema: {errors}")
+    return record
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--mode", choices=MODES, default="smoke",
+        help="suite size: smoke (CI, seconds) or full (minutes)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, metavar="K",
+        help="wall-clock benchmarks record the median of K trials (default 3)",
+    )
+    parser.add_argument(
+        "--history", type=Path, default=DEFAULT_HISTORY,
+        help=f"history JSONL to append to (default {DEFAULT_HISTORY.name})",
+    )
+    parser.add_argument(
+        "--no-append", action="store_true",
+        help="print the record without touching the history file",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be at least 1")
+    record = run_suite(args.mode, args.repeats)
+    if args.no_append:
+        print(json.dumps(record, indent=2))
+    else:
+        append_record(args.history, record)
+        print(
+            f"appended {len(record['benchmarks'])} benchmark(s) "
+            f"to {args.history}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""CI regression gate over the ``BENCH_history.jsonl`` trajectory.
+
+Compares the newest benchmark record (the run ``tools/bench_all.py`` just
+appended) against the second newest (the committed baseline) and exits
+nonzero when any benchmark regressed past its thresholds, naming the
+benchmark and the delta::
+
+    PYTHONPATH=src python tools/bench_all.py --mode smoke --repeats 3
+    PYTHONPATH=src python tools/bench_gate.py
+
+Gating rules live in :mod:`repro.obs.regress`: a benchmark regresses only
+when it moved in its *worse* direction by more than ``--threshold``
+(relative, default 20 %) *and* by more than its recorded absolute noise
+floor.  Wall-clock benchmarks are skipped by default — their values only
+compare within one host — pass ``--include-wall`` on a pinned machine.
+
+With fewer than two records there is nothing to compare and the gate
+passes (the first record *establishes* the baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.regress import (  # noqa: E402
+    compare,
+    format_regressions,
+    last_record,
+    load_history,
+)
+
+__all__ = ["main"]
+
+DEFAULT_HISTORY = REPO_ROOT / "BENCH_history.jsonl"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--history", type=Path, default=DEFAULT_HISTORY,
+        help=f"history JSONL (default {DEFAULT_HISTORY.name})",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.2, metavar="FRAC",
+        help="relative worseness bound (default 0.2 = 20%%)",
+    )
+    parser.add_argument(
+        "--include-wall", action="store_true",
+        help="also gate wall-clock benchmarks (same-host histories only)",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold <= 0:
+        parser.error("--threshold must be positive")
+
+    history = load_history(args.history)
+    candidate = last_record(history)
+    baseline = last_record(history, offset=1)
+    if candidate is None or baseline is None:
+        print(
+            f"bench gate: {len(history)} record(s) in {args.history} — "
+            "nothing to compare, gate passes"
+        )
+        return 0
+
+    regressions = compare(
+        baseline,
+        candidate,
+        rel_threshold=args.threshold,
+        include_wall=args.include_wall,
+    )
+    compared = set(baseline.get("benchmarks", {})) & set(
+        candidate.get("benchmarks", {})
+    )
+    stamp = (
+        f"{baseline.get('timestamp', '?')} -> {candidate.get('timestamp', '?')}"
+    )
+    if regressions:
+        print(
+            f"bench gate FAILED ({stamp}): {len(regressions)} of "
+            f"{len(compared)} benchmark(s) regressed past "
+            f"{args.threshold:.0%}:",
+            file=sys.stderr,
+        )
+        print(format_regressions(regressions), file=sys.stderr)
+        return 1
+    print(
+        f"bench gate OK ({stamp}): {len(compared)} benchmark(s) within "
+        f"{args.threshold:.0%}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,242 @@
+"""Render the observatory into one self-contained HTML page (stdlib only).
+
+Pulls together the three offline telemetry artifacts and writes a single
+file with no external assets — CI uploads it as the build's performance
+dashboard::
+
+    PYTHONPATH=src python tools/obs_dashboard.py \\
+        --history BENCH_history.jsonl --metrics m.jsonl \\
+        --request-log req.jsonl --out dashboard.html
+
+Sections (each present only when its input is given):
+
+* **benchmark trajectories** — one row per benchmark in the history:
+  inline-SVG sparkline over all records, latest value, and delta vs the
+  previous record (colored by whether it moved in the worse direction);
+* **CPI stacks** — the per-stage cycle breakdown from a metrics JSONL;
+* **SLA-miss attribution** — the request-log miss causes as a bar table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.cpi import CPI_BUCKETS  # noqa: E402
+from repro.obs.regress import load_history  # noqa: E402
+from repro.obs.requests import load_request_log, miss_attribution  # noqa: E402
+
+__all__ = ["main", "render"]
+
+DEFAULT_HISTORY = REPO_ROOT / "BENCH_history.jsonl"
+
+_STYLE = """
+body { font-family: ui-monospace, Menlo, Consolas, monospace;
+       background: #111418; color: #d8dee4; margin: 2em; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.1em; margin-top: 2em;
+     border-bottom: 1px solid #2a3038; padding-bottom: .3em; }
+table { border-collapse: collapse; }
+td, th { padding: .25em .9em; text-align: right; }
+th { color: #8b949e; font-weight: normal; border-bottom: 1px solid #2a3038; }
+td:first-child, th:first-child { text-align: left; }
+.better { color: #3fb950; } .worse { color: #f85149; }
+.flat { color: #8b949e; } .bar { background: #1f6feb; display: inline-block;
+height: .7em; } .note { color: #8b949e; font-size: .85em; }
+svg { vertical-align: middle; }
+"""
+
+
+def _sparkline(values: List[float], width: int = 120, height: int = 24) -> str:
+    """Inline SVG polyline over the value series (min..max scaled)."""
+    if len(values) < 2:
+        return '<span class="note">n/a</span>'
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    step = width / (len(values) - 1)
+    points = " ".join(
+        f"{i * step:.1f},{height - 2 - (height - 4) * (v - lo) / span:.1f}"
+        for i, v in enumerate(values)
+    )
+    last_x = (len(values) - 1) * step
+    last_y = height - 2 - (height - 4) * (values[-1] - lo) / span
+    return (
+        f'<svg width="{width}" height="{height}">'
+        f'<polyline points="{points}" fill="none" stroke="#58a6ff" '
+        f'stroke-width="1.5"/>'
+        f'<circle cx="{last_x:.1f}" cy="{last_y:.1f}" r="2.5" fill="#58a6ff"/>'
+        "</svg>"
+    )
+
+
+def _bench_section(history: List[Dict[str, object]]) -> str:
+    """Per-benchmark trajectory rows from the full history."""
+    if not history:
+        return "<h2>benchmark trajectories</h2><p class='note'>no records</p>"
+    series: Dict[str, List[float]] = {}
+    meta: Dict[str, Dict[str, object]] = {}
+    for record in history:
+        for name, bench in record.get("benchmarks", {}).items():
+            series.setdefault(name, []).append(float(bench["value"]))
+            meta[name] = bench
+    rows = []
+    for name in sorted(series):
+        values = series[name]
+        bench = meta[name]
+        latest = values[-1]
+        if len(values) >= 2 and values[-2] != 0:
+            delta = (latest - values[-2]) / abs(values[-2])
+            worse = delta > 0 if bench.get("direction") == "lower" else delta < 0
+            cls = "flat" if abs(delta) < 1e-9 else ("worse" if worse else "better")
+            delta_cell = f'<td class="{cls}">{delta:+.1%}</td>'
+        else:
+            delta_cell = '<td class="flat">—</td>'
+        rows.append(
+            "<tr>"
+            f"<td>{html.escape(name)}</td>"
+            f"<td>{_sparkline(values)}</td>"
+            f"<td>{latest:,.4g}&nbsp;{html.escape(str(bench.get('unit', '')))}</td>"
+            f"{delta_cell}"
+            f"<td class='note'>{html.escape(str(bench.get('kind', '')))}</td>"
+            "</tr>"
+        )
+    return (
+        f"<h2>benchmark trajectories ({len(history)} record(s))</h2>"
+        "<table><tr><th>benchmark</th><th>trend</th><th>latest</th>"
+        "<th>delta</th><th>kind</th></tr>" + "".join(rows) + "</table>"
+    )
+
+
+def _cpi_section(metrics_path: Path) -> str:
+    """Per-stage CPI stacks parsed from a metrics JSONL export."""
+    cycles: Dict[str, float] = {}
+    buckets: Dict[str, Dict[str, float]] = {}
+    with open(metrics_path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            stage = rec.get("labels", {}).get("stage")
+            if stage is None:
+                continue
+            name = rec.get("name", "")
+            if name == "core.cycles":
+                cycles[stage] = float(rec.get("value", 0.0))
+            elif name.startswith("core.cpi."):
+                buckets.setdefault(stage, {})[name[len("core.cpi."):]] = float(
+                    rec.get("value", 0.0)
+                )
+    if not cycles:
+        return "<h2>CPI stacks</h2><p class='note'>no core cycles recorded</p>"
+    header = "".join(f"<th>{html.escape(b)}</th>" for b in CPI_BUCKETS)
+    rows = []
+    for stage, total in sorted(cycles.items(), key=lambda kv: -kv[1]):
+        cells = []
+        for bucket in CPI_BUCKETS:
+            frac = buckets.get(stage, {}).get(bucket, 0.0) / total if total else 0.0
+            cells.append(
+                f"<td><span class='bar' style='width:{60 * frac:.0f}px'></span>"
+                f" {frac:.0%}</td>"
+            )
+        rows.append(
+            f"<tr><td>{html.escape(stage)}</td><td>{total:,.0f}</td>"
+            + "".join(cells)
+            + "</tr>"
+        )
+    return (
+        "<h2>CPI stacks</h2>"
+        "<table><tr><th>stage</th><th>cycles</th>" + header + "</tr>"
+        + "".join(rows)
+        + "</table>"
+    )
+
+
+def _requests_section(request_log_path: Path) -> str:
+    """SLA-miss attribution table from a request-log export."""
+    meta, records = load_request_log(request_log_path)
+    attribution = miss_attribution(records)
+    head = (
+        f"<h2>SLA-miss attribution</h2>"
+        f"<p class='note'>{meta.get('runs', '?')} run(s), "
+        f"{meta.get('requests', len(records))} request(s), "
+        f"{meta.get('dropped', 0)} dropped</p>"
+    )
+    if not attribution:
+        return head + "<p class='note'>every request met its deadline</p>"
+    total = sum(attribution.values())
+    rows = []
+    for cause, count in attribution.items():
+        frac = count / total
+        rows.append(
+            f"<tr><td>{html.escape(cause)}</td><td>{count}</td>"
+            f"<td><span class='bar' style='width:{160 * frac:.0f}px'></span>"
+            f" {frac:.0%}</td></tr>"
+        )
+    return (
+        head
+        + "<table><tr><th>cause</th><th>requests</th><th>share</th></tr>"
+        + "".join(rows)
+        + f"<tr><td>total missed</td><td>{total}</td><td></td></tr></table>"
+    )
+
+
+def render(
+    history_path: Optional[Path],
+    metrics_path: Optional[Path],
+    request_log_path: Optional[Path],
+) -> str:
+    """The full dashboard HTML document."""
+    sections: List[str] = []
+    if history_path is not None and history_path.exists():
+        sections.append(_bench_section(load_history(history_path)))
+    if metrics_path is not None and metrics_path.exists():
+        sections.append(_cpi_section(metrics_path))
+    if request_log_path is not None and request_log_path.exists():
+        sections.append(_requests_section(request_log_path))
+    if not sections:
+        sections.append("<p class='note'>no artifacts given</p>")
+    return (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        "<title>repro observatory</title>"
+        f"<style>{_STYLE}</style></head><body>"
+        "<h1>repro observatory</h1>"
+        + "".join(sections)
+        + "</body></html>\n"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--history", type=Path, default=DEFAULT_HISTORY,
+        help=f"benchmark history JSONL (default {DEFAULT_HISTORY.name})",
+    )
+    parser.add_argument(
+        "--metrics", type=Path, default=None,
+        help="metrics JSONL from repro-experiment --metrics",
+    )
+    parser.add_argument(
+        "--request-log", type=Path, default=None,
+        help="request-log JSONL from repro-experiment --request-log",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("dashboard.html"),
+        help="output HTML file (default dashboard.html)",
+    )
+    args = parser.parse_args(argv)
+    page = render(args.history, args.metrics, args.request_log)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(page)
+    print(f"wrote {args.out} ({len(page):,} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,12 +1,13 @@
-"""Summarize repro.obs artifacts: Chrome traces and metrics JSONL.
+"""Summarize repro.obs artifacts: traces, metrics, and request logs.
 
 The offline half of the telemetry layer — point it at the files written by
-``repro-experiment --trace/--metrics`` and it prints the VTune-style
-summary views::
+``repro-experiment --trace/--metrics/--request-log`` and it prints the
+VTune-style summary views::
 
     PYTHONPATH=src python tools/trace_report.py t.json
     PYTHONPATH=src python tools/trace_report.py t.json --metrics m.jsonl
     PYTHONPATH=src python tools/trace_report.py t.json --top 20 --validate
+    PYTHONPATH=src python tools/trace_report.py --requests req.jsonl
 
 Views:
 
@@ -16,8 +17,12 @@ Views:
 * **wall spans** — real elapsed time of orchestration code;
 * with ``--metrics``: the per-stage CPI stack table and every latency
   histogram's count/mean/p50/p95/p99;
+* with ``--requests``: the slowest-N request timelines (every lifecycle
+  event, simulated ms) and the SLA-miss attribution table — queueing vs
+  slow service vs faults vs retries vs admission control;
 * ``--validate`` checks the trace against ``tools/trace_schema.json``
-  (exit 1 on violations) — CI runs this on a fresh smoke trace.
+  and each request-log line against its ``$defs.request_event`` (exit 1
+  on violations) — CI runs this on fresh smoke artifacts.
 """
 
 from __future__ import annotations
@@ -33,9 +38,14 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.obs.cpi import CPI_BUCKETS, CpiStack, format_cpi_table  # noqa: E402
-from repro.obs.schema import validate  # noqa: E402
+from repro.obs.requests import (  # noqa: E402
+    attribute_miss,
+    load_request_log,
+    miss_attribution,
+)
+from repro.obs.schema import validate, validate_def  # noqa: E402
 
-__all__ = ["main", "load_trace", "summarize"]
+__all__ = ["main", "load_trace", "summarize", "summarize_requests"]
 
 SCHEMA_PATH = REPO_ROOT / "tools" / "trace_schema.json"
 
@@ -205,40 +215,147 @@ def summarize_metrics(records: List[dict]) -> str:
     return "\n\n".join(sections)
 
 
+def _fmt_ms(value: object) -> str:
+    """Milliseconds for the timeline tables; '-' for absent values."""
+    if value is None:
+        return "-"
+    return f"{float(value):,.2f}"
+
+
+def summarize_requests(meta: dict, records: List[dict], top: int = 10) -> str:
+    """Slowest-N request timelines and the SLA-miss attribution table."""
+    sections: List[str] = []
+    sections.append(
+        f"request log: {meta.get('runs', '?')} run(s), "
+        f"{meta.get('requests', len(records))} request(s), "
+        f"{meta.get('dropped', 0)} dropped"
+    )
+    if not records:
+        return sections[0]
+
+    attribution = miss_attribution(records)
+    total_missed = sum(attribution.values())
+    if attribution:
+        rows = [
+            [cause, str(count), f"{100.0 * count / total_missed:.1f}%"]
+            for cause, count in attribution.items()
+        ]
+        rows.append(["total", str(total_missed), "100.0%"])
+        sections.append(
+            "== SLA-miss attribution ==\n"
+            + _table(["cause", "requests", "share"], rows)
+        )
+    else:
+        sections.append("SLA-miss attribution: every request met its deadline")
+
+    # Slowest timelines: completed requests by latency, then every
+    # non-completed request (whose "latency" is its time in the system).
+    def span_ms(rec: dict) -> float:
+        if rec.get("latency_ms") is not None:
+            return float(rec["latency_ms"])
+        return float(rec.get("end_ms", 0.0)) - float(rec.get("arrival_ms", 0.0))
+
+    slowest = sorted(records, key=span_ms, reverse=True)[:top]
+    lines: List[str] = [f"== slowest {len(slowest)} requests =="]
+    for rank, rec in enumerate(slowest, 1):
+        cause = attribute_miss(rec)
+        head = (
+            f"#{rank} id={rec.get('id')} label={rec.get('label')} "
+            f"outcome={rec.get('outcome')} "
+            f"in_system={span_ms(rec):,.2f}ms "
+            f"wait={_fmt_ms(rec.get('wait_ms'))}ms "
+            f"service={_fmt_ms(rec.get('service_ms'))}ms "
+            f"core={rec.get('core') if rec.get('core') is not None else '-'} "
+            f"retries={rec.get('retries', 0)}"
+        )
+        if cause is not None:
+            head += f" miss_cause={cause}"
+        if rec.get("fault_windows"):
+            head += f" faults={','.join(rec['fault_windows'])}"
+        lines.append(head)
+        for event in rec.get("events", []):
+            attrs = ", ".join(
+                f"{k}={v}"
+                for k, v in event.items()
+                if k not in ("kind", "t_ms") and v is not None
+            )
+            lines.append(
+                f"    {float(event.get('t_ms', 0.0)):>12,.3f}ms  "
+                f"{event.get('kind')}"
+                + (f"  ({attrs})" if attrs else "")
+            )
+    sections.append("\n".join(lines))
+    return "\n\n".join(sections)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI main; returns a process exit code."""
     parser = argparse.ArgumentParser(
         prog="trace_report",
-        description="Summarize repro.obs Chrome traces and metrics JSONL.",
+        description="Summarize repro.obs traces, metrics, and request logs.",
     )
-    parser.add_argument("trace", type=Path, help="Chrome-trace JSON from --trace")
+    parser.add_argument(
+        "trace", type=Path, nargs="?", default=None,
+        help="Chrome-trace JSON from --trace (optional with --requests)",
+    )
     parser.add_argument(
         "--metrics", type=Path, default=None, help="metrics JSONL from --metrics"
+    )
+    parser.add_argument(
+        "--requests", type=Path, default=None, metavar="FILE",
+        help="request-log JSONL from --request-log: print slowest-N "
+        "timelines and the SLA-miss attribution table",
     )
     parser.add_argument(
         "--top", type=int, default=10, metavar="N", help="rows per table (default 10)"
     )
     parser.add_argument(
         "--validate", action="store_true",
-        help=f"validate the trace against {SCHEMA_PATH.name}; exit 1 on violations",
+        help=f"validate artifacts against {SCHEMA_PATH.name}; exit 1 on violations",
     )
     args = parser.parse_args(argv)
+    if args.trace is None and args.requests is None:
+        parser.error("give a trace file, --requests FILE, or both")
 
-    trace = load_trace(args.trace)
-    if args.validate:
-        schema = json.loads(SCHEMA_PATH.read_text())
-        errors = validate(trace, schema)
-        if errors:
-            print(f"{args.trace}: {len(errors)} schema violation(s):", file=sys.stderr)
-            for err in errors[:20]:
-                print(f"  {err}", file=sys.stderr)
-            return 1
-        print(f"{args.trace}: schema OK")
+    schema = json.loads(SCHEMA_PATH.read_text()) if args.validate else None
+    outputs: List[str] = []
 
-    print(summarize(trace, top=args.top))
-    if args.metrics is not None:
-        print()
-        print(summarize_metrics(load_metrics(args.metrics)))
+    if args.trace is not None:
+        trace = load_trace(args.trace)
+        if schema is not None:
+            errors = validate(trace, schema)
+            if errors:
+                print(
+                    f"{args.trace}: {len(errors)} schema violation(s):",
+                    file=sys.stderr,
+                )
+                for err in errors[:20]:
+                    print(f"  {err}", file=sys.stderr)
+                return 1
+            print(f"{args.trace}: schema OK")
+        outputs.append(summarize(trace, top=args.top))
+        if args.metrics is not None:
+            outputs.append(summarize_metrics(load_metrics(args.metrics)))
+
+    if args.requests is not None:
+        meta, records = load_request_log(args.requests)
+        if schema is not None:
+            errors = []
+            for i, rec in enumerate(records):
+                for err in validate_def(rec, schema, "request_event"):
+                    errors.append(f"line {i + 2}: {err}")
+            if errors:
+                print(
+                    f"{args.requests}: {len(errors)} schema violation(s):",
+                    file=sys.stderr,
+                )
+                for err in errors[:20]:
+                    print(f"  {err}", file=sys.stderr)
+                return 1
+            print(f"{args.requests}: schema OK")
+        outputs.append(summarize_requests(meta, records, top=args.top))
+
+    print("\n\n".join(outputs))
     return 0
 
 

@@ -11,6 +11,7 @@
   scale (Fig 1).
 """
 
+from .analytic import AnalyticReport, analytic_hit_rate, analytic_hit_report
 from .bandwidth import BandwidthReport, bandwidth_report, memory_boundedness
 from .breakdown import estimate_stage_breakdown
 from .cache_model import CacheHitModel, ReuseModelReport, analyze_trace_reuse
@@ -20,8 +21,11 @@ from .reuse import ReuseDistanceCounter, reuse_distances
 from .working_set import cold_miss_fraction, unique_rows, working_set_bytes
 
 __all__ = [
+    "AnalyticReport",
     "BandwidthReport",
     "CacheHitModel",
+    "analytic_hit_rate",
+    "analytic_hit_report",
     "InterferenceReport",
     "ReuseDistanceCounter",
     "ReuseModelReport",

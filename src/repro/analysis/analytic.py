@@ -1,0 +1,342 @@
+"""Closed-form hit-rate model: Che's approximation over the Zipf mixture.
+
+The Fig 6 pipeline (``analysis.cache_model``) replays a synthesized index
+stream through an exact stack-distance counter — O(accesses · log rows).
+This module predicts the same per-level hit rates *without a trace*, in
+O(rows) per cache level, from the calibrated popularity law alone:
+
+* The trace generator draws each table's rows from a finite Zipf
+  distribution whose exponent is calibrated against the paper's published
+  unique-access fractions (``trace.hotness.fit_zipf_alpha``).  Per-table
+  alpha jitter averages out across tables, so the *base* exponent
+  describes the stream.
+* **Che's approximation** [Che et al., 2002]: an LRU cache of capacity
+  ``C`` behaves like a TTL cache whose *characteristic time* ``T_C``
+  solves ``E[distinct items in a window of T_C accesses] = C``.  The
+  expected-distinct function is monotone in the window length, so a
+  bisection (in log space — hot-row probabilities make ``(1−q)^w``
+  underflow otherwise) finds ``T_C`` to machine precision.
+* **Block structure**: Algorithm 1's loop order accesses each table in a
+  contiguous block of ``B = batch_size × lookups_per_sample`` draws, and
+  blocks of the same table recur once per batch (period ``T·B``).  A
+  naive ``q_r = p_r / T`` dilution misses the short-distance reuse this
+  creates (L1-sized windows sit entirely inside one table's block), so
+  both sides of the fixed point honor the blocks:
+
+  - distinct items in a window of ``w`` stream accesses::
+
+        d(w) = S(w)            w ≤ B        (one table's block)
+             = (w / B)·S(B)    B < w ≤ T·B  (w/B distinct tables' blocks)
+             = T·S(w / T)      w > T·B      (every table, deeper per table)
+
+    with ``S(x) = Σ_r (1 − (1 − p_r)^x)``, one table's expected distinct
+    rows after ``x`` draws;
+  - the *effective same-table lookback* ``e(T_C)`` — how many draws of
+    the current table a window of ``T_C`` stream accesses reaches, once
+    the ``(T−1)·B`` accesses other tables contribute between consecutive
+    same-table blocks are skipped — averaged over the access's position
+    inside its block.
+
+  A row then hits with probability ``1 − (1 − p_r)^{e(T_C)}``.
+* **Finite-trace correction**: the stack-distance model runs on a sampled
+  stream, so every first touch is a cold miss and early accesses cannot
+  look back past their own position.  With ``n`` draws per table the
+  expected misses on row ``r`` are::
+
+      (1 − (1 − p_r)^m)  +  (n − m) · p_r · (1 − p_r)^{e(T_C)},
+      m = min(n, e(T_C))
+
+  (warm-up misses while the history is shorter than the window, then
+  steady-state Che misses).  Summing over rows and tables and dividing
+  by the stream length reproduces, in expectation, exactly the quantity
+  :meth:`~repro.analysis.reuse.ReuseResult.hit_rate_at_capacity` measures.
+
+Validity envelope: independent draws within a block (the generator's
+Poisson pooling only perturbs block lengths around ``B``), identical
+tables (per-table alpha jitter ≤ the profile's ±10 %), and the Fig 6
+full-associativity/LRU idealization.  ``tests/test_analysis_analytic.py``
+pins the agreement against the simulated pipeline with noise-floored
+bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..config import PAPER_BATCH_SIZE, PAPER_NUM_BATCHES
+from ..errors import ConfigError
+from ..mem.hierarchy import HierarchyConfig
+from ..trace.hotness import HOTNESS_PROFILES, fit_zipf_alpha, zipf_probabilities
+from .cache_model import CacheHitModel
+
+__all__ = [
+    "AnalyticReport",
+    "analytic_hit_report",
+    "analytic_hit_rate",
+    "characteristic_time",
+]
+
+#: Bisection iterations for the characteristic-time solve (monotone in a
+#: bracketed interval; 60 halvings reach double precision).
+_SOLVE_ITERS = 60
+
+#: Windows beyond this are treated as unbounded (every warm access hits).
+_INF_WINDOW = 1e18
+
+
+@dataclass(frozen=True)
+class AnalyticReport:
+    """Analytic counterpart of :class:`~.cache_model.ReuseModelReport`.
+
+    Carries the same ``hit_rates`` / ``level_fractions`` / ``cold_fraction``
+    surface the breakdown and observability paths consume, plus the solved
+    characteristic times for inspection.
+    """
+
+    dataset: str
+    hit_rates: Dict[str, float]
+    level_fractions: Dict[str, float]
+    cold_fraction: float
+    capacities: CacheHitModel
+    #: Solved Che characteristic time per level, in stream accesses;
+    #: values ≥ 1e18 mean the level holds the whole reachable working set.
+    characteristic_accesses: Dict[str, float]
+    total_accesses: int
+    alpha: float
+
+
+class _BlockedZipfStream:
+    """The popularity law plus the loop-order block geometry."""
+
+    def __init__(self, probs: np.ndarray, num_tables: int, block: int) -> None:
+        if num_tables <= 0:
+            raise ConfigError("num_tables must be positive")
+        if block <= 0:
+            raise ConfigError("block length must be positive")
+        self.probs = probs
+        self.num_tables = num_tables
+        self.block = float(block)
+        # log(1 − p_r), clipped so deterministic rows (p → 1) stay finite.
+        self._log_miss = np.log1p(-np.minimum(probs, 1.0 - 1e-15))
+
+    def table_distinct(self, draws: float) -> float:
+        """``S(x)``: expected distinct rows of one table after ``x`` draws."""
+        if draws <= 0:
+            return 0.0
+        return float(np.sum(-np.expm1(draws * self._log_miss)))
+
+    def window_distinct(self, window: float) -> float:
+        """``d(w)``: expected distinct items in ``w`` stream accesses."""
+        t, b = self.num_tables, self.block
+        if window <= b:
+            return self.table_distinct(window)
+        if window <= t * b:
+            return (window / b) * self.table_distinct(b)
+        return t * self.table_distinct(window / t)
+
+    def same_table_lookback(self, window: float) -> float:
+        """``e(T_C)``: same-table draws a ``window`` lookback covers.
+
+        Averaged over the access's position ``j ~ U[0, B]`` inside its
+        block: the window first covers the ``j`` preceding draws of the
+        current block, then — after skipping the ``(T−1)·B`` accesses the
+        other tables contribute — up to ``B`` draws of each previous
+        same-table block (one per period ``T·B``).
+        """
+        t, b = self.num_tables, self.block
+        if window >= _INF_WINDOW:
+            return _INF_WINDOW
+        if window <= 0:
+            return 0.0
+        # avg_j min(j, w) over j ~ U[0, B].
+        if window >= b:
+            covered = b / 2.0
+        else:
+            covered = window - window * window / (2.0 * b)
+        # The k-th previous same-table block sits (k·T − 1)·B + j back; its
+        # window overlap is clamp(u_k − j, 0, B) with u_k = w − (k·T − 1)·B.
+        # Blocks with u_k ≥ 2B are fully covered (count them arithmetically
+        # — the loop below then touches at most the two partial blocks).
+        k_full = int(max(0.0, (window / b - 1.0) // t))
+        covered += b * k_full
+        k = k_full + 1
+        while True:
+            u = window - (k * t - 1.0) * b
+            if u <= 0:
+                break
+            covered += _avg_clamped_overlap(u, b)
+            k += 1
+        return covered
+
+
+def _avg_clamped_overlap(u: float, b: float) -> float:
+    """``avg_j clamp(u − j, 0, B)`` for ``j ~ U[0, B]`` (piecewise exact)."""
+    if u <= 0:
+        return 0.0
+    if u <= b:
+        return u * u / (2.0 * b)
+    if u <= 2.0 * b:
+        return b - (2.0 * b - u) ** 2 / (2.0 * b)
+    return b
+
+
+def characteristic_time(
+    probs: np.ndarray,
+    num_tables: int,
+    capacity: int,
+    block_accesses: Optional[int] = None,
+) -> float:
+    """Solve Che's fixed point for an LRU cache of ``capacity`` vectors.
+
+    ``probs`` is one table's popularity law; ``num_tables`` identically
+    distributed tables are interleaved in blocks of ``block_accesses``
+    draws (``1`` = perfectly interleaved IRM).  Returns the window length
+    (in stream accesses) whose expected distinct-item count equals the
+    capacity, or :data:`_INF_WINDOW` when no finite window reaches it.
+    """
+    if capacity <= 0:
+        raise ConfigError("capacity must be positive")
+    stream = _BlockedZipfStream(probs, num_tables, block_accesses or 1)
+    hi = float(capacity)
+    while stream.window_distinct(hi) < capacity:
+        hi *= 2.0
+        if hi > _INF_WINDOW:
+            # The reachable working set (rows with nonzero probability, at
+            # most rows × tables) fits in the cache: unbounded window.
+            return _INF_WINDOW
+    lo = 0.0
+    for _ in range(_SOLVE_ITERS):
+        mid = 0.5 * (lo + hi)
+        if stream.window_distinct(mid) < capacity:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def analytic_hit_rate(
+    probs: np.ndarray,
+    num_tables: int,
+    total_accesses: int,
+    capacity: int,
+    block_accesses: Optional[int] = None,
+) -> float:
+    """Expected finite-trace LRU hit rate at ``capacity`` vectors.
+
+    Mirrors :meth:`ReuseResult.hit_rate_at_capacity` on a stream of
+    ``total_accesses`` loop-ordered draws from ``num_tables`` tables
+    sharing ``probs``: cold misses are charged exactly as the
+    stack-distance counter charges them, so the two paths are directly
+    comparable.
+    """
+    if total_accesses <= 0:
+        raise ConfigError("total_accesses must be positive")
+    stream = _BlockedZipfStream(probs, num_tables, block_accesses or 1)
+    t_c = characteristic_time(probs, num_tables, capacity, block_accesses)
+    return _finite_hit_rate(stream, t_c, total_accesses)
+
+
+def _finite_hit_rate(
+    stream: _BlockedZipfStream, t_c: float, total_accesses: int
+) -> float:
+    """Finite-trace hit rate given an already-solved characteristic time."""
+    lookback = stream.same_table_lookback(t_c)
+    per_table = total_accesses / stream.num_tables
+    m = min(per_table, lookback)
+    log_miss = stream._log_miss
+    warmup = -np.expm1(m * log_miss)  # 1 − (1 − p)^m, per row
+    if per_table > m:
+        steady = (per_table - m) * stream.probs * np.exp(lookback * log_miss)
+    else:
+        steady = 0.0
+    misses = stream.num_tables * float(np.sum(warmup + steady))
+    return max(0.0, min(1.0, 1.0 - misses / total_accesses))
+
+
+def analytic_hit_report(
+    dataset: str,
+    num_tables: int,
+    rows_per_table: int,
+    total_accesses: int,
+    hierarchy: HierarchyConfig,
+    embedding_dim: int,
+    calibration_samples: Optional[int] = None,
+    lookups_per_sample: int = 1,
+    block_accesses: Optional[int] = None,
+) -> AnalyticReport:
+    """Per-level hit rates for a dataset, no trace synthesis involved.
+
+    ``total_accesses`` is the stream length being modeled (what the
+    simulated pipeline would feed the stack-distance counter) and
+    ``block_accesses`` its per-table block length (``batch_size ×
+    lookups_per_sample`` under Algorithm 1's loop order); the Zipf
+    exponent is calibrated at paper-scale access counts exactly as
+    :func:`~repro.trace.production.make_trace` does, so both paths model
+    the *same* popularity law.
+    """
+    dataset = dataset.lower()
+    if num_tables <= 0 or rows_per_table <= 0:
+        raise ConfigError("table shape must be positive")
+    if calibration_samples is None:
+        calibration_samples = (
+            PAPER_BATCH_SIZE * PAPER_NUM_BATCHES * lookups_per_sample
+        )
+    if dataset in HOTNESS_PROFILES:
+        profile = HOTNESS_PROFILES[dataset]
+        alpha = fit_zipf_alpha(
+            rows_per_table, calibration_samples, profile.unique_fraction
+        )
+        probs = zipf_probabilities(rows_per_table, alpha)
+    elif dataset == "random":
+        alpha = 0.0
+        probs = zipf_probabilities(rows_per_table, alpha)
+    elif dataset == "one-item":
+        # Degenerate synthetic extreme: every lookup targets row 0.
+        alpha = float("inf")
+        probs = np.zeros(rows_per_table, dtype=np.float64)
+        probs[0] = 1.0
+    else:
+        raise ConfigError(
+            f"analytic model knows "
+            f"{tuple(HOTNESS_PROFILES) + ('random', 'one-item')}, "
+            f"got {dataset!r}"
+        )
+    capacities = CacheHitModel.from_hierarchy(hierarchy, embedding_dim)
+    level_caps = {
+        "l1": capacities.vectors_l1,
+        "l2": capacities.vectors_l2,
+        "l3": capacities.vectors_l3,
+    }
+    stream = _BlockedZipfStream(probs, num_tables, block_accesses or 1)
+    t_cs = {
+        level: characteristic_time(probs, num_tables, cap, block_accesses)
+        for level, cap in level_caps.items()
+    }
+    hit_rates = {
+        level: _finite_hit_rate(stream, t_cs[level], total_accesses)
+        for level in level_caps
+    }
+    # Monotone by construction (larger capacity ⟹ larger window ⟹ fewer
+    # misses), but clamp against float dust so fractions never go negative.
+    hit_rates["l2"] = max(hit_rates["l2"], hit_rates["l1"])
+    hit_rates["l3"] = max(hit_rates["l3"], hit_rates["l2"])
+    level_fractions = {
+        "l1": hit_rates["l1"],
+        "l2": hit_rates["l2"] - hit_rates["l1"],
+        "l3": hit_rates["l3"] - hit_rates["l2"],
+        "dram": 1.0 - hit_rates["l3"],
+    }
+    cold = num_tables * stream.table_distinct(total_accesses / num_tables)
+    return AnalyticReport(
+        dataset=dataset,
+        hit_rates=hit_rates,
+        level_fractions=level_fractions,
+        cold_fraction=min(1.0, cold / total_accesses),
+        capacities=capacities,
+        characteristic_accesses=t_cs,
+        total_accesses=int(total_accesses),
+        alpha=alpha,
+    )

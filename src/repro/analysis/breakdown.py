@@ -28,6 +28,7 @@ from ..obs import hooks as obs_hooks
 from ..obs.cpi import dense_cpi_stack, embedding_cpi_stack, publish_cpi_stack
 from ..trace.production import make_trace
 from ..units import CACHE_LINE_BYTES, FLOAT32_BYTES
+from .analytic import analytic_hit_report
 from .cache_model import analyze_trace_reuse
 
 __all__ = ["estimate_stage_breakdown", "estimate_embedding_cycles"]
@@ -88,21 +89,43 @@ def estimate_stage_breakdown(
     its reuse profile generalizes across tables because tables are i.i.d.
     at a given hotness.  Row-granularity reuse distances stand in for line
     granularity (lines of one row behave identically).
+
+    With ``config.mode == "analytic"`` no trace is synthesized at all: the
+    per-level fractions come from Che's approximation over the calibrated
+    Zipf law (:mod:`repro.analysis.analytic`) for the *same* sampled
+    stream shape, in O(rows) instead of O(accesses · log rows).
     """
     config = config or SimConfig()
     sample_tables = min(sample_tables, model.num_tables)
-    trace = make_trace(
-        dataset,
-        num_tables=sample_tables,
-        rows_per_table=model.rows,
-        batch_size=batch_size,
-        num_batches=sample_batches,
-        lookups_per_sample=model.lookups_per_sample,
-        config=config,
-    )
-    report = analyze_trace_reuse(
-        trace, platform.hierarchy, model.embedding_dim, dataset=dataset
-    )
+    if config.mode == "analytic":
+        # Model the stream the sim path would synthesize: sample_tables
+        # interleaved tables, sample_batches batches, mean Poisson pooling.
+        total_accesses = (
+            sample_tables * sample_batches * batch_size * model.lookups_per_sample
+        )
+        report = analytic_hit_report(
+            dataset,
+            num_tables=sample_tables,
+            rows_per_table=model.rows,
+            total_accesses=total_accesses,
+            hierarchy=platform.hierarchy,
+            embedding_dim=model.embedding_dim,
+            lookups_per_sample=model.lookups_per_sample,
+            block_accesses=batch_size * model.lookups_per_sample,
+        )
+    else:
+        trace = make_trace(
+            dataset,
+            num_tables=sample_tables,
+            rows_per_table=model.rows,
+            batch_size=batch_size,
+            num_batches=sample_batches,
+            lookups_per_sample=model.lookups_per_sample,
+            config=config,
+        )
+        report = analyze_trace_reuse(
+            trace, platform.hierarchy, model.embedding_dim, dataset=dataset
+        )
     embedding = estimate_embedding_cycles(
         model, report.level_fractions, platform, batch_size
     )

@@ -45,6 +45,15 @@ class SimConfig:
         hierarchy walk, the default) or ``"reference"`` (per-set Python
         objects, the correctness oracle).  Both produce identical results;
         see ``docs/modeling.md``.
+    mode:
+        Hit-rate modeling mode for the analytic paths: ``"sim"`` (default)
+        replays a synthesized index stream through the exact stack-distance
+        counter; ``"analytic"`` predicts the same per-level hit rates in
+        closed form from the calibrated Zipf law (Che's approximation, see
+        ``repro.analysis.analytic``) without synthesizing a trace.  The two
+        agree within the noise-floored bounds pinned by
+        ``tests/test_analysis_analytic.py`` but are *not* bit-identical —
+        hence a separate knob from ``engine``.
     """
 
     seed: int = 0xD1_12_31
@@ -52,6 +61,7 @@ class SimConfig:
     num_batches: int = 8
     scale: float = 0.05
     engine: str = "fast"
+    mode: str = "sim"
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
@@ -63,6 +73,10 @@ class SimConfig:
         if self.engine not in ("fast", "reference"):
             raise ConfigError(
                 f"engine must be 'fast' or 'reference', got {self.engine!r}"
+            )
+        if self.mode not in ("sim", "analytic"):
+            raise ConfigError(
+                f"mode must be 'sim' or 'analytic', got {self.mode!r}"
             )
 
     def rng(self, stream: str = "default") -> np.random.Generator:

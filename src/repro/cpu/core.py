@@ -30,6 +30,8 @@ from ..errors import ConfigError
 
 __all__ = ["CoreSpec", "CoreModel"]
 
+_INF = float("inf")
+
 
 @dataclass(frozen=True)
 class CoreSpec:
@@ -110,6 +112,12 @@ class CoreModel:
         self._mshr_demand = 0  # fill buffers owned by demand loads
         # Completion times of in-flight prefetch fetches (share the MSHRs).
         self._inflight_prefetch: Deque[float] = deque()
+        # Earliest completion in each deque (inf when empty).  Retirement
+        # only has work to do once ``now`` passes one of these, which turns
+        # the per-issue retirement probe into a float compare instead of a
+        # deque scan.
+        self._min_inflight = _INF
+        self._min_prefetch = _INF
 
     # -- issue events -------------------------------------------------------
 
@@ -139,7 +147,10 @@ class CoreModel:
         stall += self._enforce_load_queue()
         # Fill-buffer limit: demand + prefetch misses share the MSHR file.
         stall += self._enforce_mshr_capacity()
-        self._inflight.append((self.instr_count, self.now + latency, True))
+        completion = self.now + latency
+        self._inflight.append((self.instr_count, completion, True))
+        if completion < self._min_inflight:
+            self._min_inflight = completion
         self._queued_count += 1
         self._mshr_demand += 1
         return stall
@@ -249,6 +260,7 @@ class CoreModel:
         self._inflight = deque((i, c, True) for i, c in zip(idxs, comps))
         self._queued_count = len(comps)
         self._mshr_demand = len(comps)
+        self._min_inflight = min(comps) if comps else _INF
 
     def issue_merged_load(self, completion: float) -> float:
         """Issue a demand load whose line is already being fetched.
@@ -269,6 +281,8 @@ class CoreModel:
         stall = self._enforce_window()
         stall += self._enforce_load_queue()
         self._inflight.append((self.instr_count, completion, False))
+        if completion < self._min_inflight:
+            self._min_inflight = completion
         self._queued_count += 1
         return stall
 
@@ -276,7 +290,7 @@ class CoreModel:
         """Wait until a load-queue slot frees; return the stall."""
         stall = 0.0
         while self._queued_count >= self.spec.demand_concurrency:
-            earliest = min(t for _, t, _m in self._inflight)
+            earliest = self._min_inflight
             wait = max(0.0, earliest - self.now)
             self.now = max(self.now, earliest)
             stall += wait
@@ -300,6 +314,10 @@ class CoreModel:
             self._queued_count -= 1
             if head[2]:
                 self._mshr_demand -= 1
+            if head[1] <= self._min_inflight:
+                self._min_inflight = (
+                    min(e[1] for e in self._inflight) if self._inflight else _INF
+                )
             self._retire_completed()
         return stall
 
@@ -319,7 +337,10 @@ class CoreModel:
         if latency <= self.HIT_PIPELINE_THRESHOLD:
             return 0.0
         stall = self._enforce_mshr_capacity()
-        self._inflight_prefetch.append(self.now + latency)
+        completion = self.now + latency
+        self._inflight_prefetch.append(completion)
+        if completion < self._min_prefetch:
+            self._min_prefetch = completion
         return stall
 
     def hw_prefetch_slot_free(self) -> bool:
@@ -338,7 +359,10 @@ class CoreModel:
         """Account an issued hardware prefetch (no issue slot consumed)."""
         if latency <= self.HIT_PIPELINE_THRESHOLD:
             return
-        self._inflight_prefetch.append(self.now + latency)
+        completion = self.now + latency
+        self._inflight_prefetch.append(completion)
+        if completion < self._min_prefetch:
+            self._min_prefetch = completion
 
     def _enforce_mshr_capacity(self) -> float:
         """Wait until a fill buffer is free; return the stall."""
@@ -350,7 +374,7 @@ class CoreModel:
             if self._mshr_demand:
                 candidates.append(min(t for _, t, owns in self._inflight if owns))
             if self._inflight_prefetch:
-                candidates.append(min(self._inflight_prefetch))
+                candidates.append(self._min_prefetch)
             earliest = min(candidates)
             wait = max(0.0, earliest - self.now)
             self.now = max(self.now, earliest)
@@ -371,19 +395,27 @@ class CoreModel:
 
     def _retire_completed(self) -> None:
         # Completion times are not FIFO-ordered (latencies vary per access),
-        # so retirement must scan the whole deque — both stay small (bounded
-        # by the ROB span and l1_mshrs respectively).
+        # so retirement scans the whole deque — but only once ``now`` has
+        # actually passed the earliest completion, which the tracked minima
+        # detect with one compare (the overwhelmingly common case is "no
+        # retirement due", so this probe dominates the issue path).
         now = self.now
-        inflight = self._inflight
-        if inflight and any(t <= now for _, t, _q in inflight):
+        if self._min_inflight <= now:
             self._inflight = deque(
-                entry for entry in inflight if entry[1] > now
+                entry for entry in self._inflight if entry[1] > now
             )
             self._queued_count = len(self._inflight)
             self._mshr_demand = sum(1 for e in self._inflight if e[2])
-        prefetches = self._inflight_prefetch
-        if prefetches and any(t <= now for t in prefetches):
-            self._inflight_prefetch = deque(t for t in prefetches if t > now)
+            self._min_inflight = (
+                min(e[1] for e in self._inflight) if self._inflight else _INF
+            )
+        if self._min_prefetch <= now:
+            self._inflight_prefetch = deque(
+                t for t in self._inflight_prefetch if t > now
+            )
+            self._min_prefetch = (
+                min(self._inflight_prefetch) if self._inflight_prefetch else _INF
+            )
 
     # -- finishing and reporting ---------------------------------------------
 
@@ -397,6 +429,8 @@ class CoreModel:
             self._mshr_demand = 0
         # In-flight prefetches need not complete for the program to finish.
         self._inflight_prefetch.clear()
+        self._min_inflight = _INF
+        self._min_prefetch = _INF
         return self.now
 
     @property
@@ -452,3 +486,5 @@ class CoreModel:
         self._queued_count = 0
         self._mshr_demand = 0
         self._inflight_prefetch.clear()
+        self._min_inflight = _INF
+        self._min_prefetch = _INF

@@ -24,7 +24,7 @@ import numpy as np
 
 from ..cpu.core import CoreModel, CoreSpec
 from ..errors import ConfigError
-from ..mem.hierarchy import AccessResult, MemoryHierarchy
+from ..mem.hierarchy import MemoryHierarchy
 from ..mem.tlb import TLBModel
 from ..obs import hooks as obs_hooks
 from ..obs.cpi import embedding_cpi_stack, publish_cpi_stack
@@ -287,6 +287,21 @@ def run_embedding_trace(
         and core_spec.issue_width & (core_spec.issue_width - 1) == 0
     )
 
+    # Local bindings for the scalar loop: these calls run once per cache
+    # line (millions per figure), where attribute-lookup overhead is real.
+    load_timing = hierarchy.load_timing
+    prefetch_timing = hierarchy.prefetch_timing
+    hw_candidates = hierarchy.hw_prefetch_candidates
+    issue_compute = core.issue_compute
+    issue_load = core.issue_load
+    issue_prefetch = core.issue_prefetch
+    issue_merged_load = core.issue_merged_load
+    pf_get = pf_completion.get
+    pf_pop = pf_completion.pop
+    uops_per_line = cost.uops_per_line
+    uops_per_lookup = cost.uops_per_lookup_base
+    uops_per_sample = cost.uops_per_sample_base
+
     which_batches = batch_indices if batch_indices is not None else range(trace.num_batches)
     for b in which_batches:
         batch_start = core.now
@@ -326,52 +341,52 @@ def run_embedding_trace(
                     args={"loads": int(n_lookups) * row_lines},
                 )
             continue
+        stream_list = stream_lines.tolist()
+        flags_list = sample_flags.tolist()
         for pos in range(n_lookups):
-            if sample_flags[pos]:
-                core.issue_compute(cost.uops_per_sample_base)
+            if flags_list[pos]:
+                issue_compute(uops_per_sample)
                 if model_stores and out_bases[pos] >= 0:
                     # Write-allocate the sample's output row (zeroing
                     # kernel + final vec.st of the accumulators).
                     out_first = int(out_bases[pos])
                     for cb in range(row_lines):
-                        store_result = hierarchy.load(out_first + cb)
-                        core.issue_compute(1)
-                        core.issue_load(
-                            store_result.latency,
-                            is_miss=store_result.latency > hit_threshold,
+                        store_latency = load_timing(out_first + cb)[0]
+                        issue_compute(1)
+                        issue_load(
+                            store_latency,
+                            is_miss=store_latency > hit_threshold,
                         )
-            core.issue_compute(cost.uops_per_lookup_base)
+            issue_compute(uops_per_lookup)
             if tlb is not None:
-                tlb_penalty = tlb.translate_line(int(stream_lines[pos]))
+                tlb_penalty = tlb.translate_line(stream_list[pos])
             else:
                 tlb_penalty = 0.0
             if plan is not None:
                 j = pos + plan.distance
                 if j < n_lookups:
-                    pf_first = int(stream_lines[j])
+                    pf_first = stream_list[j]
                     for cb in range(plan.amount_lines):
                         line = pf_first + cb
-                        pending = pf_completion.get(line, 0.0)
+                        pending = pf_get(line, 0.0)
                         if pending > core.now:
                             # Already in flight; the intrinsic is a no-op
                             # but still occupies an issue slot.
-                            core.issue_compute(1)
+                            issue_compute(1)
                             continue
-                        result = hierarchy.prefetch(line, plan.target_level)
-                        core.issue_prefetch(result.latency)
-                        if result.latency > hit_threshold:
-                            pf_completion[line] = core.now + result.latency
-            base_line = int(stream_lines[pos])
+                        pf_latency = prefetch_timing(line, plan.target_level)[0]
+                        issue_prefetch(pf_latency)
+                        if pf_latency > hit_threshold:
+                            pf_completion[line] = core.now + pf_latency
+            base_line = stream_list[pos]
             for cb in range(row_lines):
                 line = base_line + cb
-                core.issue_compute(cost.uops_per_line)
-                result = hierarchy.load(line)
+                issue_compute(uops_per_line)
+                latency, level = load_timing(line)
                 if cb == 0 and tlb_penalty > 0.0:
                     # Translation delays the row's first access.
-                    result = AccessResult(
-                        result.level, result.latency + tlb_penalty, line
-                    )
-                pending = pf_completion.pop(line, None)
+                    latency = latency + tlb_penalty
+                pending = pf_pop(line, None)
                 if pending is not None and pending > core.now:
                     # The prefetch of this line is still in flight: the
                     # demand load merges into its MSHR entry and waits
@@ -381,27 +396,24 @@ def run_embedding_trace(
                     demand_loads += 1
                     if obs is not None:
                         obs_hist.observe(pending - core.now)
-                    core.issue_merged_load(pending)
+                    issue_merged_load(pending)
                 else:
-                    latency = result.latency
                     effective_latency_sum += latency
                     demand_loads += 1
                     if obs is not None:
                         obs_hist.observe(latency)
-                    core.issue_load(latency, is_miss=latency > hit_threshold)
+                    issue_load(latency, is_miss=latency > hit_threshold)
                 # Hardware prefetches ride the L2-side superqueue, not
                 # the core's L1 fill buffers, so they never throttle
                 # demand concurrency — but their *arrival time* still
                 # gates later demand loads (merged waits), which is why
                 # they cannot rescue the irregular row accesses.
-                for cand, target in hierarchy.hw_prefetch_candidates(
-                    line, result.level == "l1"
-                ):
-                    if pf_completion.get(cand, 0.0) > core.now:
+                for cand, target in hw_candidates(line, level == "l1"):
+                    if pf_get(cand, 0.0) > core.now:
                         continue
-                    pf_result = hierarchy.prefetch(cand, target)
-                    if pf_result.latency > hit_threshold:
-                        pf_completion[cand] = core.now + pf_result.latency
+                    pf_latency = prefetch_timing(cand, target)[0]
+                    if pf_latency > hit_threshold:
+                        pf_completion[cand] = core.now + pf_latency
         core.drain()
         batch_cycles.append(core.now - batch_start)
         pf_completion.clear()

@@ -87,6 +87,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation engine (default: SimConfig default, 'fast')",
     )
     parser.add_argument(
+        "--mode", dest="model_mode", choices=("sim", "analytic"), default=None,
+        help="hit-rate modeling mode for analytic paths: 'sim' replays a "
+        "synthesized trace through the stack-distance counter (default), "
+        "'analytic' uses the closed-form Che model (no trace synthesis)",
+    )
+    parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="run up to N experiments in parallel processes (multi-target runs)",
     )
@@ -269,6 +275,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         cfg_kwargs["seed"] = args.seed
     if args.engine is not None:
         cfg_kwargs["engine"] = args.engine
+    if args.model_mode is not None:
+        cfg_kwargs["mode"] = args.model_mode
     config = SimConfig(**cfg_kwargs)  # type: ignore[arg-type]
     if args.experiment == "all":
         targets = list(EXPERIMENT_IDS)

@@ -19,10 +19,9 @@ per set:
     resident-slot plane is equivalent because pending lines are always
     resident).
 ``_where``
-    A ``line -> way`` dict sidecar kept in sync by every mutation.  It
-    makes the *scalar* API (``access``/``contains``/``fill``) O(1) dict
-    operations — as fast as the reference's list scans — while the batch
-    API updates it in bulk.
+    A ``line -> way`` dict sidecar.  Batch calls keep the way values
+    exact; scalar calls use it purely as an O(1) membership probe (way
+    values are reassigned when the scalar row cache is flushed back).
 
 Scalar calls are stat-for-stat and eviction-for-eviction equivalent to
 ``Cache(policy="lru")`` (enforced by the differential tests in
@@ -92,6 +91,22 @@ class FastCache:
         # batch paths skip all pending-plane reads (demand-only runs never
         # pay for prefetch bookkeeping).
         self._has_pending = False
+        # Scalar-path row cache: set index -> LRU-first tag list, exactly
+        # the reference :class:`~repro.mem.policies.LRUPolicy` layout.
+        # Scalar access/fill touch one set at a time, and per-element numpy
+        # indexing costs ~10x a C list op, so scalar calls operate on
+        # lazily materialized order lists (plus ``_pend_lines``, the
+        # reference-style ``line -> True`` pending dict for those sets);
+        # the numpy planes for materialized sets are stale until a batch
+        # entry point (or flush) reconciles them via :meth:`_flush_rows`.
+        # A hierarchy instance in practice runs either all-scalar or
+        # all-batch, so the write-back happens at most once per run.
+        self._rows: Dict[int, List[int]] = {}
+        self._pend_lines: Dict[int, bool] = {}
+        # True while no batch call has ever written the planes: every set
+        # not in _rows is known-empty, so scalar materialization skips the
+        # numpy row reads.  Scalar-only runs never pay for the planes.
+        self._planes_empty = True
 
     # -- geometry ---------------------------------------------------------
 
@@ -110,23 +125,87 @@ class FastCache:
 
     # -- scalar accesses (reference-equivalent) ---------------------------
 
+    def _row(self, s: int) -> List[int]:
+        """LRU-first tag list of set ``s``, materialized on first touch.
+
+        Exactly the reference policy's layout, so scalar recency updates
+        are the same C list operations (``remove``/``append``) the
+        reference pays.  Pending bits for the set move into the line-keyed
+        ``_pend_lines`` dict (the reference's representation).
+        """
+        if self._planes_empty:
+            order: List[int] = []
+            self._rows[s] = order
+            return order
+        tags_l = self._tags[s].tolist()
+        order = [
+            t
+            for _, t in sorted(
+                (st, t)
+                for st, t in zip(self._stamp[s].tolist(), tags_l)
+                if t != -1
+            )
+        ]
+        self._rows[s] = order
+        if self._has_pending:
+            pend_row = self._pending[s]
+            if pend_row.any():
+                ns = self.num_sets
+                for w in np.nonzero(pend_row)[0].tolist():
+                    self._pend_lines[tags_l[w] * ns + s] = True
+        return order
+
+    def _flush_rows(self) -> None:
+        """Reconcile materialized order lists back into the numpy planes.
+
+        Way positions within a set are internal state: batch behavior
+        depends only on membership, per-set recency order, and per-line
+        pending flags.  Residents are therefore laid back at their
+        order-list position with stamps ``1..k``; the tick counter is
+        bumped to at least ``ways`` so every future stamp stays newer.
+        """
+        if not self._rows:
+            return
+        ns = self.num_sets
+        ways = self.ways
+        tags, stamp, pending = self._tags, self._stamp, self._pending
+        where = self._where
+        pend_lines = self._pend_lines
+        has_pend = self._has_pending
+        for s, order in self._rows.items():
+            k = len(order)
+            tags[s] = order + [-1] * (ways - k)
+            stamp[s] = list(range(1, k + 1)) + [0] * (ways - k)
+            if has_pend:
+                pending[s] = [
+                    w < k and (order[w] * ns + s) in pend_lines
+                    for w in range(ways)
+                ]
+            for w, t in enumerate(order):
+                where[t * ns + s] = w
+        if self._tick < ways:
+            self._tick = ways
+        self._rows.clear()
+        pend_lines.clear()
+
     def access(self, line: int, is_prefetch: bool = False) -> bool:
         """Look up ``line``; return True on hit.  Mirrors ``Cache.access``."""
-        way = self._where.get(line)
         stats = self.stats
-        if way is None:
+        if line not in self._where:
             if not is_prefetch:
                 stats.demand_misses += 1
             return False
-        s = line % self.num_sets
-        self._tick += 1
-        self._stamp[s, way] = self._tick
+        order = self._rows.get(s := line % self.num_sets)
+        if order is None:
+            order = self._row(s)
+        tag = line // self.num_sets
+        order.remove(tag)
+        order.append(tag)
         if is_prefetch:
             stats.prefetch_hits += 1
         else:
             stats.demand_hits += 1
-            if self._pending[s, way]:
-                self._pending[s, way] = False
+            if self._has_pending and self._pend_lines.pop(line, None):
                 stats.prefetch_useful += 1
         return True
 
@@ -136,44 +215,44 @@ class FastCache:
 
     def fill(self, line: int, from_prefetch: bool = False) -> Optional[int]:
         """Install ``line``; return the evicted line number, if any."""
-        s = line % self.num_sets
-        way = self._where.get(line)
+        ns = self.num_sets
+        order = self._rows.get(s := line % ns)
+        if order is None:
+            order = self._row(s)
+        tag = line // ns
+        where = self._where
         evicted_line: Optional[int] = None
-        if way is None:
-            # Python-list scans: for the handful of ways per set they beat
-            # numpy's per-call dispatch, keeping the scalar path as fast as
-            # the reference's policy lists.
-            row = self._tags[s]
-            row_list = row.tolist()
-            try:
-                way = row_list.index(-1)
-            except ValueError:
-                stamps = self._stamp[s].tolist()
-                way = stamps.index(min(stamps))
-                evicted_line = row_list[way] * self.num_sets + s
-                del self._where[evicted_line]
+        if line in where:
+            order.remove(tag)
+            order.append(tag)
+        else:
+            if len(order) >= self.ways:
+                evicted_line = order.pop(0) * ns + s
+                del where[evicted_line]
                 self.stats.evictions += 1
-                if self._pending[s, way]:
+                if self._has_pending and self._pend_lines.pop(evicted_line, None):
                     self.stats.prefetch_evicted_unused += 1
-            row[way] = line // self.num_sets
-            self._pending[s, way] = False
-            self._where[line] = way
-        self._tick += 1
-        self._stamp[s, way] = self._tick
+            order.append(tag)
+            # Way assignment is deferred to _flush_rows; scalar calls only
+            # ever use _where as a membership test.
+            where[line] = -1
         if from_prefetch:
             self.stats.prefetch_fills += 1
-            self._pending[s, way] = True
+            self._pend_lines[line] = True
             self._has_pending = True
         return evicted_line
 
     def invalidate(self, line: int) -> bool:
         """Drop ``line`` if resident; return whether it was resident."""
-        way = self._where.pop(line, None)
-        if way is None:
+        if line not in self._where:
             return False
-        s = line % self.num_sets
-        self._tags[s, way] = -1
-        self._pending[s, way] = False
+        order = self._rows.get(s := line % self.num_sets)
+        if order is None:
+            order = self._row(s)
+        del self._where[line]
+        order.remove(line // self.num_sets)
+        if self._has_pending:
+            self._pend_lines.pop(line, None)
         return True
 
     # -- batch accesses ----------------------------------------------------
@@ -186,6 +265,8 @@ class FastCache:
 
     def lookup_batch(self, lines: np.ndarray, is_prefetch: bool = False) -> np.ndarray:
         """Vectorized ``access`` over conflict-free ``lines``; returns hits."""
+        self._flush_rows()
+        self._planes_empty = False
         n = lines.size
         s = lines % self.num_sets
         match = self._tags[s] == (lines // self.num_sets)[:, None]
@@ -222,6 +303,8 @@ class FastCache:
         halves the numpy dispatch count on the hot path.  Returns the hit
         mask.
         """
+        self._flush_rows()
+        self._planes_empty = False
         ns = self.num_sets
         n = lines.size
         t, s = np.divmod(lines, ns)
@@ -281,6 +364,8 @@ class FastCache:
         (no caller of the hierarchy walk consumes them); eviction statistics
         are recorded identically.
         """
+        self._flush_rows()
+        self._planes_empty = False
         n = lines.size
         if not n:
             return
@@ -328,12 +413,15 @@ class FastCache:
 
     def flush(self) -> None:
         """Empty the cache, keeping statistics."""
+        self._rows.clear()
+        self._pend_lines.clear()
         self._tags.fill(-1)
         self._stamp.fill(0)
         self._pending.fill(False)
         self._where.clear()
         self._tick = 0
         self._has_pending = False
+        self._planes_empty = True
 
     def reset_stats(self) -> None:
         """Zero statistics, keeping contents (for warmup/measure splits)."""

@@ -182,25 +182,40 @@ class MemoryHierarchy:
         buffer, so their timeliness and MSHR occupancy are modeled like any
         other fetch.
         """
+        latency, level = self.load_timing(line)
+        return AccessResult(level, latency, line)
+
+    def load_timing(self, line: int) -> "tuple[float, str]":
+        """:meth:`load` without the :class:`AccessResult` allocation.
+
+        Same walk, same stats, same fills — returns ``(latency, level)``
+        as a plain tuple.  The execution engines call this once per cache
+        line, where the frozen-dataclass construction cost of :meth:`load`
+        is measurable; external callers should prefer :meth:`load`.
+        """
         cfg = self.config
         if self.l1.access(line):
-            result = AccessResult("l1", cfg.l1_latency, line)
+            level, latency = "l1", cfg.l1_latency
         elif self.l2.access(line):
             self.l1.fill(line)
-            result = AccessResult("l2", cfg.l2_latency, line)
+            level, latency = "l2", cfg.l2_latency
         elif self.l3.access(line):
             self.l2.fill(line)
             self.l1.fill(line)
-            result = AccessResult("l3", cfg.l3_latency, line)
+            level, latency = "l3", cfg.l3_latency
         else:
             dram_latency = self.dram.access(line)
             self.l3.fill(line)
             self.l2.fill(line)
             self.l1.fill(line)
-            result = AccessResult("dram", cfg.l3_latency + dram_latency, line)
+            level, latency = "dram", cfg.l3_latency + dram_latency
             self.stats.dram_bytes += 64
-        self.stats.record(result.level, result.latency)
-        return result
+        stats = self.stats
+        hits = stats.level_hits
+        hits[level] = hits.get(level, 0) + 1
+        stats.total_latency_cycles += latency
+        stats.demand_accesses += 1
+        return latency, level
 
     # -- batched demand walk ------------------------------------------------
 
@@ -240,7 +255,7 @@ class MemoryHierarchy:
             return np.empty(0, dtype=np.float64)
         if not self.batch_capable:
             return np.fromiter(
-                (self.load(int(l)).latency for l in lines), np.float64, n
+                (self.load_timing(l)[0] for l in lines.tolist()), np.float64, n
             )
         out = np.empty(n, dtype=np.float64)
         pos = 0
@@ -257,7 +272,7 @@ class MemoryHierarchy:
         order, bounds = _wave_partition(chunk % self.l1.num_sets)
         if n < bounds.size * self.MIN_WAVE:
             return np.fromiter(
-                (self.load(int(l)).latency for l in chunk), np.float64, n
+                (self.load_timing(l)[0] for l in chunk.tolist()), np.float64, n
             )
         stats = self.stats
         lat = np.full(n, cfg.l1_latency, dtype=np.float64)
@@ -300,12 +315,21 @@ class MemoryHierarchy:
         returned latency is the fetch's *completion* latency — the software
         prefetch timeliness model compares it to the prefetch distance.
         """
+        latency, level = self.prefetch_timing(line, target_level)
+        return AccessResult(level, latency, line, prefetch=True)
+
+    def prefetch_timing(self, line: int, target_level: str = "l1") -> "tuple[float, str]":
+        """:meth:`prefetch` without the :class:`AccessResult` allocation.
+
+        Same fetch, fills, and stats — returns ``(latency, level)``; the
+        engines' prefetch loops only consume the completion latency.
+        """
         self.stats.prefetch_requests += 1
         if target_level not in ("l1", "l2", "l3"):
             raise ConfigError(f"unknown prefetch target level {target_level!r}")
         cfg = self.config
         if self.l1.access(line, is_prefetch=True):
-            return AccessResult("l1", cfg.l1_latency, line, prefetch=True)
+            return cfg.l1_latency, "l1"
         if self.l2.access(line, is_prefetch=True):
             latency, level = cfg.l2_latency, "l2"
         elif self.l3.access(line, is_prefetch=True):
@@ -318,7 +342,7 @@ class MemoryHierarchy:
             self.l2.fill(line, from_prefetch=True)
         if target_level == "l1":
             self.l1.fill(line, from_prefetch=True)
-        return AccessResult(level, latency, line, prefetch=True)
+        return latency, level
 
     def hw_prefetch_candidates(self, line: int, l1_hit: bool) -> List["tuple[int, str]"]:
         """``(line, target_level)`` pairs the HW prefetchers want fetched.

@@ -29,8 +29,6 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, List, Mapping, Optional, Sequence, Tuple
 
-import numpy as np
-
 from ..errors import ConfigError
 
 __all__ = [
@@ -178,10 +176,29 @@ class DegradationController:
         return self.ladder[self.level].service_scale
 
     def window_p95(self) -> float:
-        """p95 of the sliding latency window (0.0 while empty)."""
-        if not self._latencies:
+        """p95 of the sliding latency window (0.0 while empty).
+
+        Computed in pure python, bit-equal to numpy's default linear
+        percentile (same virtual index, same two-branch lerp): the window
+        holds at most a few dozen floats and this runs once per completed
+        request, where ``np.percentile``'s per-call setup dominated the
+        whole resilient serving loop.
+        """
+        lat = self._latencies
+        if not lat:
             return 0.0
-        return float(np.percentile(np.fromiter(self._latencies, dtype=float), 95.0))
+        xs = sorted(lat)
+        n = len(xs)
+        virtual = 0.95 * (n - 1)
+        prev = int(virtual)
+        gamma = virtual - prev
+        a = xs[prev]
+        b = xs[prev + 1] if prev + 1 < n else a
+        # numpy's _lerp switches formula at t >= 0.5 to keep the result
+        # monotone; replicate both branches for bitwise equality.
+        if gamma >= 0.5:
+            return b - (b - a) * (1.0 - gamma)
+        return a + (b - a) * gamma
 
     def observe(self, now_ms: float, latency_ms: float) -> Optional[LevelChange]:
         """Feed one completed-request latency; maybe change level."""

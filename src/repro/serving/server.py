@@ -36,8 +36,10 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 import numpy as np
 
 from ..errors import ConfigError
+from ..mem.hierarchy import get_default_engine
 from ..obs import hooks as obs_hooks
 from ..obs.metrics import Histogram
+from . import fastserve
 from .faults import FaultPlan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -301,13 +303,20 @@ def simulate_server(
     policy: Optional[ServingPolicy] = None,
     controller: Optional["DegradationController"] = None,
     label: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> ServerResult:
     """Run the FIFO M/G/c simulation and collect per-request latencies.
 
     With ``fault_plan``, ``policy``, and ``controller`` all ``None`` (or a
-    null policy and an empty plan) this takes the original fast path and
+    null policy and an empty plan) this takes the plain happy path and
     returns byte-identical arrays to the pre-resilience simulator; any
     configured resilience feature switches to the event-driven loop.
+
+    ``engine`` selects the execution engine: ``"reference"`` runs the
+    per-request event loops, ``"fast"`` the batched engine from
+    :mod:`repro.serving.fastserve` (byte-identical results on both
+    paths), and ``None`` uses the process default shared with the memory
+    hierarchy (:func:`repro.mem.hierarchy.get_default_engine`).
 
     ``label`` names this simulation in request-scoped telemetry (the
     :class:`repro.obs.requests.RequestLog` run label and its trace track);
@@ -319,6 +328,12 @@ def simulate_server(
         raise ConfigError("need a non-empty 1-D arrival array")
     if np.any(np.diff(arrivals_ms) < 0):
         raise ConfigError("arrival times must be non-decreasing")
+    if engine is None:
+        engine = get_default_engine()
+    if engine not in ("fast", "reference"):
+        raise ConfigError(
+            f"unknown serving engine {engine!r}; expected 'fast' or 'reference'"
+        )
     plain = (
         (fault_plan is None or fault_plan.is_empty)
         and (policy is None or policy.is_null)
@@ -326,7 +341,8 @@ def simulate_server(
     )
     if plain:
         return _simulate_fast(
-            arrivals_ms, mean_service_ms, num_cores, rng, service_cv, label
+            arrivals_ms, mean_service_ms, num_cores, rng, service_cv, label,
+            engine,
         )
     return _simulate_resilient(
         arrivals_ms,
@@ -338,6 +354,7 @@ def simulate_server(
         policy if policy is not None else ServingPolicy(),
         controller,
         label,
+        engine,
     )
 
 
@@ -348,24 +365,30 @@ def _simulate_fast(
     rng: np.random.Generator,
     service_cv: float,
     label: Optional[str] = None,
+    engine: str = "reference",
 ) -> ServerResult:
-    """The original happy-path loop (byte-identical results)."""
+    """The happy-path M/G/c simulation (byte-identical on both engines)."""
     n = arrivals_ms.size
     services = lognormal_services(mean_service_ms, n, rng, cv=service_cv)
-    # Min-heap of (core-free time, core id); FIFO dispatch = assign each
-    # request to the earliest-free core.  The core id only breaks ties
-    # between equally free cores, so start times (and thus every latency)
-    # match the id-less original exactly.
-    cores = [(0.0, c) for c in range(num_cores)]
-    heapq.heapify(cores)
-    starts = np.empty(n)
-    core_ids = np.empty(n, dtype=np.int64)
-    for i in range(n):
-        free_at, core = heapq.heappop(cores)
-        start = max(arrivals_ms[i], free_at)
-        starts[i] = start
-        core_ids[i] = core
-        heapq.heappush(cores, (start + services[i], core))
+    if engine == "fast":
+        starts, core_ids = fastserve.dispatch_plain(
+            arrivals_ms, services, num_cores
+        )
+    else:
+        # Min-heap of (core-free time, core id); FIFO dispatch = assign
+        # each request to the earliest-free core.  The core id only breaks
+        # ties between equally free cores, so start times (and thus every
+        # latency) match the id-less original exactly.
+        cores = [(0.0, c) for c in range(num_cores)]
+        heapq.heapify(cores)
+        starts = np.empty(n)
+        core_ids = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            free_at, core = heapq.heappop(cores)
+            start = max(arrivals_ms[i], free_at)
+            starts[i] = start
+            core_ids[i] = core
+            heapq.heappush(cores, (start + services[i], core))
     completions = starts + services
     latencies = completions - arrivals_ms
     waits = starts - arrivals_ms
@@ -400,6 +423,7 @@ def _simulate_resilient(
     policy: ServingPolicy,
     controller: Optional["DegradationController"],
     label: Optional[str] = None,
+    engine: str = "reference",
 ) -> ServerResult:
     """Event-driven loop with faults, deadlines, retries, and shedding."""
     arrivals, injected = plan.inject_arrivals(arrivals_ms)
@@ -421,147 +445,155 @@ def _simulate_resilient(
         else None
     )
 
-    deadline = (
-        arrivals + policy.deadline_ms if policy.deadline_ms is not None else None
-    )
-    outcome = np.full(n, -1, dtype=np.int64)
-    retry_count = np.zeros(n, dtype=np.int64)
-    in_queue = np.zeros(n, dtype=bool)
-    started = np.zeros(n, dtype=bool)
-    starts = np.zeros(n)
-    services = np.zeros(n)
-    core_of = np.full(n, -1, dtype=np.int64)
+    if engine == "fast":
+        outcome, retry_count, starts, services, core_of = (
+            fastserve.resilient_events(
+                arrivals, base_services, strag, num_cores,
+                plan, policy, controller, jitter_rng, run,
+            )
+        )
+    else:
+        deadline = (
+            arrivals + policy.deadline_ms if policy.deadline_ms is not None else None
+        )
+        outcome = np.full(n, -1, dtype=np.int64)
+        retry_count = np.zeros(n, dtype=np.int64)
+        in_queue = np.zeros(n, dtype=bool)
+        started = np.zeros(n, dtype=bool)
+        starts = np.zeros(n)
+        services = np.zeros(n)
+        core_of = np.full(n, -1, dtype=np.int64)
 
-    events: List[tuple] = []  # (time, kind, seq, payload)
-    seq = 0
+        events: List[tuple] = []  # (time, kind, seq, payload)
+        seq = 0
 
-    def push(t: float, kind: int, payload: int) -> None:
-        nonlocal seq
-        heapq.heappush(events, (t, kind, seq, payload))
-        seq += 1
+        def push(t: float, kind: int, payload: int) -> None:
+            nonlocal seq
+            heapq.heappush(events, (t, kind, seq, payload))
+            seq += 1
 
-    running: Dict[int, int] = {}  # core -> request currently on it
-    idle: List[tuple] = []  # heap of (idle-since, core)
-    queue: deque = deque()
-    depth = 0  # live queue entries (lazily cancelled ones excluded)
+        running: Dict[int, int] = {}  # core -> request currently on it
+        idle: List[tuple] = []  # heap of (idle-since, core)
+        queue: deque = deque()
+        depth = 0  # live queue entries (lazily cancelled ones excluded)
 
-    for core in range(num_cores):
-        push(plan.next_available(core, 0.0), _EV_FREE, core)
-    for i in range(n):
-        push(float(arrivals[i]), _EV_ARRIVE, i)
+        for core in range(num_cores):
+            push(plan.next_available(core, 0.0), _EV_FREE, core)
+        for i in range(n):
+            push(float(arrivals[i]), _EV_ARRIVE, i)
 
-    def dispatch(now: float) -> None:
-        nonlocal depth
-        while queue and idle:
-            _, core = idle[0]
-            if plan.core_down(core, now):
-                # The core failed while idle; it re-enters service at the
-                # end of its repair window.
+        def dispatch(now: float) -> None:
+            nonlocal depth
+            while queue and idle:
+                _, core = idle[0]
+                if plan.core_down(core, now):
+                    # The core failed while idle; it re-enters service at the
+                    # end of its repair window.
+                    heapq.heappop(idle)
+                    push(plan.next_available(core, now), _EV_FREE, core)
+                    continue
+                i = queue[0]
+                if not in_queue[i]:  # lazily cancelled by a timeout
+                    queue.popleft()
+                    continue
                 heapq.heappop(idle)
-                push(plan.next_available(core, now), _EV_FREE, core)
-                continue
-            i = queue[0]
-            if not in_queue[i]:  # lazily cancelled by a timeout
                 queue.popleft()
-                continue
-            heapq.heappop(idle)
-            queue.popleft()
-            in_queue[i] = False
-            depth -= 1
-            started[i] = True
-            scale = controller.scale() if controller is not None else 1.0
-            fault_mult = plan.service_multiplier(core, now)
-            svc = base_services[i] * scale * fault_mult
-            starts[i] = now
-            services[i] = svc
-            core_of[i] = core
-            running[core] = i
-            if run is not None:
-                run.event(
-                    i,
-                    "dispatch",
-                    now,
-                    core=core,
-                    level=controller.level if controller is not None else None,
-                    scheme=(
-                        controller.ladder[controller.level].name
-                        if controller is not None
-                        else None
-                    ),
-                    fault_mult=float(fault_mult),
-                    straggler_mult=float(strag[i]),
-                )
-            push(now + svc, _EV_FREE, core)
-
-    while events:
-        now, kind, _, payload = heapq.heappop(events)
-        if kind == _EV_FREE:
-            core = payload
-            finished = running.pop(core, None)
-            if finished is not None:
-                outcome[finished] = OUTCOME_COMPLETED
-                if run is not None:
-                    run.event(finished, "complete", now, core=core)
-                if controller is not None:
-                    # Level changes are recorded in controller.events.
-                    controller.observe(now, now - float(arrivals[finished]))
-            if plan.core_down(core, now):
-                push(plan.next_available(core, now), _EV_FREE, core)
-            else:
-                heapq.heappush(idle, (now, core))
-                dispatch(now)
-        elif kind == _EV_ARRIVE:
-            i = payload
-            if run is not None:
-                if retry_count[i] > 0:
-                    run.event(i, "retry_arrive", now, attempt=int(retry_count[i]))
-                else:
-                    run.event(i, "arrive", now)
-            if (
-                policy.shed_expired
-                and deadline is not None
-                and now >= deadline[i]
-            ):
-                outcome[i] = OUTCOME_TIMED_OUT
-                if run is not None:
-                    run.event(i, "expired", now)
-            elif (
-                policy.max_queue_depth is not None
-                and depth >= policy.max_queue_depth
-            ):
-                outcome[i] = OUTCOME_SHED
-                if run is not None:
-                    run.event(i, "shed", now, depth=depth)
-            else:
-                in_queue[i] = True
-                queue.append(i)
-                depth += 1
-                if policy.timeout_ms is not None:
-                    push(now + policy.timeout_ms, _EV_TIMEOUT, i)
-                dispatch(now)
-        else:  # _EV_TIMEOUT
-            i = payload
-            if started[i] or outcome[i] >= 0 or not in_queue[i]:
-                continue  # already dispatched or resolved
-            in_queue[i] = False  # lazy removal from the FIFO deque
-            depth -= 1
-            if retry_count[i] < policy.max_retries:
-                retry_count[i] += 1
-                backoff = policy.retry_backoff_ms * 2.0 ** (retry_count[i] - 1)
-                backoff *= 1.0 + policy.retry_jitter * float(jitter_rng.random())
+                in_queue[i] = False
+                depth -= 1
+                started[i] = True
+                scale = controller.scale() if controller is not None else 1.0
+                fault_mult = plan.service_multiplier(core, now)
+                svc = base_services[i] * scale * fault_mult
+                starts[i] = now
+                services[i] = svc
+                core_of[i] = core
+                running[core] = i
                 if run is not None:
                     run.event(
                         i,
-                        "timeout_retry",
+                        "dispatch",
                         now,
-                        attempt=int(retry_count[i]),
-                        backoff_ms=float(backoff),
+                        core=core,
+                        level=controller.level if controller is not None else None,
+                        scheme=(
+                            controller.ladder[controller.level].name
+                            if controller is not None
+                            else None
+                        ),
+                        fault_mult=float(fault_mult),
+                        straggler_mult=float(strag[i]),
                     )
-                push(now + backoff, _EV_ARRIVE, i)
-            else:
-                outcome[i] = OUTCOME_TIMED_OUT
+                push(now + svc, _EV_FREE, core)
+
+        while events:
+            now, kind, _, payload = heapq.heappop(events)
+            if kind == _EV_FREE:
+                core = payload
+                finished = running.pop(core, None)
+                if finished is not None:
+                    outcome[finished] = OUTCOME_COMPLETED
+                    if run is not None:
+                        run.event(finished, "complete", now, core=core)
+                    if controller is not None:
+                        # Level changes are recorded in controller.events.
+                        controller.observe(now, now - float(arrivals[finished]))
+                if plan.core_down(core, now):
+                    push(plan.next_available(core, now), _EV_FREE, core)
+                else:
+                    heapq.heappush(idle, (now, core))
+                    dispatch(now)
+            elif kind == _EV_ARRIVE:
+                i = payload
                 if run is not None:
-                    run.event(i, "timeout", now)
+                    if retry_count[i] > 0:
+                        run.event(i, "retry_arrive", now, attempt=int(retry_count[i]))
+                    else:
+                        run.event(i, "arrive", now)
+                if (
+                    policy.shed_expired
+                    and deadline is not None
+                    and now >= deadline[i]
+                ):
+                    outcome[i] = OUTCOME_TIMED_OUT
+                    if run is not None:
+                        run.event(i, "expired", now)
+                elif (
+                    policy.max_queue_depth is not None
+                    and depth >= policy.max_queue_depth
+                ):
+                    outcome[i] = OUTCOME_SHED
+                    if run is not None:
+                        run.event(i, "shed", now, depth=depth)
+                else:
+                    in_queue[i] = True
+                    queue.append(i)
+                    depth += 1
+                    if policy.timeout_ms is not None:
+                        push(now + policy.timeout_ms, _EV_TIMEOUT, i)
+                    dispatch(now)
+            else:  # _EV_TIMEOUT
+                i = payload
+                if started[i] or outcome[i] >= 0 or not in_queue[i]:
+                    continue  # already dispatched or resolved
+                in_queue[i] = False  # lazy removal from the FIFO deque
+                depth -= 1
+                if retry_count[i] < policy.max_retries:
+                    retry_count[i] += 1
+                    backoff = policy.retry_backoff_ms * 2.0 ** (retry_count[i] - 1)
+                    backoff *= 1.0 + policy.retry_jitter * float(jitter_rng.random())
+                    if run is not None:
+                        run.event(
+                            i,
+                            "timeout_retry",
+                            now,
+                            attempt=int(retry_count[i]),
+                            backoff_ms=float(backoff),
+                        )
+                    push(now + backoff, _EV_ARRIVE, i)
+                else:
+                    outcome[i] = OUTCOME_TIMED_OUT
+                    if run is not None:
+                        run.event(i, "timeout", now)
 
     completed = outcome == OUTCOME_COMPLETED
     completions = starts + services

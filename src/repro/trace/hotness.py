@@ -15,6 +15,7 @@ High-hot needs a steep exponent.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict
 
 import numpy as np
@@ -84,6 +85,7 @@ def expected_unique_fraction(rows: int, samples: int, alpha: float) -> float:
     return expected_unique / samples
 
 
+@lru_cache(maxsize=256)
 def fit_zipf_alpha(
     rows: int,
     samples: int,
@@ -97,6 +99,10 @@ def fit_zipf_alpha(
     ``[0, max_alpha]`` suffices.  If even ``alpha = 0`` (uniform) leaves
     fewer uniques than the target — which happens when ``samples >> rows``
     — the uniform exponent 0 is returned as the closest achievable point.
+
+    Deterministic in its arguments (a pure 60-step bisection over closed
+    forms), so results are memoized — every workload build re-fits the
+    same handful of (rows, samples, target) triples.
     """
     if not 0.0 < target_unique_fraction <= 1.0:
         raise ConfigError("target unique fraction must be in (0, 1]")

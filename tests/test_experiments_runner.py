@@ -77,6 +77,14 @@ def test_new_parser_flags():
     assert args.num_requests == 500
 
 
+def test_engine_and_mode_flags():
+    args = build_parser().parse_args(
+        ["fig12", "--engine", "reference", "--mode", "analytic"]
+    )
+    assert args.engine == "reference"
+    assert args.model_mode == "analytic"
+
+
 class TestResultCache:
     def test_write_is_atomic_and_readable(self, tmp_path):
         path = tmp_path / "entry.json"
@@ -120,6 +128,23 @@ class TestResultCache:
         rebuilt = list((tmp_path / CACHE_DIR).glob("*.json"))
         assert len(rebuilt) == 1
         assert isinstance(json.loads(rebuilt[0].read_text())["report"], dict)
+
+    def test_key_distinguishes_engine_and_mode(self):
+        # Engine/mode switches must never serve each other's memos: the
+        # key hashes every SimConfig field, so each combination is its
+        # own cache slot.
+        from repro.config import SimConfig
+        from repro.experiments.runner import _cache_key
+
+        keys = {
+            _cache_key("fig12", SimConfig(engine=eng, mode=mode), {})
+            for eng in ("fast", "reference")
+            for mode in ("sim", "analytic")
+        }
+        assert len(keys) == 4
+        # Overrides (the forwarded batching knobs) are part of the key too.
+        base = _cache_key("fig12", SimConfig(), {})
+        assert _cache_key("fig12", SimConfig(), {"batch_size": 8}) != base
 
 
 _RESILIENCE_SMALL = [

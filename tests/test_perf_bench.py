@@ -45,3 +45,22 @@ def test_quick_bench_fast_engine_wins(tmp_path):
     benches = records[0]["benchmarks"]
     assert benches["hierarchy"]["speedup"]["fast_over_reference"] > 1.0
     assert benches["embedding"]["speedup"]["fast_over_reference"] > 1.0
+    assert benches["serving"]["speedup"]["fast_over_reference"] > 1.0
+    # ISSUE acceptance floor: the serving engine must sustain at least
+    # 10M simulated requests per minute of wall time.
+    assert benches["serving"]["fast"]["requests_per_min"] >= 10_000_000
+
+
+def test_quick_fig12_pipeline_fast_wins():
+    bench = _load_bench_module()
+    fast = bench.bench_fig12("fast", quick=True)
+    ref = bench.bench_fig12("reference", quick=True)
+    for result in (fast, ref):
+        assert set(result["stages"]) == {
+            "embedding_s", "dense_s", "dram_s", "event_loop_s"
+        }
+        assert result["seconds"] == pytest.approx(
+            sum(result["stages"].values())
+        )
+    assert ref["seconds"] > fast["seconds"]
+    assert fast["serving_requests_per_min"] >= 10_000_000

@@ -9,10 +9,10 @@ depends on and appends one schema-versioned record per invocation to
 
 The suite:
 
-* **engine wall clocks** (kind ``wall``) — demand-walk and embedding
-  hot-path throughput of the fast and reference engines, median of
-  ``--repeats`` trials; host-dependent, so the gate skips them unless
-  ``bench_gate.py --include-wall``.
+* **engine wall clocks** (kind ``wall``) — demand-walk, embedding
+  hot-path, and serving-loop throughput of the fast and reference
+  engines, median of ``--repeats`` trials; host-dependent, so the gate
+  skips them unless ``bench_gate.py --include-wall``.
 * **scheme sim outputs** (kind ``sim``) — MP-HT / DP-HT / Integrated
   end-to-end speedups over baseline from :func:`evaluate_all_schemes`;
   exact simulator outputs, identical on every host, gated strictly.
@@ -84,24 +84,37 @@ def _wall_benchmarks(mode: str, repeats: int) -> List[Benchmark]:
     """Engine throughput wall clocks, median of ``repeats`` trials each."""
     num_lines = 100_000 if mode == "smoke" else 800_000
     emb_args = (0.01, 8, 1) if mode == "smoke" else (0.05, 16, 4)
+    serving_requests = 100_000 if mode == "smoke" else 2_000_000
     out: List[Benchmark] = []
     for engine in ("fast", "reference"):
-        for bench, runner in (
+        for bench, runner, rate_key, unit in (
             (
                 "hierarchy",
                 lambda: bench_sim.bench_hierarchy(engine, num_lines, repeats=1),
+                "lines_per_sec",
+                "lines/s",
             ),
             (
                 "embedding",
                 lambda: bench_sim.bench_embedding(engine, *emb_args, repeats=1),
+                "lines_per_sec",
+                "lines/s",
+            ),
+            (
+                "serving",
+                lambda: bench_sim.bench_serving(
+                    engine, serving_requests, repeats=1
+                ),
+                "requests_per_min",
+                "req/min",
             ),
         ):
-            value = median([runner()["lines_per_sec"] for _ in range(repeats)])
+            value = median([runner()[rate_key] for _ in range(repeats)])
             out.append(
                 Benchmark(
-                    name=f"engine.{bench}.{engine}.lines_per_sec",
+                    name=f"engine.{bench}.{engine}.{rate_key}",
                     value=value,
-                    unit="lines/s",
+                    unit=unit,
                     direction="higher",
                     noise_floor=WALL_NOISE_FRAC * value,
                     kind="wall",

@@ -9,6 +9,7 @@ from ..errors import ConfigError
 from ..mem.hierarchy import get_default_engine, set_default_engine
 from ..obs import hooks as obs_hooks
 from . import (
+    cluster_resilience,
     hotness_sweep,
     resilience,
     synergy,
@@ -53,6 +54,7 @@ _MODULES = (
     synergy,
     hotness_sweep,
     resilience,
+    cluster_resilience,
 )
 
 _REGISTRY: Dict[str, Callable[..., ExperimentReport]] = {

@@ -49,6 +49,8 @@ _FORWARDED_INTS = (
     "num_cores",
     "detailed_cores",
     "num_requests",
+    "num_nodes",
+    "replication",
 )
 
 #: Default location of the on-disk result cache (relative to the cwd).
@@ -82,6 +84,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--num-cores", type=int, default=None)
     parser.add_argument("--detailed-cores", type=int, default=None)
     parser.add_argument("--num-requests", type=int, default=None)
+    parser.add_argument(
+        "--num-nodes", type=int, default=None,
+        help="cluster size for fleet-level experiments",
+    )
+    parser.add_argument(
+        "--replication", type=int, default=None,
+        help="shard replication factor for fleet-level experiments",
+    )
     parser.add_argument(
         "--engine", choices=("fast", "reference"), default=None,
         help="simulation engine (default: SimConfig default, 'fast')",

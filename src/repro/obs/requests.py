@@ -43,11 +43,20 @@ __all__ = [
 SCHEMA_VERSION = 1
 
 #: Attribution buckets for requests that missed their SLA, most specific
-#: first (see :func:`attribute_miss`).
+#: first (see :func:`attribute_miss`).  The cluster layer adds four
+#: fleet-level causes: ``partition``/``node_fault`` cover requests that
+#: failed or went late because a node was unreachable or crashed, and
+#: ``failover``/``hedge_wasted`` cover requests whose lateness traces to
+#: the recovery machinery itself (a failed-over shard call, a hedge that
+#: lost the race).
 MISS_CAUSES = (
     "shed_queue_full",     # admission control dropped it at arrival
     "expired_on_arrival",  # deadline already passed when it (re-)arrived
     "queue_timeout",       # waited out its queue timeout budget
+    "partition",           # a shard call sat out a network partition
+    "node_fault",          # a node crash/kill hit one of its shard calls
+    "failover",            # completed late after failing over replicas
+    "hedge_wasted",        # completed late; a hedge raced and lost
     "fault",               # completed late with a fault window overlapping
     "retry_backoff",       # completed late after queue-timeout retries
     "queueing",            # completed late, wait dominated service
@@ -275,6 +284,63 @@ class RunLog:
             "events": self._events[req],
         }
 
+    def add_record(
+        self,
+        *,
+        req: int,
+        arrival_ms: float,
+        outcome: str,
+        end_ms: float,
+        cause: Optional[str] = None,
+        retries: int = 0,
+        backoff_ms: float = 0.0,
+        wait_ms: Optional[float] = None,
+        service_ms: Optional[float] = None,
+        core: Optional[int] = None,
+        level: Optional[int] = None,
+        scheme: Optional[str] = None,
+        fault_windows: Optional[List[str]] = None,
+        injected: bool = False,
+        **extra: object,
+    ) -> Dict[str, object]:
+        """Append one request record built by an external simulator.
+
+        The cluster loop (:mod:`repro.serving.cluster`) uses this instead
+        of :meth:`finish`/:meth:`finish_fast` because its per-request
+        shape (shard calls, failovers, hedges) does not map onto the
+        single-box arrays.  ``extra`` keys are merged into the record
+        verbatim (e.g. ``node``, ``shards``, ``failovers``, ``hedges``,
+        ``hedges_wasted``); the schema allows additional fields.  Records
+        must be added in request order; call :meth:`finish_custom` once
+        at the end.
+        """
+        record = self._record(
+            req=req,
+            injected=injected,
+            arrival_ms=arrival_ms,
+            outcome=outcome,
+            cause=cause,
+            retries=retries,
+            backoff_ms=backoff_ms,
+            wait_ms=wait_ms,
+            service_ms=service_ms,
+            end_ms=end_ms,
+            core=core,
+            level=level,
+            scheme=scheme,
+            fault_windows=list(fault_windows) if fault_windows else [],
+        )
+        if outcome == "degraded":
+            # A partial result still has an end-to-end latency.
+            record["latency_ms"] = end_ms - arrival_ms
+        record.update(extra)
+        self.records.append(record)
+        return record
+
+    def finish_custom(self, tracer=None) -> None:
+        """Seal a run whose records came through :meth:`add_record`."""
+        self._seal(tracer)
+
     def completed_ids(self) -> List[str]:
         """Exemplar ids of completed requests, in arrival order (aligned
         with ``ServerResult.latencies_ms``)."""
@@ -403,11 +469,14 @@ def load_request_log(path) -> Tuple[Dict[str, object], List[Dict[str, object]]]:
 def attribute_miss(record: Dict[str, object]) -> Optional[str]:
     """Primary cause of one request's SLA miss, or None if it didn't miss.
 
-    A request "missed" when it did not complete, or completed past its
-    deadline.  Causes are checked most-specific first (see
-    :data:`MISS_CAUSES`): terminal causes from the admission machinery win
-    outright; for late completions, an overlapping fault window explains
-    the miss before retries, and queueing before slow service.
+    A request "missed" when it did not complete (cluster runs count
+    ``degraded`` partial results and ``failed`` requests here), or
+    completed past its deadline.  Causes are checked most-specific first
+    (see :data:`MISS_CAUSES`): terminal causes from the admission
+    machinery win outright; fleet-level causes (partition, node fault,
+    failover, wasted hedge) explain a late completion before the
+    single-box ones; an overlapping fault window explains the miss before
+    retries, and queueing before slow service.
     """
     outcome = record.get("outcome")
     if outcome == "shed":
@@ -416,7 +485,21 @@ def attribute_miss(record: Dict[str, object]) -> Optional[str]:
         if record.get("cause") == "deadline_expired":
             return "expired_on_arrival"
         return "queue_timeout"
+    if outcome in ("failed", "degraded"):
+        # Cluster outcomes: the request lost shard calls it never
+        # recovered.  The recorded cause says what took them out.
+        if record.get("cause") == "partition":
+            return "partition"
+        return "node_fault"
     if record.get("deadline_met") is False:
+        if record.get("cause") == "partition":
+            return "partition"
+        if record.get("cause") == "node_fault":
+            return "node_fault"
+        if record.get("failovers"):
+            return "failover"
+        if record.get("hedges_wasted"):
+            return "hedge_wasted"
         if record.get("fault_windows"):
             return "fault"
         if record.get("retries"):

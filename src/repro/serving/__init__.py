@@ -7,11 +7,22 @@ inference server (:mod:`repro.serving.server`), and percentile / SLA-region
 analysis (:mod:`repro.serving.latency`, :mod:`repro.serving.sla`) — plus a
 resilience testbed on top of it: deterministic fault injection
 (:mod:`repro.serving.faults`) and closed-loop graceful degradation along
-the paper's scheme ladder (:mod:`repro.serving.degradation`).  See
-``docs/serving.md``.
+the paper's scheme ladder (:mod:`repro.serving.degradation`).  The fleet
+layer composes N such boxes into a sharded, replicated cluster with a
+health-aware router, failover, and hedging
+(:mod:`repro.serving.cluster`, :mod:`repro.serving.router`).  See
+``docs/serving.md`` and ``docs/cluster.md``.
 """
 
 from .batcher import Batch, chunk_queries
+from .cluster import (
+    CLUSTER_OUTCOME_NAMES,
+    ClusterConfig,
+    ClusterResult,
+    ClusterSim,
+    NodeStats,
+    ShardMap,
+)
 from .degradation import (
     DegradationController,
     DegradationLevel,
@@ -21,16 +32,22 @@ from .degradation import (
 from .faults import (
     ArrivalBurst,
     BandwidthDegradation,
+    ClusterFaultPlan,
     CoreFailure,
     CoreSlowdown,
     FaultPlan,
+    NodeCrash,
+    NodePartition,
+    NodeSlow,
     Stragglers,
 )
 from .latency import latency_percentile, sla_compliant_region
 from .pipeline import PipelineResult, serve_query_stream
+from .router import HealthPolicy, HealthTracker, HedgePolicy, Router
 from .server import (
     OUTCOME_NAMES,
     ServerResult,
+    ServerSim,
     ServingPolicy,
     simulate_server,
 )
@@ -41,18 +58,33 @@ __all__ = [
     "ArrivalBurst",
     "BandwidthDegradation",
     "Batch",
+    "CLUSTER_OUTCOME_NAMES",
+    "ClusterConfig",
+    "ClusterFaultPlan",
+    "ClusterResult",
+    "ClusterSim",
     "CoreFailure",
     "CoreSlowdown",
     "DegradationController",
     "DegradationLevel",
     "FaultPlan",
+    "HealthPolicy",
+    "HealthTracker",
+    "HedgePolicy",
     "LevelChange",
+    "NodeCrash",
+    "NodePartition",
+    "NodeSlow",
+    "NodeStats",
     "OUTCOME_NAMES",
     "PipelineResult",
+    "Router",
     "SLA_TARGETS",
     "SLATarget",
     "ServerResult",
+    "ServerSim",
     "ServingPolicy",
+    "ShardMap",
     "Stragglers",
     "chunk_queries",
     "serve_query_stream",

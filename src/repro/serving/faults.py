@@ -20,13 +20,26 @@ loop (:func:`repro.serving.server.simulate_server`) consults:
 * :class:`Stragglers` — a seeded fraction of requests draw a heavy-tail
   service multiplier (cold caches, page faults, slow-memory placement).
 
+At fleet scale the failure domain is the *node*, not the core.  The
+cluster layer (:mod:`repro.serving.cluster`) consults a
+:class:`ClusterFaultPlan` composed of node-scoped models:
+
+* :class:`NodeCrash` — a whole node is down in a window and repairs at
+  its end; in-flight shard calls on it are lost (a hard kill, unlike
+  :class:`CoreFailure`'s drain semantics);
+* :class:`NodePartition` — the node keeps running but is unreachable:
+  requests sent to it get no response until the partition heals;
+* :class:`NodeSlow` — a persistently slow node: every service time on it
+  is multiplied inside the window (bad host, thermal cap, noisy
+  neighbour at node granularity).
+
 Everything is deterministic: the plan owns a seed, and every random
 quantity (straggler multipliers, retry jitter) derives from that seed and
 the request index — never from event ordering — so the same plan and
 workload produce identical per-request outcomes across runs and across
 ``--jobs`` process parallelism.  A ``FaultPlan()`` with no faults is
 inert, and ``fault_plan=None`` keeps the serving loop on its original
-byte-identical fast path.
+byte-identical fast path; the same holds for ``ClusterFaultPlan()``.
 """
 
 from __future__ import annotations
@@ -41,9 +54,13 @@ from ..errors import ConfigError
 __all__ = [
     "ArrivalBurst",
     "BandwidthDegradation",
+    "ClusterFaultPlan",
     "CoreFailure",
     "CoreSlowdown",
     "FaultPlan",
+    "NodeCrash",
+    "NodePartition",
+    "NodeSlow",
     "Stragglers",
 ]
 
@@ -326,3 +343,197 @@ def _check_window(start_ms: float, end_ms: float) -> None:
         raise ConfigError("fault window start must be non-negative")
     if end_ms <= start_ms:
         raise ConfigError("fault window must end after it starts")
+
+
+# -- node-scoped faults (cluster layer) --------------------------------------
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """A whole node is down in ``[start_ms, end_ms)`` and repairs at the end.
+
+    Unlike :class:`CoreFailure` this is a hard kill: shard calls in flight
+    on the node when the window opens are lost (the router sees them fail
+    at the crash instant), and the node restarts cold — empty queue, idle
+    cores, degradation controller reset to its base level.
+    """
+
+    node: int
+    start_ms: float
+    end_ms: float
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ConfigError("node index must be non-negative")
+        _check_window(self.start_ms, self.end_ms)
+
+
+@dataclass(frozen=True)
+class NodePartition:
+    """A node is unreachable in ``[start_ms, end_ms)`` but keeps running.
+
+    Calls *sent* into the partition get no response (they time out at the
+    router); calls whose response would land inside the window are lost
+    too.  Work already queued on the node keeps executing — the node is
+    healthy, the network is not — so it rejoins warm when the partition
+    heals.
+    """
+
+    node: int
+    start_ms: float
+    end_ms: float
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ConfigError("node index must be non-negative")
+        _check_window(self.start_ms, self.end_ms)
+
+
+@dataclass(frozen=True)
+class NodeSlow:
+    """Every service time on a node is multiplied by ``factor`` in a window.
+
+    The node-granularity analogue of :class:`CoreSlowdown`: a bad host
+    that answers, slowly — the case hedging exists for.
+    """
+
+    node: int
+    start_ms: float
+    end_ms: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ConfigError("node index must be non-negative")
+        _check_window(self.start_ms, self.end_ms)
+        if self.factor < 1.0:
+            raise ConfigError("node slowdown factor must be >= 1")
+
+
+class ClusterFaultPlan:
+    """A seeded, composable node-scoped fault scenario for one cluster run.
+
+    Follows the same discipline as :class:`FaultPlan`: the plan owns a
+    seed, every derived random stream comes from
+    ``SeedSequence([seed, stream])``, and an empty plan is inert (the
+    cluster's no-fault path is byte-identical with ``ClusterFaultPlan()``
+    and with ``None``).
+    """
+
+    def __init__(self, faults: Sequence[object] = (), seed: int = 0) -> None:
+        self.seed = int(seed)
+        self.crashes: List[NodeCrash] = []
+        self.partitions: List[NodePartition] = []
+        self.slowdowns: List[NodeSlow] = []
+        for fault in faults:
+            if isinstance(fault, NodeCrash):
+                self.crashes.append(fault)
+            elif isinstance(fault, NodePartition):
+                self.partitions.append(fault)
+            elif isinstance(fault, NodeSlow):
+                self.slowdowns.append(fault)
+            else:
+                raise ConfigError(
+                    f"unknown node fault model {type(fault).__name__!r}"
+                )
+        self._crash_windows: Dict[int, List[Tuple[float, float]]] = {}
+        for crash in self.crashes:
+            self._crash_windows.setdefault(crash.node, []).append(
+                (crash.start_ms, crash.end_ms)
+            )
+        for windows in self._crash_windows.values():
+            windows.sort()
+        self._partition_windows: Dict[int, List[Tuple[float, float]]] = {}
+        for part in self.partitions:
+            self._partition_windows.setdefault(part.node, []).append(
+                (part.start_ms, part.end_ms)
+            )
+        for windows in self._partition_windows.values():
+            windows.sort()
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the plan injects nothing at all."""
+        return not (self.crashes or self.partitions or self.slowdowns)
+
+    # -- node availability ---------------------------------------------------
+
+    def node_down(self, node: int, t_ms: float) -> bool:
+        """Whether ``node`` is inside a crash window at ``t_ms``."""
+        for start, end in self._crash_windows.get(node, ()):
+            if start <= t_ms < end:
+                return True
+        return False
+
+    def next_up(self, node: int, t_ms: float) -> float:
+        """Earliest time ``>= t_ms`` at which ``node`` is up again."""
+        t = t_ms
+        for start, end in self._crash_windows.get(node, ()):
+            if start <= t < end:
+                t = end
+        return t
+
+    def partitioned(self, node: int, t_ms: float) -> bool:
+        """Whether ``node`` is unreachable (partitioned) at ``t_ms``."""
+        for start, end in self._partition_windows.get(node, ()):
+            if start <= t_ms < end:
+                return True
+        return False
+
+    def unreachable(self, node: int, t_ms: float) -> bool:
+        """Whether a call sent to ``node`` at ``t_ms`` cannot succeed."""
+        return self.node_down(node, t_ms) or self.partitioned(node, t_ms)
+
+    def slow_factor(self, node: int, t_ms: float) -> float:
+        """Product of every slowdown active on ``node`` at time ``t_ms``."""
+        factor = 1.0
+        for slow in self.slowdowns:
+            if slow.node == node and slow.start_ms <= t_ms < slow.end_ms:
+                factor *= slow.factor
+        return factor
+
+    def crashes_for(self, node: int) -> List[Tuple[float, float]]:
+        """Sorted crash windows of ``node`` (for scheduling crash events)."""
+        return list(self._crash_windows.get(node, ()))
+
+    def fault_windows_for(self, node: int) -> List[Tuple[float, float]]:
+        """Sorted union of crash + partition windows touching ``node``."""
+        wins = list(self._crash_windows.get(node, ())) + list(
+            self._partition_windows.get(node, ())
+        )
+        wins.sort()
+        return wins
+
+    # -- reporting -----------------------------------------------------------
+
+    def windows(self) -> List[Tuple[str, float, float, Dict[str, object]]]:
+        """Every node fault as ``(name, start_ms, end_ms, attrs)``."""
+        out: List[Tuple[str, float, float, Dict[str, object]]] = []
+        for crash in self.crashes:
+            out.append(
+                (
+                    f"node_crash:{crash.node}",
+                    crash.start_ms,
+                    crash.end_ms,
+                    {"node": crash.node},
+                )
+            )
+        for part in self.partitions:
+            out.append(
+                (
+                    f"node_partition:{part.node}",
+                    part.start_ms,
+                    part.end_ms,
+                    {"node": part.node},
+                )
+            )
+        for slow in self.slowdowns:
+            out.append(
+                (
+                    f"node_slow:{slow.node}",
+                    slow.start_ms,
+                    slow.end_ms,
+                    {"node": slow.node, "factor": slow.factor},
+                )
+            )
+        return out

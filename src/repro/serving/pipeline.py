@@ -16,13 +16,19 @@ import numpy as np
 from ..errors import ConfigError
 from .batcher import chunk_queries
 from .server import ServerResult, simulate_server
+from .stats import safe_mean, safe_percentile
 
 __all__ = ["PipelineResult", "serve_query_stream"]
 
 
 @dataclass
 class PipelineResult:
-    """Per-query latencies through batcher + server."""
+    """Per-query latencies through batcher + server.
+
+    Degenerate aggregations (no queries, no batches) follow the shared
+    0.0 convention of :mod:`repro.serving.stats` so multi-node rollups
+    can sum pipelines without per-field guards.
+    """
 
     query_latencies_ms: np.ndarray
     batching_delays_ms: np.ndarray
@@ -30,8 +36,8 @@ class PipelineResult:
     batch_sizes: np.ndarray
 
     def percentile(self, q: float) -> float:
-        """Per-query latency percentile."""
-        return float(np.percentile(self.query_latencies_ms, q))
+        """Per-query latency percentile; 0.0 with no queries."""
+        return safe_percentile(self.query_latencies_ms, q)
 
     @property
     def p95_ms(self) -> float:
@@ -40,8 +46,8 @@ class PipelineResult:
 
     @property
     def mean_batch_size(self) -> float:
-        """Achieved average batch occupancy."""
-        return float(np.mean(self.batch_sizes))
+        """Achieved average batch occupancy; 0.0 with no batches."""
+        return safe_mean(self.batch_sizes)
 
 
 def serve_query_stream(

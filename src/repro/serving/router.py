@@ -1,0 +1,225 @@
+"""Front-end request router for the simulated serving cluster.
+
+The router is the piece of the fleet that turns N independent node worlds
+(:class:`repro.serving.server.ServerSim` instances wrapped by
+:mod:`repro.serving.cluster`) into one service.  It owns three policies:
+
+* **Replica selection** — ``round_robin`` rotates a per-shard pointer
+  over a shard's replicas; ``least_loaded`` picks the replica whose
+  earliest core frees soonest (ties break to the lower node id, keeping
+  selection deterministic).
+* **Health** — a node that fails :attr:`HealthPolicy.eject_after`
+  consecutive shard calls is *ejected* (no longer routable) and probed
+  every :attr:`HealthPolicy.probe_interval_ms` until a probe finds it
+  reachable again, at which point it is re-admitted with a clean slate.
+  Any successful call also resets the consecutive-failure count.
+* **Hedging** — when a shard call has been outstanding longer than a
+  rolling quantile of recent call latencies (:class:`HedgePolicy`), the
+  router issues a duplicate to another replica and takes whichever
+  response lands first (first completion wins; the loser is counted as
+  wasted work, never double-delivered).
+
+Everything here is deterministic given the cluster seed: the router adds
+no randomness of its own — pointers, failure counters, and latency
+windows evolve purely from the (deterministic) event stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from ..errors import ConfigError
+
+__all__ = [
+    "HealthPolicy",
+    "HealthTracker",
+    "HedgePolicy",
+    "LatencyWindow",
+    "ROUTING_POLICIES",
+    "Router",
+]
+
+#: Replica-selection policies the router knows.
+ROUTING_POLICIES = ("round_robin", "least_loaded")
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Failure-detection and re-admission parameters of the router.
+
+    ``eject_after`` consecutive failed calls to a node eject it from
+    routing; an ejected node is probed every ``probe_interval_ms`` and
+    re-admitted the first time a probe finds it reachable.
+    """
+
+    eject_after: int = 3
+    probe_interval_ms: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.eject_after <= 0:
+            raise ConfigError("ejection threshold must be positive")
+        if self.probe_interval_ms <= 0:
+            raise ConfigError("probe interval must be positive")
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """When and how often to duplicate a straggling shard call.
+
+    A hedge fires once a call has been outstanding for
+    ``max(min_ms, q(quantile))`` where ``q`` is taken over the last
+    ``window`` observed call latencies; each shard call issues at most
+    ``max_hedges`` hedges.
+    """
+
+    quantile: float = 95.0
+    min_ms: float = 1.0
+    window: int = 128
+    max_hedges: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quantile <= 100.0:
+            raise ConfigError("hedge quantile must be in (0, 100]")
+        if self.min_ms <= 0:
+            raise ConfigError("hedge floor must be positive")
+        if self.window <= 0:
+            raise ConfigError("hedge latency window must be positive")
+        if self.max_hedges <= 0:
+            raise ConfigError("hedge budget must be positive")
+
+
+class LatencyWindow:
+    """Rolling window of observed shard-call latencies (simulated ms).
+
+    Pure python and order-deterministic: the threshold depends only on
+    the sequence of observed latencies, which the deterministic event
+    loop fixes.  Uses the same linear-interpolation percentile definition
+    as numpy's default so thresholds match offline analysis.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ConfigError("latency window size must be positive")
+        self._size = size
+        self._buf: List[float] = []
+        self._next = 0
+
+    def observe(self, latency_ms: float) -> None:
+        """Record one completed call's latency."""
+        if len(self._buf) < self._size:
+            self._buf.append(latency_ms)
+        else:  # ring overwrite, oldest first
+            self._buf[self._next] = latency_ms
+            self._next = (self._next + 1) % self._size
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The q-th percentile of the window, or None while empty."""
+        if not self._buf:
+            return None
+        data = sorted(self._buf)
+        rank = (len(data) - 1) * (q / 100.0)
+        lo = int(rank)
+        hi = min(lo + 1, len(data) - 1)
+        frac = rank - lo
+        return data[lo] + (data[hi] - data[lo]) * frac
+
+
+class HealthTracker:
+    """Per-node consecutive-failure counters and the ejected set."""
+
+    def __init__(self, num_nodes: int, policy: HealthPolicy) -> None:
+        if num_nodes <= 0:
+            raise ConfigError("need at least one node")
+        self.policy = policy
+        self._fails = [0] * num_nodes
+        self._ejected: Set[int] = set()
+        self.ejections = 0
+        self.probes = 0
+
+    def is_ejected(self, node: int) -> bool:
+        """Whether the router currently refuses to route to ``node``."""
+        return node in self._ejected
+
+    def record_failure(self, node: int) -> bool:
+        """Count one failed call; returns True if this ejects the node."""
+        if node in self._ejected:
+            return False
+        self._fails[node] += 1
+        if self._fails[node] >= self.policy.eject_after:
+            self._ejected.add(node)
+            self.ejections += 1
+            return True
+        return False
+
+    def record_success(self, node: int) -> None:
+        """A call succeeded: clean slate (also re-admits, belt-and-braces)."""
+        self._fails[node] = 0
+        self._ejected.discard(node)
+
+    def record_probe(self, node: int, reachable: bool) -> bool:
+        """Account one probe of an ejected node; True if re-admitted."""
+        self.probes += 1
+        if reachable:
+            self._fails[node] = 0
+            self._ejected.discard(node)
+            return True
+        return False
+
+
+class Router:
+    """Replica selection over a shard map, health- and policy-aware.
+
+    ``load_of(node, now_ms)`` estimates a node's backlog for the
+    ``least_loaded`` policy (the cluster passes its earliest-core-free
+    estimate); it is unused under ``round_robin``.
+    """
+
+    def __init__(
+        self,
+        policy: str,
+        health: HealthTracker,
+        load_of: Optional[Callable[[int, float], float]] = None,
+    ) -> None:
+        if policy not in ROUTING_POLICIES:
+            raise ConfigError(
+                f"unknown routing policy {policy!r}; known: {ROUTING_POLICIES}"
+            )
+        if policy == "least_loaded" and load_of is None:
+            raise ConfigError("least_loaded routing needs a load estimator")
+        self.policy = policy
+        self.health = health
+        self._load_of = load_of
+        self._rr: Dict[int, int] = {}
+
+    def choose(
+        self,
+        shard: int,
+        replicas: Sequence[int],
+        tried: Set[int],
+        now_ms: float,
+    ) -> Optional[int]:
+        """Pick the replica for one shard-call attempt, or None.
+
+        Never returns a node in ``tried`` (each attempt of one shard call
+        goes to a distinct replica — this is what deduplicates hedges and
+        bounds failover) nor an ejected node.  Returns None when no
+        routable replica remains.
+        """
+        eligible = [
+            n for n in replicas
+            if n not in tried and not self.health.is_ejected(n)
+        ]
+        if not eligible:
+            return None
+        if self.policy == "round_robin":
+            start = self._rr.get(shard, 0) % len(replicas)
+            for k in range(len(replicas)):
+                node = replicas[(start + k) % len(replicas)]
+                if node in eligible:
+                    self._rr[shard] = (start + k + 1) % len(replicas)
+                    return node
+            return None  # pragma: no cover - eligible is non-empty
+        # least_loaded: smallest backlog estimate, node id breaks ties.
+        assert self._load_of is not None
+        return min(eligible, key=lambda n: (self._load_of(n, now_ms), n))

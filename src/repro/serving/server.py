@@ -41,6 +41,7 @@ from ..obs import hooks as obs_hooks
 from ..obs.metrics import Histogram
 from . import fastserve
 from .faults import FaultPlan
+from .stats import safe_mean, safe_percentile, safe_ratio
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .degradation import DegradationController, LevelChange
@@ -52,6 +53,7 @@ __all__ = [
     "OUTCOME_SHED",
     "OUTCOME_TIMED_OUT",
     "ServerResult",
+    "ServerSim",
     "ServingPolicy",
     "lognormal_services",
     "simulate_server",
@@ -179,11 +181,10 @@ class ServerResult:
 
         The empty case follows the same convention as
         :meth:`repro.mem.stats.CacheStats.hit_rate`: degenerate inputs
-        yield 0.0 rather than an exception or NaN.
+        yield 0.0 rather than an exception or NaN (see
+        :mod:`repro.serving.stats`).
         """
-        if self.latencies_ms.size == 0:
-            return 0.0
-        return float(np.percentile(self.latencies_ms, q))
+        return safe_percentile(self.latencies_ms, q)
 
     @property
     def p50_ms(self) -> float:
@@ -203,22 +204,19 @@ class ServerResult:
     @property
     def mean_ms(self) -> float:
         """Mean end-to-end request latency; 0.0 with no requests."""
-        if self.latencies_ms.size == 0:
-            return 0.0
-        return float(np.mean(self.latencies_ms))
+        return safe_mean(self.latencies_ms)
 
     @property
     def utilization(self) -> float:
         """Offered load fraction: mean service / (cores x inter-arrival).
 
         0.0 when the inter-arrival time is unknown (fewer than two
-        arrivals) — a single request defines no offered rate.
+        arrivals) — a single request defines no offered rate — or when no
+        request was ever served (an all-shed node observes no service).
         """
-        if self.services_ms.size == 0 or self.offered_interarrival_ms <= 0:
-            return 0.0
-        return float(
-            np.mean(self.services_ms)
-            / (self.num_cores * self.offered_interarrival_ms)
+        return safe_ratio(
+            safe_mean(self.services_ms),
+            self.num_cores * self.offered_interarrival_ms,
         )
 
     # -- outcome accounting --------------------------------------------------
@@ -262,14 +260,11 @@ class ServerResult:
         Without a configured deadline every completion counts; 0.0 with no
         offered requests.
         """
-        total = self.offered_requests
-        if total == 0:
-            return 0.0
         if self.deadline_ms is None:
             good = self.outcome_count("completed")
         else:
             good = int(np.count_nonzero(self.latencies_ms <= self.deadline_ms))
-        return good / total
+        return safe_ratio(good, self.offered_requests)
 
 
 def lognormal_services(
@@ -291,6 +286,87 @@ def _active_request_log():
     """The session's RequestLog, or None (the zero-cost branch)."""
     obs = obs_hooks.active()
     return obs.requests if obs is not None else None
+
+
+@dataclass
+class ServerSim:
+    """One box's event loop, packaged as a reusable, seed-stable object.
+
+    A ``ServerSim`` captures everything that defines a single server
+    *except* its workload: service-time distribution, core count, fault
+    plan, admission policy, and degradation controller.  Calling
+    :meth:`run` with an arrival array and a generator executes the FIFO
+    M/G/c simulation exactly as :func:`simulate_server` always has — the
+    function is now a thin wrapper over this class, byte-identical to the
+    pre-refactor behaviour on every path and both engines.
+
+    The point of the extraction is composition: a cluster
+    (:mod:`repro.serving.cluster`) is N independent ``ServerSim`` worlds,
+    each with its own seeded service stream, its own faults, and its own
+    controller, glued together by a router rather than by shared state.
+
+    ``engine`` may be ``None`` (resolve the process default at each
+    :meth:`run`), ``"reference"``, or ``"fast"``.
+    """
+
+    mean_service_ms: float
+    num_cores: int
+    service_cv: float = DEFAULT_SERVICE_CV
+    fault_plan: Optional[FaultPlan] = None
+    policy: Optional[ServingPolicy] = None
+    controller: Optional["DegradationController"] = None
+    label: Optional[str] = None
+    engine: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise ConfigError("need at least one core")
+        if self.engine is not None and self.engine not in ("fast", "reference"):
+            raise ConfigError(
+                f"unknown serving engine {self.engine!r}; "
+                "expected 'fast' or 'reference'"
+            )
+
+    @property
+    def is_plain(self) -> bool:
+        """Whether :meth:`run` takes the vectorized happy path."""
+        return (
+            (self.fault_plan is None or self.fault_plan.is_empty)
+            and (self.policy is None or self.policy.is_null)
+            and self.controller is None
+        )
+
+    def run(
+        self, arrivals_ms: np.ndarray, rng: np.random.Generator
+    ) -> ServerResult:
+        """Simulate this server against one arrival process."""
+        if arrivals_ms.ndim != 1 or arrivals_ms.size == 0:
+            raise ConfigError("need a non-empty 1-D arrival array")
+        if np.any(np.diff(arrivals_ms) < 0):
+            raise ConfigError("arrival times must be non-decreasing")
+        engine = self.engine if self.engine is not None else get_default_engine()
+        if engine not in ("fast", "reference"):
+            raise ConfigError(
+                f"unknown serving engine {engine!r}; "
+                "expected 'fast' or 'reference'"
+            )
+        if self.is_plain:
+            return _simulate_fast(
+                arrivals_ms, self.mean_service_ms, self.num_cores, rng,
+                self.service_cv, self.label, engine,
+            )
+        return _simulate_resilient(
+            arrivals_ms,
+            self.mean_service_ms,
+            self.num_cores,
+            rng,
+            self.service_cv,
+            self.fault_plan if self.fault_plan is not None else FaultPlan(),
+            self.policy if self.policy is not None else ServingPolicy(),
+            self.controller,
+            self.label,
+            engine,
+        )
 
 
 def simulate_server(
@@ -321,41 +397,21 @@ def simulate_server(
     ``label`` names this simulation in request-scoped telemetry (the
     :class:`repro.obs.requests.RequestLog` run label and its trace track);
     it has no effect on simulation results.
+
+    This is a thin wrapper over :class:`ServerSim`; use the class directly
+    when the same server configuration runs many workloads (the cluster
+    layer does).
     """
-    if num_cores <= 0:
-        raise ConfigError("need at least one core")
-    if arrivals_ms.ndim != 1 or arrivals_ms.size == 0:
-        raise ConfigError("need a non-empty 1-D arrival array")
-    if np.any(np.diff(arrivals_ms) < 0):
-        raise ConfigError("arrival times must be non-decreasing")
-    if engine is None:
-        engine = get_default_engine()
-    if engine not in ("fast", "reference"):
-        raise ConfigError(
-            f"unknown serving engine {engine!r}; expected 'fast' or 'reference'"
-        )
-    plain = (
-        (fault_plan is None or fault_plan.is_empty)
-        and (policy is None or policy.is_null)
-        and controller is None
-    )
-    if plain:
-        return _simulate_fast(
-            arrivals_ms, mean_service_ms, num_cores, rng, service_cv, label,
-            engine,
-        )
-    return _simulate_resilient(
-        arrivals_ms,
-        mean_service_ms,
-        num_cores,
-        rng,
-        service_cv,
-        fault_plan if fault_plan is not None else FaultPlan(),
-        policy if policy is not None else ServingPolicy(),
-        controller,
-        label,
-        engine,
-    )
+    return ServerSim(
+        mean_service_ms=mean_service_ms,
+        num_cores=num_cores,
+        service_cv=service_cv,
+        fault_plan=fault_plan,
+        policy=policy,
+        controller=controller,
+        label=label,
+        engine=engine,
+    ).run(arrivals_ms, rng)
 
 
 def _simulate_fast(

@@ -1,0 +1,43 @@
+"""Degenerate-input guards shared across serving aggregations.
+
+Every serving-layer aggregate — a whole server, one pipeline, one cluster
+node — faces the same degenerate inputs: no completed requests (empty
+latency array), a single arrival (no offered rate), an all-shed node
+(zero service time observed).  The repo-wide convention (matching
+:meth:`repro.mem.stats.CacheStats.hit_rate`) is that degenerate inputs
+yield ``0.0`` rather than an exception, ``NaN``, or a numpy warning.
+
+Before the cluster layer each result type guarded its own fields ad hoc;
+these helpers centralize the convention so multi-node aggregation (an
+empty node, an all-shed node, a node that served exactly one request)
+cannot re-introduce a division by zero in any one field.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["safe_mean", "safe_percentile", "safe_ratio"]
+
+
+def safe_percentile(values: np.ndarray, q: float) -> float:
+    """``np.percentile`` with the empty-input -> 0.0 convention."""
+    arr = np.asarray(values)
+    if arr.size == 0:
+        return 0.0
+    return float(np.percentile(arr, q))
+
+
+def safe_mean(values: np.ndarray) -> float:
+    """Arithmetic mean; 0.0 on an empty array (no NaN, no warning)."""
+    arr = np.asarray(values)
+    if arr.size == 0:
+        return 0.0
+    return float(np.mean(arr))
+
+
+def safe_ratio(numerator: float, denominator: float) -> float:
+    """``numerator / denominator``; 0.0 when the denominator is <= 0."""
+    if denominator <= 0:
+        return 0.0
+    return float(numerator) / float(denominator)

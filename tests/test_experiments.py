@@ -57,14 +57,15 @@ class TestBase:
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        # 12 figures + 4 tables + three extensions (synergy, hotness
-        # sweep, resilience).
-        assert len(EXPERIMENT_IDS) == 19
+        # 12 figures + 4 tables + four extensions (synergy, hotness
+        # sweep, resilience, cluster_resilience).
+        assert len(EXPERIMENT_IDS) == 20
         assert "fig12" in EXPERIMENT_IDS
         assert "table4" in EXPERIMENT_IDS
         assert "synergy" in EXPERIMENT_IDS
         assert "hotness_sweep" in EXPERIMENT_IDS
         assert "resilience" in EXPERIMENT_IDS
+        assert "cluster_resilience" in EXPERIMENT_IDS
 
     def test_titles_listed(self):
         titles = list_experiments()

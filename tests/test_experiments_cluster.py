@@ -1,0 +1,85 @@
+"""Cluster resilience experiment: acceptance — replication + hedging
+hold the Table 1 SLA through node kills that break the unreplicated
+cluster."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.experiments import cluster_resilience
+from repro.experiments.registry import EXPERIMENT_IDS
+
+CHEAP = dict(
+    scale=0.01, batch_size=8, num_batches=2, num_nodes=4,
+    cores_per_node=4, num_requests=1500, detailed_cores=1,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return cluster_resilience.run(config=SimConfig(seed=33), **CHEAP)
+
+
+def rows_for(report, scenario, replication=None, policy=None):
+    rows = [r for r in report.rows if r["scenario"] == scenario]
+    if replication is not None:
+        rows = [r for r in rows if r["replication"] == replication]
+    if policy is not None:
+        rows = [r for r in rows if r["policy"] == policy]
+    return rows
+
+
+class TestClusterResilience:
+    def test_registered(self):
+        assert "cluster_resilience" in EXPERIMENT_IDS
+
+    def test_shape(self, report):
+        assert {r["scenario"] for r in report.rows} == {
+            "none", "node_kill", "chaos",
+        }
+        assert {r["replication"] for r in report.rows} == {1, 2}
+        assert {r["policy"] for r in report.rows} == {
+            "round_robin", "least_loaded", "least_loaded_hedge",
+        }
+        assert len(report.rows) == 18
+
+    def test_no_fault_meets_sla_everywhere(self, report):
+        for row in rows_for(report, "none"):
+            assert row["meets_sla"], row
+            assert row["goodput"] == pytest.approx(1.0, abs=0.02)
+
+    def test_headline_node_kill_property(self, report):
+        """The acceptance property: replication>=2 + hedging rides out the
+        node kill (SLA met, goodput >= 0.95x no-fault) while the
+        unreplicated cluster fatally violates the SLA."""
+        for row in rows_for(report, "node_kill", replication=1):
+            assert not row["meets_sla"], row
+            assert row["quality_p95_ms"] == float("inf")
+            assert row["degraded"] + row["failed"] > 0
+        strong = rows_for(
+            report, "node_kill", replication=2, policy="least_loaded_hedge"
+        )[0]
+        assert strong["meets_sla"], strong
+        assert strong["goodput_vs_nofault"] >= 0.95
+        assert strong["failovers"] > 0
+        assert report.notes, "headline note missing"
+        assert any("headline" in note for note in report.notes)
+
+    def test_replication_strictly_helps_under_faults(self, report):
+        for scenario in ("node_kill", "chaos"):
+            for policy in ("round_robin", "least_loaded"):
+                weak = rows_for(report, scenario, 1, policy)[0]
+                strong = rows_for(report, scenario, 2, policy)[0]
+                assert strong["goodput"] >= weak["goodput"]
+
+    def test_conservation_in_every_cell(self, report):
+        total = CHEAP["num_requests"]
+        for row in report.rows:
+            assert (
+                row["completed"] + row["degraded"] + row["shed"]
+                + row["failed"] == total
+            ), row
+
+    def test_deterministic_rows(self):
+        a = cluster_resilience.run(config=SimConfig(seed=33), **CHEAP)
+        b = cluster_resilience.run(config=SimConfig(seed=33), **CHEAP)
+        assert a.rows == b.rows

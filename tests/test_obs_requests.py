@@ -224,10 +224,38 @@ def _rec(**kwargs):
         (_rec(deadline_met=False, wait_ms=5.0, service_ms=2.0), "queueing"),
         (_rec(deadline_met=False, wait_ms=1.0, service_ms=9.0), "slow_service"),
         (_rec(deadline_met=None), None),  # no deadline configured
+        # Fleet-level causes (cluster runs), most specific first:
+        (_rec(outcome="degraded", cause="node_fault"), "node_fault"),
+        (_rec(outcome="degraded", cause="partition"), "partition"),
+        (_rec(outcome="failed", cause="node_fault"), "node_fault"),
+        (_rec(outcome="failed", cause="partition"), "partition"),
+        (_rec(deadline_met=False, cause="partition"), "partition"),
+        (_rec(deadline_met=False, cause="node_fault"), "node_fault"),
+        (_rec(deadline_met=False, failovers=1), "failover"),
+        (_rec(deadline_met=False, hedges_wasted=2), "hedge_wasted"),
+        # A late completion with both: the failover outranks the hedge.
+        (
+            _rec(deadline_met=False, failovers=1, hedges_wasted=1),
+            "failover",
+        ),
+        # ...and a node-fault cause outranks the recovery machinery.
+        (
+            _rec(deadline_met=False, cause="node_fault", failovers=1),
+            "node_fault",
+        ),
     ],
 )
 def test_attribute_miss_cases(record, expected):
     assert attribute_miss(record) == expected
+
+
+def test_cluster_causes_in_miss_causes_order():
+    """The four fleet causes sit between the terminal and single-box
+    buckets, keeping most-specific-first attribution."""
+    for cause in ("partition", "node_fault", "failover", "hedge_wasted"):
+        assert cause in MISS_CAUSES
+    assert MISS_CAUSES.index("queue_timeout") < MISS_CAUSES.index("partition")
+    assert MISS_CAUSES.index("hedge_wasted") < MISS_CAUSES.index("fault")
 
 
 def test_miss_attribution_orders_and_counts():

@@ -65,3 +65,31 @@ def test_validation(rng):
     arrivals = poisson_arrivals(1.0, 10, rng)
     with pytest.raises(ConfigError):
         serve_query_stream(arrivals, 4, 10.0, 0.0, 2, rng)
+
+
+def test_empty_result_summaries_are_zero_not_nan():
+    """Degenerate results share the serving-wide 0.0 convention instead
+    of raising or returning NaN (the shared stats helpers)."""
+    from repro.serving.pipeline import PipelineResult
+    from repro.serving.server import ServerResult
+
+    server = ServerResult(
+        latencies_ms=np.empty(0),
+        waits_ms=np.empty(0),
+        services_ms=np.empty(0),
+        num_cores=2,
+        offered_interarrival_ms=1.0,
+    )
+    empty = PipelineResult(
+        query_latencies_ms=np.empty(0),
+        batching_delays_ms=np.empty(0),
+        server=server,
+        batch_sizes=np.empty(0, dtype=np.int64),
+    )
+    assert empty.percentile(95.0) == 0.0
+    assert empty.p95_ms == 0.0
+    assert empty.mean_batch_size == 0.0
+    assert server.p95_ms == 0.0
+    assert server.mean_ms == 0.0
+    assert server.utilization == 0.0
+    assert server.goodput == 0.0

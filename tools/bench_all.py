@@ -20,6 +20,9 @@ The suite:
   pinned resilience scenario (bandwidth degradation + arrival burst +
   stragglers against a retry/shed policy and a degradation controller)
   plus the fast-path p95; also exact.
+* **cluster sim outputs** (kind ``sim``) — goodput and quality/latency
+  tails of a pinned replicated+hedged 4-node cluster riding out a node
+  kill (the ``cluster_resilience`` headline, pinned); also exact.
 
 Records validate against ``$defs.bench_record`` in
 ``tools/trace_schema.json``; ``tools/bench_gate.py`` compares the two
@@ -62,9 +65,13 @@ from repro.serving.degradation import (  # noqa: E402
 from repro.serving.faults import (  # noqa: E402
     ArrivalBurst,
     BandwidthDegradation,
+    ClusterFaultPlan,
     FaultPlan,
+    NodeCrash,
     Stragglers,
 )
+from repro.serving.cluster import ClusterConfig, ClusterSim  # noqa: E402
+from repro.serving.router import HedgePolicy  # noqa: E402
 from repro.serving.server import ServingPolicy, simulate_server  # noqa: E402
 from repro.serving.workload import poisson_arrivals  # noqa: E402
 
@@ -219,6 +226,59 @@ def _serving_benchmarks(mode: str) -> List[Benchmark]:
     ]
 
 
+def _cluster_benchmarks(mode: str) -> List[Benchmark]:
+    """Fleet goodput/tail of one pinned node-kill scenario (exact).
+
+    A replicated, hedged 4-node cluster rides out a mid-run node crash;
+    the gate watches that its goodput and quality tail stay put — the
+    headline property of the ``cluster_resilience`` experiment, pinned.
+    """
+    num_requests = 400 if mode == "smoke" else 2000
+    call_ms = 2.0
+    num_nodes, cores = 4, 4
+    interarrival_ms = 2.0 * call_ms / (num_nodes * cores * 0.55)
+    config = SimConfig(seed=77)
+    arrivals = poisson_arrivals(
+        interarrival_ms, num_requests, config.rng("bench:cluster")
+    )
+    horizon_ms = num_requests * interarrival_ms
+    cluster = ClusterSim(
+        ClusterConfig(
+            num_nodes=num_nodes,
+            cores_per_node=cores,
+            mean_service_ms=call_ms,
+            num_shards=8,
+            replication=2,
+            gather_width=2,
+            hop_ms=0.1,
+            call_timeout_ms=25.0,
+            deadline_ms=100.0,
+            placement="hotness",
+            routing="least_loaded",
+            hedge=HedgePolicy(quantile=95.0, min_ms=6.0, window=128),
+            faults=ClusterFaultPlan(
+                [NodeCrash(1, 0.25 * horizon_ms, 0.6 * horizon_ms)], seed=77
+            ),
+            seed=77,
+            label="bench:cluster",
+        )
+    )
+    result = cluster.run(arrivals)
+    return [
+        Benchmark(
+            "cluster.resilient.goodput", result.goodput, "frac",
+            direction="higher",
+        ),
+        Benchmark(
+            "cluster.resilient.quality_p95_ms",
+            result.quality_percentile(95.0), "ms", direction="lower",
+        ),
+        Benchmark(
+            "cluster.resilient.p99_ms", result.p99_ms, "ms", direction="lower"
+        ),
+    ]
+
+
 def run_suite(mode: str, repeats: int) -> Dict[str, object]:
     """Run the pinned suite; return the (schema-valid) history record."""
     if mode not in MODES:
@@ -227,6 +287,7 @@ def run_suite(mode: str, repeats: int) -> Dict[str, object]:
     benchmarks.extend(_wall_benchmarks(mode, repeats))
     benchmarks.extend(_scheme_benchmarks(mode))
     benchmarks.extend(_serving_benchmarks(mode))
+    benchmarks.extend(_cluster_benchmarks(mode))
     for bench in benchmarks:
         print(
             f"{bench.name:42s} {bench.value:>14,.4g} {bench.unit:<8s} "

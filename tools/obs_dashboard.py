@@ -168,6 +168,16 @@ def _requests_section(request_log_path: Path) -> str:
         f"{meta.get('requests', len(records))} request(s), "
         f"{meta.get('dropped', 0)} dropped</p>"
     )
+    failovers = sum(int(r.get("failovers", 0) or 0) for r in records)
+    hedges = sum(int(r.get("hedges", 0) or 0) for r in records)
+    wasted = sum(int(r.get("hedges_wasted", 0) or 0) for r in records)
+    degraded = sum(1 for r in records if r.get("outcome") == "degraded")
+    if failovers or hedges or degraded:
+        head += (
+            f"<p class='note'>fleet: {failovers} failover(s), "
+            f"{hedges} hedge(s) ({wasted} wasted), "
+            f"{degraded} degraded (partial) result(s)</p>"
+        )
     if not attribution:
         return head + "<p class='note'>every request met its deadline</p>"
     total = sum(attribution.values())

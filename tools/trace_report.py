@@ -268,6 +268,15 @@ def summarize_requests(meta: dict, records: List[dict], top: int = 10) -> str:
             f"core={rec.get('core') if rec.get('core') is not None else '-'} "
             f"retries={rec.get('retries', 0)}"
         )
+        if rec.get("failovers"):
+            head += f" failovers={rec['failovers']}"
+        if rec.get("hedges"):
+            head += (
+                f" hedges={rec['hedges']}"
+                f" hedges_wasted={rec.get('hedges_wasted', 0)}"
+            )
+        if rec.get("nodes"):
+            head += f" nodes={','.join(str(n) for n in rec['nodes'])}"
         if cause is not None:
             head += f" miss_cause={cause}"
         if rec.get("fault_windows"):

@@ -12,6 +12,7 @@ from . import (
     cluster_resilience,
     hotness_sweep,
     resilience,
+    slo_observatory,
     synergy,
     fig01_breakdown,
     fig04_dataset_sweep,
@@ -55,6 +56,7 @@ _MODULES = (
     hotness_sweep,
     resilience,
     cluster_resilience,
+    slo_observatory,
 )
 
 _REGISTRY: Dict[str, Callable[..., ExperimentReport]] = {

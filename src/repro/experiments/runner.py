@@ -152,6 +152,13 @@ def build_parser() -> argparse.ArgumentParser:
         "forces serial in-process execution and bypasses the result cache",
     )
     parser.add_argument(
+        "--slo-log", type=Path, default=None, metavar="FILE",
+        help="write windowed SLO states and burn/detector alerts as JSONL "
+        "(experiments that accept an slo_log parameter, e.g. "
+        "slo_observatory); forces serial in-process execution and "
+        "bypasses the result cache",
+    )
+    parser.add_argument(
         "--bench-record", type=Path, default=None, metavar="FILE",
         help="append per-experiment wall-clock records to a benchmark "
         "history JSONL (see tools/bench_all.py for the pinned suite)",
@@ -168,6 +175,9 @@ def _overrides(args: argparse.Namespace, runner) -> dict:
         value = getattr(args, flag, None)
         if value is not None and flag in accepted:
             out[flag] = value
+    slo_log = getattr(args, "slo_log", None)
+    if slo_log is not None and "slo_log" in accepted:
+        out["slo_log"] = str(slo_log)
     return out
 
 
@@ -301,6 +311,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         or args.metrics is not None
         or args.cpi_stack
         or args.request_log is not None
+        or args.slo_log is not None
     )
     use_cache = (args.cache or multi) and not args.no_cache and not observing
 

@@ -26,6 +26,12 @@ With no session active every hook in the simulator reduces to one
 the fast engine's throughput is unaffected (see docs/observability.md).
 """
 
+from .detect import (
+    CompositionDriftDetector,
+    DetectionEvent,
+    MeanShiftDetector,
+)
+from .fleet import FleetSpan, FleetTrace, check_span_tree, merge_spans
 from .cpi import (
     CPI_BUCKETS,
     CpiStack,
@@ -51,36 +57,61 @@ from .requests import (
     miss_attribution,
 )
 from .schema import validate, validate_def
+from .slo import (
+    BurnAlert,
+    BurnRule,
+    FleetMonitor,
+    SLOSpec,
+    SloTimeline,
+    burn_alerts,
+    evaluate_slo,
+    score_detections,
+)
 from .tracer import SIM_PID, WALL_PID, SpanEvent, Tracer
 
 __all__ = [
     "CPI_BUCKETS",
     "Benchmark",
+    "BurnAlert",
+    "BurnRule",
+    "CompositionDriftDetector",
     "Counter",
     "CpiStack",
+    "DetectionEvent",
+    "FleetMonitor",
+    "FleetSpan",
+    "FleetTrace",
     "Gauge",
     "Histogram",
+    "MeanShiftDetector",
     "MetricsRegistry",
     "Observation",
     "Regression",
     "RequestLog",
     "SIM_PID",
+    "SLOSpec",
+    "SloTimeline",
     "SpanEvent",
     "Tracer",
     "WALL_PID",
     "active",
     "attribute_miss",
+    "burn_alerts",
+    "check_span_tree",
     "collect_cpi_stacks",
     "compare",
     "dense_cpi_stack",
     "embedding_cpi_stack",
     "enabled",
+    "evaluate_slo",
     "format_cpi_table",
     "load_history",
     "load_request_log",
     "make_record",
+    "merge_spans",
     "miss_attribution",
     "publish_cpi_stack",
+    "score_detections",
     "session",
     "validate",
     "validate_def",

@@ -50,6 +50,7 @@ import numpy as np
 from ..errors import ConfigError
 from ..mem.hierarchy import get_default_engine
 from ..obs import hooks as obs_hooks
+from ..obs.fleet import FleetTrace
 from ..obs.metrics import Histogram
 from .faults import ClusterFaultPlan, FaultPlan
 from .router import HealthPolicy, HealthTracker, HedgePolicy, LatencyWindow, Router
@@ -690,6 +691,24 @@ class ClusterSim:
             if log is not None
             else None
         )
+        # Distributed tracing: one span tree per request, root id equal
+        # to the request-log exemplar id.  Held as None with hooks off so
+        # the loop's only overhead is the same is-None branches the run
+        # log already takes.
+        trace = (
+            FleetTrace(
+                cfg.label if cfg.label else "cluster",
+                run_index=run.index if run is not None else 0,
+            )
+            if obs is not None
+            else None
+        )
+        if trace is not None:
+            router.on_decision = (
+                lambda ctx, shard, chosen, eligible, t: trace.route(
+                    ctx[0], t, chosen, cfg.routing, eligible, ctx[1]
+                )
+            )
 
         # -- mutable run state -------------------------------------------
         outcomes = np.full(n, -1, dtype=np.int64)
@@ -754,6 +773,10 @@ class ClusterSim:
             slot.tried.add(node)
             slot.outstanding += 1
             inflight[node] += 1
+            if trace is not None:
+                att.trace_id = trace.begin_attempt(
+                    slot.trace_id, node, now, hedge
+                )
             if run is not None:
                 run.event(
                     slot.request,
@@ -811,6 +834,8 @@ class ClusterSim:
             slot = att.slot
             slot.outstanding -= 1
             slot.fail_causes.add(cause)
+            if trace is not None:
+                trace.end_attempt(att.trace_id, now, "failed", cause=cause)
             if run is not None:
                 run.event(
                     slot.request,
@@ -837,7 +862,10 @@ class ClusterSim:
                 if att.is_hedge:
                     counters["hedges_failed"] += 1
                 return
-            target = router.choose(slot.shard, replicas[slot.shard], slot.tried, now)
+            target = router.choose(
+                slot.shard, replicas[slot.shard], slot.tried, now,
+                ctx=(slot.trace_id, "failover"),
+            )
             if target is not None:
                 counters["failovers"] += 1
                 req_failovers[slot.request] += 1
@@ -858,6 +886,8 @@ class ClusterSim:
             # No replica left: the shard is unreachable for this request.
             slot.missing = True
             slot.resolved = True
+            if trace is not None:
+                trace.end_slot(slot.trace_id, now, "missing")
             maybe_free_slot(slot)
             req_missing[slot.request] += 1
             finish_slot(slot.request, now)
@@ -892,6 +922,13 @@ class ClusterSim:
             outstanding_requests -= 1
             if run is not None:
                 run.event(req, kind, now, missing_shards=missing)
+            if trace is not None:
+                trace.end_request(
+                    req,
+                    now,
+                    CLUSTER_OUTCOME_NAMES[int(outcomes[req])],
+                    missing_shards=missing,
+                )
 
         # -- main loop -----------------------------------------------------
         while events:
@@ -926,21 +963,44 @@ class ClusterSim:
                 health.record_success(att.node)
                 if window is not None:
                     window.observe(now - att.submit_ms)
+                if run is not None:
+                    run.event(
+                        slot.request,
+                        "call_ok",
+                        now,
+                        node=att.node,
+                        shard=slot.shard,
+                        latency_ms=now - att.submit_ms,
+                        hedge=att.is_hedge,
+                    )
                 if slot.resolved:
                     if att.is_hedge:
                         counters["hedges_wasted"] += 1
                         req_hedges_wasted[slot.request] += 1
+                    if trace is not None:
+                        trace.end_attempt(
+                            att.trace_id, now, "ok",
+                            latency_ms=now - att.submit_ms, winner=False,
+                        )
                     maybe_free_slot(slot)
                     continue
                 slot.resolved = True
                 if att.is_hedge:
                     counters["hedges_won"] += 1
+                if trace is not None:
+                    trace.end_attempt(
+                        att.trace_id, now, "ok",
+                        latency_ms=now - att.submit_ms, winner=True,
+                    )
+                    trace.end_slot(slot.trace_id, now, "ok")
                 maybe_free_slot(slot)
                 finish_slot(slot.request, now)
             elif kind == _EV_ARRIVE:
                 i = payload
                 if run is not None:
                     run.event(i, "arrive", now)
+                if trace is not None:
+                    trace.begin_request(i, now)
                 if (
                     cfg.max_outstanding is not None
                     and outstanding_requests >= cfg.max_outstanding
@@ -949,6 +1009,8 @@ class ClusterSim:
                     end_ms[i] = now
                     if run is not None:
                         run.event(i, "shed", now, depth=outstanding_requests)
+                    if trace is not None:
+                        trace.end_request(i, now, "shed")
                     continue
                 outstanding_requests += 1
                 width = int(shards_of.shape[1])
@@ -958,11 +1020,18 @@ class ClusterSim:
                     slot = _Slot(next_slot_id, i, shard)
                     next_slot_id += 1
                     slots[slot.slot_id] = slot
-                    target = router.choose(shard, replicas[shard], slot.tried, now)
+                    if trace is not None:
+                        slot.trace_id = trace.begin_slot(i, k, shard, now)
+                    target = router.choose(
+                        shard, replicas[shard], slot.tried, now,
+                        ctx=(slot.trace_id, "primary"),
+                    )
                     if target is None:
                         slot.missing = True
                         slot.resolved = True
                         slot.fail_causes.add("node_fault")
+                        if trace is not None:
+                            trace.end_slot(slot.trace_id, now, "missing")
                         req_node_fault[i] = True
                         req_missing[i] += 1
                         finish_slot(i, now)
@@ -975,7 +1044,8 @@ class ClusterSim:
                 if cfg.hedge is None or slot.hedges >= cfg.hedge.max_hedges:
                     continue
                 target = router.choose(
-                    slot.shard, replicas[slot.shard], slot.tried, now
+                    slot.shard, replicas[slot.shard], slot.tried, now,
+                    ctx=(slot.trace_id, "hedge"),
                 )
                 if target is None:
                     continue
@@ -1086,10 +1156,13 @@ class ClusterSim:
             run.finish_custom(
                 tracer=obs.tracer if obs is not None else None
             )
-        self._publish(result, plan, obs)
+        if trace is not None:
+            trace.finalize()
+            trace.emit(obs.tracer)
+        self._publish(result, plan, obs, run)
         return result
 
-    def _publish(self, result: ClusterResult, plan, obs) -> None:
+    def _publish(self, result: ClusterResult, plan, obs, run=None) -> None:
         """Cluster metrics + fault-window trace track (observed runs)."""
         if obs is None:
             return
@@ -1102,9 +1175,18 @@ class ClusterSim:
         obs.metrics.counter("cluster.probes").inc(result.probes)
         obs.metrics.counter("cluster.calls_failed").inc(result.calls_failed)
         obs.metrics.gauge("cluster.nodes").set(result.num_nodes)
-        obs.metrics.histogram("cluster.latency_ms").observe_many(
-            result.latencies_ms
-        )
+        lat_hist = obs.metrics.histogram("cluster.latency_ms")
+        if run is not None:
+            # Same three-way join as the single box: histogram bucket ->
+            # exemplar id -> request-log line and trace span.
+            ids = run.completed_ids()
+            for k, value in enumerate(result.latencies_ms):
+                if k < len(ids):
+                    lat_hist.observe_exemplar(float(value), ids[k])
+                else:  # run log truncated by its bound
+                    lat_hist.observe(float(value))
+        else:
+            lat_hist.observe_many(result.latencies_ms)
         for stats in result.node_stats:
             obs.metrics.gauge(f"cluster.node{stats.node}.utilization").set(
                 stats.utilization
@@ -1131,6 +1213,7 @@ class _Slot:
         "outstanding",
         "hedges",
         "fail_causes",
+        "trace_id",
     )
 
     def __init__(self, slot_id: int, request: int, shard: int) -> None:
@@ -1143,6 +1226,7 @@ class _Slot:
         self.outstanding = 0
         self.hedges = 0
         self.fail_causes: Set[str] = set()
+        self.trace_id: Optional[str] = None
 
 
 class _Attempt:
@@ -1159,6 +1243,7 @@ class _Attempt:
         "completion",
         "deliver",
         "fail_cause",
+        "trace_id",
     )
 
     def __init__(
@@ -1174,3 +1259,4 @@ class _Attempt:
         self.completion: Optional[float] = None
         self.deliver: Optional[float] = None
         self.fail_cause: Optional[str] = None
+        self.trace_id: Optional[str] = None

@@ -173,6 +173,14 @@ class Router:
     ``load_of(node, now_ms)`` estimates a node's backlog for the
     ``least_loaded`` policy (the cluster passes its earliest-core-free
     estimate); it is unused under ``round_robin``.
+
+    ``on_decision`` is the tracing seam: when set (the cluster wires it
+    up for observed runs), every :meth:`choose` reports its verdict as
+    ``on_decision(ctx, shard, chosen, eligible_count, now_ms)``, where
+    ``ctx`` is whatever trace context the caller threaded through — the
+    router is the only place that knows how many replicas were actually
+    eligible after health filtering.  Unset, the cost is one ``is None``
+    branch per decision.
     """
 
     def __init__(
@@ -180,6 +188,7 @@ class Router:
         policy: str,
         health: HealthTracker,
         load_of: Optional[Callable[[int, float], float]] = None,
+        on_decision: Optional[Callable] = None,
     ) -> None:
         if policy not in ROUTING_POLICIES:
             raise ConfigError(
@@ -190,6 +199,7 @@ class Router:
         self.policy = policy
         self.health = health
         self._load_of = load_of
+        self.on_decision = on_decision
         self._rr: Dict[int, int] = {}
 
     def choose(
@@ -198,28 +208,36 @@ class Router:
         replicas: Sequence[int],
         tried: Set[int],
         now_ms: float,
+        ctx: Optional[object] = None,
     ) -> Optional[int]:
         """Pick the replica for one shard-call attempt, or None.
 
         Never returns a node in ``tried`` (each attempt of one shard call
         goes to a distinct replica — this is what deduplicates hedges and
         bounds failover) nor an ejected node.  Returns None when no
-        routable replica remains.
+        routable replica remains.  ``ctx`` is passed through verbatim to
+        ``on_decision`` so callers can attribute the decision to a span.
         """
         eligible = [
             n for n in replicas
             if n not in tried and not self.health.is_ejected(n)
         ]
-        if not eligible:
-            return None
-        if self.policy == "round_robin":
-            start = self._rr.get(shard, 0) % len(replicas)
-            for k in range(len(replicas)):
-                node = replicas[(start + k) % len(replicas)]
-                if node in eligible:
-                    self._rr[shard] = (start + k + 1) % len(replicas)
-                    return node
-            return None  # pragma: no cover - eligible is non-empty
-        # least_loaded: smallest backlog estimate, node id breaks ties.
-        assert self._load_of is not None
-        return min(eligible, key=lambda n: (self._load_of(n, now_ms), n))
+        chosen: Optional[int] = None
+        if eligible:
+            if self.policy == "round_robin":
+                start = self._rr.get(shard, 0) % len(replicas)
+                for k in range(len(replicas)):
+                    node = replicas[(start + k) % len(replicas)]
+                    if node in eligible:
+                        self._rr[shard] = (start + k + 1) % len(replicas)
+                        chosen = node
+                        break
+            else:
+                # least_loaded: smallest backlog estimate, id breaks ties.
+                assert self._load_of is not None
+                chosen = min(
+                    eligible, key=lambda n: (self._load_of(n, now_ms), n)
+                )
+        if self.on_decision is not None:
+            self.on_decision(ctx, shard, chosen, len(eligible), now_ms)
+        return chosen

@@ -57,15 +57,16 @@ class TestBase:
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        # 12 figures + 4 tables + four extensions (synergy, hotness
-        # sweep, resilience, cluster_resilience).
-        assert len(EXPERIMENT_IDS) == 20
+        # 12 figures + 4 tables + five extensions (synergy, hotness
+        # sweep, resilience, cluster_resilience, slo_observatory).
+        assert len(EXPERIMENT_IDS) == 21
         assert "fig12" in EXPERIMENT_IDS
         assert "table4" in EXPERIMENT_IDS
         assert "synergy" in EXPERIMENT_IDS
         assert "hotness_sweep" in EXPERIMENT_IDS
         assert "resilience" in EXPERIMENT_IDS
         assert "cluster_resilience" in EXPERIMENT_IDS
+        assert "slo_observatory" in EXPERIMENT_IDS
 
     def test_titles_listed(self):
         titles = list_experiments()

@@ -1,0 +1,116 @@
+"""Drift-detector tests: mean shifts, composition drift, state machines."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.detect import (
+    CompositionDriftDetector,
+    DetectionEvent,
+    MeanShiftDetector,
+)
+
+
+def _feed(detector, values, t0=0.0, dt=1.0):
+    events = []
+    for j, v in enumerate(values):
+        event = detector.update(t0 + (j + 1) * dt, v)
+        if event is not None:
+            events.append(event)
+    return events
+
+
+class TestMeanShiftDetector:
+    def test_quiet_signal_never_fires(self):
+        det = MeanShiftDetector("sig", warmup=8)
+        values = [1.0 + 0.01 * ((j % 5) - 2) for j in range(200)]
+        assert _feed(det, values) == []
+        assert not det.firing
+
+    def test_step_change_fires_and_resolves(self):
+        det = MeanShiftDetector("sig", warmup=8, threshold=4.0)
+        events = _feed(det, [1.0] * 30 + [10.0] * 20 + [1.0] * 30)
+        states = [e.state for e in events]
+        assert states == ["firing", "resolved"]
+        assert events[0].t_ms < events[1].t_ms
+        assert not det.firing
+
+    def test_warmup_swallows_early_samples(self):
+        # The shift lands inside the warmup window: it becomes the
+        # baseline instead of an anomaly.
+        det = MeanShiftDetector("sig", warmup=16)
+        assert _feed(det, [5.0] * 10) == []
+
+    def test_direction_up_ignores_improvements(self):
+        det = MeanShiftDetector("sig", warmup=8, direction="up")
+        events = _feed(det, [10.0] * 20 + [0.1] * 20)
+        assert events == []
+
+    def test_direction_down_ignores_degradations(self):
+        det = MeanShiftDetector("sig", warmup=8, direction="down")
+        assert _feed(det, [1.0] * 20 + [50.0] * 20) == []
+
+    def test_direction_down_fires_on_drop(self):
+        det = MeanShiftDetector("sig", warmup=8, direction="down")
+        events = _feed(det, [1.0] * 20 + [0.0] * 20)
+        assert events and events[0].state == "firing"
+
+    def test_reference_frozen_while_firing(self):
+        # A long-lived fault must not teach the detector that broken is
+        # normal: the reference only adapts while healthy.
+        det = MeanShiftDetector("sig", warmup=8, threshold=4.0)
+        _feed(det, [1.0] * 30 + [10.0] * 200)
+        assert det.firing
+
+    def test_event_shape(self):
+        det = MeanShiftDetector("sig", node=3, warmup=4)
+        events = _feed(det, [1.0] * 10 + [99.0] * 5)
+        assert events and isinstance(events[0], DetectionEvent)
+        assert events[0].signal == "sig"
+        assert events[0].node == 3
+        assert events[0].firing
+        assert events[0].score >= 4.0
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            MeanShiftDetector("sig", warmup=0)
+        with pytest.raises(ConfigError):
+            MeanShiftDetector("sig", threshold=0.0)
+        with pytest.raises(ConfigError):
+            MeanShiftDetector("sig", direction="sideways")
+
+    def test_deterministic(self):
+        values = [1.0] * 20 + [7.0] * 10 + [1.0] * 20
+        runs = []
+        for _ in range(2):
+            det = MeanShiftDetector("sig", warmup=8)
+            runs.append([(e.t_ms, e.state, e.score) for e in _feed(det, values)])
+        assert runs[0] == runs[1]
+
+
+class TestCompositionDriftDetector:
+    def test_stable_mix_never_fires(self):
+        det = CompositionDriftDetector("mix", warmup=4)
+        mix = {"a": 0.5, "b": 0.3, "c": 0.2}
+        assert _feed(det, [dict(mix) for _ in range(50)]) == []
+
+    def test_mix_flip_fires(self):
+        det = CompositionDriftDetector("mix", warmup=4, threshold=0.25)
+        before = {"a": 0.8, "b": 0.2}
+        after = {"a": 0.1, "b": 0.9}
+        events = _feed(det, [dict(before)] * 20 + [dict(after)] * 10)
+        assert events and events[0].state == "firing"
+
+    def test_empty_mix_is_skipped(self):
+        det = CompositionDriftDetector("mix", warmup=4)
+        events = _feed(det, [{"a": 1.0}] * 10 + [{}] * 5 + [{"a": 1.0}] * 5)
+        assert events == []
+
+    def test_unnormalized_input_ok(self):
+        # Raw counts and normalized fractions describe the same mix.
+        det_counts = CompositionDriftDetector("mix", warmup=4)
+        det_fracs = CompositionDriftDetector("mix", warmup=4)
+        counts = [{"a": 80.0, "b": 20.0}] * 15 + [{"a": 5.0, "b": 95.0}] * 10
+        fracs = [{"a": 0.8, "b": 0.2}] * 15 + [{"a": 0.05, "b": 0.95}] * 10
+        ev_counts = _feed(det_counts, counts)
+        ev_fracs = _feed(det_fracs, fracs)
+        assert [e.state for e in ev_counts] == [e.state for e in ev_fracs]

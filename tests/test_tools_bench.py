@@ -221,3 +221,156 @@ def test_trace_report_requires_some_input(capsys):
     trace_report = _load_tool("trace_report")
     with pytest.raises(SystemExit):
         trace_report.main([])
+
+
+# -- fleet view + SLO log (PR 8) ---------------------------------------------
+
+
+def _cluster_artifacts(tmp_path):
+    """One small traced+logged cluster run -> (trace.json, req.jsonl)."""
+    from repro.config import SimConfig
+    from repro.obs import RequestLog
+    from repro.obs.hooks import Observation, session
+    from repro.serving.cluster import ClusterConfig, ClusterSim
+    from repro.serving.faults import ClusterFaultPlan, NodeCrash
+    from repro.serving.router import HedgePolicy
+    from repro.serving.workload import poisson_arrivals
+
+    config = SimConfig(seed=3)
+    arrivals = poisson_arrivals(0.5, 400, config.rng("t:arr"))
+    obs = Observation(requests=RequestLog())
+    with session(obs):
+        ClusterSim(
+            ClusterConfig(
+                num_nodes=3, cores_per_node=2, mean_service_ms=1.0,
+                num_shards=6, replication=2, gather_width=2, hop_ms=0.05,
+                call_timeout_ms=12.0, deadline_ms=50.0,
+                routing="least_loaded",
+                hedge=HedgePolicy(quantile=95.0, min_ms=2.0, window=64),
+                faults=ClusterFaultPlan([NodeCrash(1, 50.0, 120.0)], seed=3),
+                seed=3, label="tools-fleet",
+            )
+        ).run(arrivals)
+    trace_path = tmp_path / "t.json"
+    req_path = tmp_path / "req.jsonl"
+    obs.tracer.to_chrome(trace_path)
+    obs.requests.to_jsonl(req_path)
+    return trace_path, req_path
+
+
+def test_trace_report_fleet_view_and_node_column(tmp_path, capsys):
+    trace_report = _load_tool("trace_report")
+    trace_path, req_path = _cluster_artifacts(tmp_path)
+    assert trace_report.main(
+        [str(trace_path), "--fleet", "--requests", str(req_path),
+         "--validate", "--top", "3"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "schema OK" in out
+    assert "per-node attempts" in out
+    assert "router decisions" in out
+    assert "request outcomes" in out
+    # Satellite fix: the slowest-N head line names the serving node(s).
+    assert "node=" in out
+
+
+def test_trace_report_slo_mode(tmp_path, capsys):
+    trace_report = _load_tool("trace_report")
+    path = tmp_path / "slo.jsonl"
+    lines = [
+        {"kind": "slo_log_meta", "schema_version": 1, "window_ms": 10.0,
+         "scenarios": ["none"], "lines": 2},
+        {"kind": "slo_state", "schema_version": 1, "slo": "avail",
+         "slo_kind": "availability", "objective": 0.99, "t_ms": 10.0,
+         "window_ms": 10.0, "good": 5, "total": 5, "compliance": 1.0,
+         "burn_rate": 0.0, "budget_remaining": 1.0, "scenario": "none"},
+        {"kind": "alert", "schema_version": 1, "source": "detector",
+         "name": "node0.error_rate", "state": "firing", "t_ms": 20.0,
+         "node": 0, "score": 9.0, "scenario": "none"},
+    ]
+    path.write_text("".join(json.dumps(l) + "\n" for l in lines))
+    assert trace_report.main(["--slo", str(path), "--validate"]) == 0
+    out = capsys.readouterr().out
+    assert "schema OK" in out
+    assert "SLO error budgets" in out
+    assert "alerts fired (1)" in out
+
+
+def test_miss_attribution_sorted_by_count_then_cause(tmp_path, capsys):
+    """Satellite fix: attribution rows render most-frequent first."""
+    from repro.obs import RequestLog
+
+    trace_report = _load_tool("trace_report")
+    log = RequestLog()
+    run = log.start_run(label="sorted", num_requests=6, deadline_ms=1.0)
+    for i in range(6):
+        run.add_record(
+            req=i, arrival_ms=float(i), outcome="failed" if i < 4 else "shed",
+            end_ms=float(i) + 5.0,
+            cause=None if i < 4 else "queue_full",
+        )
+    run.finish_custom()
+    path = tmp_path / "req.jsonl"
+    log.to_jsonl(path)
+    assert trace_report.main(["--requests", str(path), "--top", "1"]) == 0
+    out = capsys.readouterr().out
+    lines = [l for l in out.splitlines() if l and l.split()[0] in
+             ("node_fault", "shed_queue_full")]
+    assert len(lines) == 2
+    assert lines[0].startswith("node_fault")  # 4 > 2: biggest cause first
+
+
+def test_dashboard_fleet_and_slo_sections(obs_dashboard, tmp_path):
+    trace_path, req_path = _cluster_artifacts(tmp_path)
+    slo_path = tmp_path / "slo.jsonl"
+    slo_path.write_text(
+        json.dumps(
+            {"kind": "slo_state", "schema_version": 1, "slo": "avail",
+             "slo_kind": "availability", "objective": 0.99, "t_ms": 10.0,
+             "window_ms": 10.0, "good": 5, "total": 5, "compliance": 1.0,
+             "burn_rate": 0.0, "budget_remaining": 1.0, "scenario": "none"}
+        )
+        + "\n"
+    )
+    out = tmp_path / "dash.html"
+    assert obs_dashboard.main(
+        ["--history", str(tmp_path / "absent.jsonl"),
+         "--request-log", str(req_path), "--slo-log", str(slo_path),
+         "--out", str(out)]
+    ) == 0
+    page = out.read_text()
+    assert "fleet view" in page
+    assert "node health" in page
+    assert "shard calls (node x shard)" in page
+    assert "error budget" in page
+    assert "completed latency" in page
+
+
+def test_dashboard_zero_completed_requests_blank_not_nan(
+    obs_dashboard, tmp_path
+):
+    """Satellite fix: a cluster log where nothing completed renders blank
+    percentile cells, never NaN, and never crashes."""
+    reqlog = tmp_path / "req.jsonl"
+    meta = {"kind": "request_log_meta", "schema_version": 1, "runs": 1,
+            "requests": 2, "dropped": 0}
+    shed = {
+        "kind": "request", "outcome": "shed", "cause": "queue_full",
+        "latency_ms": None, "deadline_met": None, "fault_windows": [],
+        "retries": 0, "end_ms": 1.0,
+        "events": [{"kind": "shard_call", "t_ms": 0.5, "node": 0, "shard": 0},
+                   {"kind": "call_failed", "t_ms": 1.0, "node": 0,
+                    "shard": 0, "cause": "crash"}],
+    }
+    reqlog.write_text(
+        json.dumps(meta) + "\n" + json.dumps(shed) + "\n"
+        + json.dumps(shed) + "\n"
+    )
+    out = tmp_path / "dash.html"
+    assert obs_dashboard.main(
+        ["--history", str(tmp_path / "absent.jsonl"),
+         "--request-log", str(reqlog), "--out", str(out)]
+    ) == 0
+    page = out.read_text()
+    assert "no completed requests" in page
+    assert "nan" not in page.lower()

@@ -23,6 +23,10 @@ The suite:
 * **cluster sim outputs** (kind ``sim``) — goodput and quality/latency
   tails of a pinned replicated+hedged 4-node cluster riding out a node
   kill (the ``cluster_resilience`` headline, pinned); also exact.
+* **fleet observability** (``obs.fleet.*``) — span-forest merge and
+  drift-detector update throughputs (kind ``wall``) bounding what the
+  tracing layer may cost, plus detection recall/MTTD on the pinned
+  node-kill run (kind ``sim``, exact).
 
 Records validate against ``$defs.bench_record`` in
 ``tools/trace_schema.json``; ``tools/bench_gate.py`` compares the two
@@ -36,6 +40,7 @@ import argparse
 import json
 import platform as platform_mod
 import sys
+import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
@@ -57,7 +62,16 @@ from repro.obs.regress import (  # noqa: E402
     make_record,
     median,
 )
+from repro.obs.detect import MeanShiftDetector  # noqa: E402
+from repro.obs.fleet import FleetTrace  # noqa: E402
+from repro.obs.hooks import Observation, session  # noqa: E402
+from repro.obs.requests import RequestLog  # noqa: E402
 from repro.obs.schema import validate_def  # noqa: E402
+from repro.obs.slo import (  # noqa: E402
+    FleetMonitor,
+    node_window_stats,
+    score_detections,
+)
 from repro.serving.degradation import (  # noqa: E402
     DegradationController,
     scheme_ladder,
@@ -279,6 +293,146 @@ def _cluster_benchmarks(mode: str) -> List[Benchmark]:
     ]
 
 
+def _fleet_benchmarks(mode: str, repeats: int) -> List[Benchmark]:
+    """Fleet-observability overheads and a pinned detection-quality run.
+
+    Two wall clocks bound what the tracing layer may cost — merging a
+    realistic span forest (request -> gather -> route/attempt, the shape
+    a hedged cluster run produces) and pushing windowed samples through
+    a drift detector — plus exact sim outputs pinning the observatory's
+    detection quality on the same node-kill scenario the cluster
+    benchmarks ride.
+    """
+    out: List[Benchmark] = []
+
+    merge_requests = 2_000 if mode == "smoke" else 10_000
+
+    def build_forest() -> FleetTrace:
+        trace = FleetTrace("bench", run_index=0)
+        t = 0.0
+        for req in range(merge_requests):
+            trace.begin_request(req, t)
+            for k in range(2):
+                sid = trace.begin_slot(req, k, k, t)
+                trace.route(sid, t, (req + k) % 4, "least_loaded", 2, "primary")
+                aid = trace.begin_attempt(sid, (req + k) % 4, t, False)
+                trace.end_attempt(aid, t + 2.0, "ok", winner=True)
+                trace.end_slot(sid, t + 2.0, "ok")
+            trace.end_request(req, t + 2.1, "completed")
+            t += 0.5
+        return trace
+
+    rates = []
+    for _ in range(repeats):
+        trace = build_forest()
+        num_spans = len(trace.router_spans) + sum(
+            len(spans) for spans in trace.node_spans.values()
+        )
+        start = time.perf_counter()
+        trace.finalize()
+        elapsed = time.perf_counter() - start
+        rates.append(num_spans / elapsed)
+    value = median(rates)
+    out.append(
+        Benchmark(
+            name="obs.fleet.trace_merge.spans_per_sec",
+            value=value,
+            unit="spans/s",
+            direction="higher",
+            noise_floor=WALL_NOISE_FRAC * value,
+            kind="wall",
+        )
+    )
+
+    updates = 50_000 if mode == "smoke" else 200_000
+    samples = 1.0 + 0.1 * SimConfig(seed=7).rng(
+        "bench:detector"
+    ).standard_normal(updates)
+    rates = []
+    for _ in range(repeats):
+        detector = MeanShiftDetector("bench.signal", direction="up")
+        start = time.perf_counter()
+        for j in range(updates):
+            detector.update(float(j), float(samples[j]))
+        elapsed = time.perf_counter() - start
+        rates.append(updates / elapsed)
+    value = median(rates)
+    out.append(
+        Benchmark(
+            name="obs.fleet.detector.updates_per_sec",
+            value=value,
+            unit="updates/s",
+            direction="higher",
+            noise_floor=WALL_NOISE_FRAC * value,
+            kind="wall",
+        )
+    )
+
+    # Detection quality, exact: the _cluster_benchmarks node-kill run,
+    # replayed observed, scored against the fault plan's ground truth.
+    num_requests = 2000 if mode == "smoke" else 10000
+    call_ms = 2.0
+    num_nodes, cores = 4, 4
+    interarrival_ms = 2.0 * call_ms / (num_nodes * cores * 0.55)
+    config = SimConfig(seed=77)
+    arrivals = poisson_arrivals(
+        interarrival_ms, num_requests, config.rng("bench:cluster")
+    )
+    horizon_ms = num_requests * interarrival_ms
+    plan = ClusterFaultPlan(
+        [NodeCrash(1, 0.25 * horizon_ms, 0.6 * horizon_ms)], seed=77
+    )
+    cluster = ClusterSim(
+        ClusterConfig(
+            num_nodes=num_nodes,
+            cores_per_node=cores,
+            mean_service_ms=call_ms,
+            num_shards=8,
+            replication=2,
+            gather_width=2,
+            hop_ms=0.1,
+            call_timeout_ms=25.0,
+            deadline_ms=100.0,
+            placement="hotness",
+            routing="least_loaded",
+            hedge=HedgePolicy(quantile=95.0, min_ms=6.0, window=128),
+            faults=plan,
+            seed=77,
+            label="bench:fleet",
+        )
+    )
+    log = RequestLog()
+    with session(Observation(requests=log)):
+        cluster.run(arrivals)
+    records = log.runs[-1].records
+    window_ms = horizon_ms / 60
+    monitor = FleetMonitor(num_nodes)
+    events = monitor.run(
+        node_window_stats(records, window_ms, horizon_ms), window_ms
+    )
+    score = score_detections(events, plan.windows(), 2 * window_ms)
+    mttd = score["mttd_ms"]
+    out.append(
+        Benchmark(
+            name="obs.fleet.detection.recall",
+            value=float(score["recall"]),
+            unit="frac",
+            direction="higher",
+        )
+    )
+    out.append(
+        Benchmark(
+            name="obs.fleet.detection.mttd_ms",
+            # Nothing detected pins the worst case (the full horizon)
+            # rather than dropping the benchmark.
+            value=float(mttd) if mttd is not None else horizon_ms,
+            unit="ms",
+            direction="lower",
+        )
+    )
+    return out
+
+
 def run_suite(mode: str, repeats: int) -> Dict[str, object]:
     """Run the pinned suite; return the (schema-valid) history record."""
     if mode not in MODES:
@@ -288,6 +442,7 @@ def run_suite(mode: str, repeats: int) -> Dict[str, object]:
     benchmarks.extend(_scheme_benchmarks(mode))
     benchmarks.extend(_serving_benchmarks(mode))
     benchmarks.extend(_cluster_benchmarks(mode))
+    benchmarks.extend(_fleet_benchmarks(mode, repeats))
     for bench in benchmarks:
         print(
             f"{bench.name:42s} {bench.value:>14,.4g} {bench.unit:<8s} "

@@ -14,7 +14,12 @@ Sections (each present only when its input is given):
   inline-SVG sparkline over all records, latest value, and delta vs the
   previous record (colored by whether it moved in the worse direction);
 * **CPI stacks** — the per-stage cycle breakdown from a metrics JSONL;
-* **SLA-miss attribution** — the request-log miss causes as a bar table.
+* **SLA-miss attribution** — the request-log miss causes as a bar table;
+* **fleet view** (cluster request logs) — per-node health timelines from
+  the windowed drift detectors, the shard x node call heat map, and
+  latency percentiles (blank, not NaN, when no request completed);
+* **error budget** (``--slo-log``) — per-SLO budget-remaining sparkline,
+  burn-rate peak, and the fired burn/detector alerts.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.obs.cpi import CPI_BUCKETS  # noqa: E402
 from repro.obs.regress import load_history  # noqa: E402
 from repro.obs.requests import load_request_log, miss_attribution  # noqa: E402
+from repro.obs.slo import FleetMonitor, node_window_stats  # noqa: E402
 
 __all__ = ["main", "render"]
 
@@ -182,7 +188,11 @@ def _requests_section(request_log_path: Path) -> str:
         return head + "<p class='note'>every request met its deadline</p>"
     total = sum(attribution.values())
     rows = []
-    for cause, count in attribution.items():
+    # Stable render order (matches trace_report): biggest cause first,
+    # name breaks ties.
+    for cause, count in sorted(
+        attribution.items(), key=lambda kv: (-kv[1], kv[0])
+    ):
         frac = count / total
         rows.append(
             f"<tr><td>{html.escape(cause)}</td><td>{count}</td>"
@@ -197,10 +207,197 @@ def _requests_section(request_log_path: Path) -> str:
     )
 
 
+#: Health-timeline cell colors (state -> fill).
+_HEALTH_COLORS = {
+    "idle": "#2a3038",
+    "ok": "#1f6f3f",
+    "warn": "#b08800",
+    "bad": "#b62324",
+}
+
+#: Timeline resolution of the dashboard fleet view (windows per run).
+_FLEET_WINDOWS = 60
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Linear-interpolation percentile of a pre-sorted list."""
+    rank = (len(sorted_values) - 1) * (q / 100.0)
+    lo = int(rank)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    return sorted_values[lo] + (sorted_values[hi] - sorted_values[lo]) * (rank - lo)
+
+
+def _fleet_section(records: List[Dict[str, object]]) -> str:
+    """Per-node health timelines + shard heat map for a cluster log.
+
+    Only renders for logs whose records carry per-node shard-call events
+    (single-box logs have no node identity).  A run where *no* request
+    completed renders blank percentile cells, never NaN — shed/failed
+    records still feed the health timelines.
+    """
+    nodes = sorted(
+        {
+            int(ev["node"])
+            for rec in records
+            for ev in rec.get("events", [])  # type: ignore[union-attr]
+            if ev.get("node") is not None
+            and ev.get("kind") in ("shard_call", "call_ok", "call_failed")
+        }
+    )
+    if not nodes:
+        return ""
+    num_nodes = max(nodes) + 1
+    horizon = max(
+        (float(rec.get("end_ms", 0.0) or 0.0) for rec in records), default=0.0
+    )
+    out = ["<h2>fleet view</h2>"]
+
+    if horizon > 0:
+        window_ms = horizon / _FLEET_WINDOWS
+        monitor = FleetMonitor(num_nodes)
+        monitor.run(node_window_stats(records, window_ms, horizon), window_ms)
+        rows = []
+        for n in range(num_nodes):
+            cells = "".join(
+                f"<td style='background:{_HEALTH_COLORS[states[n]]};"
+                "padding:.1em .25em'></td>"
+                for states in monitor.node_states
+            )
+            rows.append(f"<tr><td>node{n}</td>{cells}</tr>")
+        legend = " ".join(
+            f"<span style='color:{color}'>&#9632;</span>&nbsp;{state}"
+            for state, color in _HEALTH_COLORS.items()
+        )
+        out.append(
+            f"<h3>node health ({_FLEET_WINDOWS} windows of "
+            f"{window_ms:,.1f} ms)</h3>"
+            f"<p class='note'>{legend} &mdash; drift detectors on windowed "
+            "error rate (bad) and ok-call latency (warn)</p>"
+            "<table>" + "".join(rows) + "</table>"
+        )
+
+    calls: Dict[tuple, int] = {}
+    shards = set()
+    for rec in records:
+        for ev in rec.get("events", []):  # type: ignore[union-attr]
+            if ev.get("kind") != "shard_call" or ev.get("node") is None:
+                continue
+            key = (int(ev["node"]), int(ev.get("shard", -1)))
+            shards.add(key[1])
+            calls[key] = calls.get(key, 0) + 1
+    if calls:
+        shard_cols = sorted(shards)
+        peak = max(calls.values())
+        header = "".join(f"<th>s{s}</th>" for s in shard_cols)
+        rows = []
+        for n in nodes:
+            cells = []
+            for s in shard_cols:
+                count = calls.get((n, s), 0)
+                alpha = count / peak if peak else 0.0
+                cells.append(
+                    f"<td style='background:rgba(31,111,235,{alpha:.2f})'>"
+                    f"{count or ''}</td>"
+                )
+            rows.append(f"<tr><td>node{n}</td>{''.join(cells)}</tr>")
+        out.append(
+            "<h3>shard calls (node x shard)</h3>"
+            "<table><tr><th></th>" + header + "</tr>" + "".join(rows)
+            + "</table>"
+        )
+
+    latencies = sorted(
+        float(rec["latency_ms"])  # type: ignore[arg-type]
+        for rec in records
+        if rec.get("latency_ms") is not None
+    )
+    if latencies:
+        out.append(
+            f"<p class='note'>completed latency over {len(latencies):,} "
+            f"request(s): p50 {_percentile(latencies, 50.0):,.2f} ms, "
+            f"p95 {_percentile(latencies, 95.0):,.2f} ms, "
+            f"p99 {_percentile(latencies, 99.0):,.2f} ms</p>"
+        )
+    else:
+        out.append(
+            "<p class='note'>completed latency: no completed requests "
+            "(percentiles blank)</p>"
+        )
+    return "".join(out)
+
+
+def _slo_section(slo_log_path: Path) -> str:
+    """Error-budget trajectories and alerts from an --slo-log export."""
+    states: Dict[tuple, List[Dict[str, object]]] = {}
+    alerts: List[Dict[str, object]] = []
+    with open(slo_log_path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec.get("kind") == "slo_state":
+                key = (str(rec.get("scenario", "")), str(rec.get("slo", "")))
+                states.setdefault(key, []).append(rec)
+            elif rec.get("kind") == "alert":
+                alerts.append(rec)
+    if not states and not alerts:
+        return "<h2>error budget</h2><p class='note'>empty SLO log</p>"
+    out = ["<h2>error budget</h2>"]
+    rows = []
+    for (scenario, slo), series in sorted(states.items()):
+        budget = [float(s.get("budget_remaining", 1.0)) for s in series]
+        burn_peak = max(float(s.get("burn_rate", 0.0)) for s in series)
+        fired = sum(
+            1
+            for a in alerts
+            if a.get("state") == "firing"
+            and str(a.get("scenario", "")) == scenario
+            and str(a.get("name", "")).startswith(f"{slo}:")
+        )
+        final = budget[-1] if budget else 1.0
+        cls = "worse" if final < 0 else ("better" if final >= 0.99 else "flat")
+        rows.append(
+            "<tr>"
+            f"<td>{html.escape(scenario)}</td><td>{html.escape(slo)}</td>"
+            f"<td>{_sparkline(budget)}</td>"
+            f"<td class='{cls}'>{final:+.3f}</td>"
+            f"<td>{burn_peak:,.1f}</td><td>{fired}</td>"
+            "</tr>"
+        )
+    if rows:
+        out.append(
+            "<table><tr><th>scenario</th><th>SLO</th>"
+            "<th>budget remaining</th><th>final</th><th>peak burn</th>"
+            "<th>alerts</th></tr>" + "".join(rows) + "</table>"
+        )
+    firing = [a for a in alerts if a.get("state") == "firing"]
+    if firing:
+        alert_rows = "".join(
+            "<tr>"
+            f"<td>{html.escape(str(a.get('scenario', '')))}</td>"
+            f"<td>{html.escape(str(a.get('name', '')))}</td>"
+            f"<td>{html.escape(str(a.get('source', '')))}</td>"
+            f"<td>{float(a.get('t_ms', 0.0)):,.1f}</td>"
+            f"<td>{'' if a.get('node') is None else a['node']}</td>"
+            "</tr>"
+            for a in firing
+        )
+        out.append(
+            f"<h3>alerts fired ({len(firing)})</h3>"
+            "<table><tr><th>scenario</th><th>alert</th><th>source</th>"
+            "<th>t_ms</th><th>node</th></tr>" + alert_rows + "</table>"
+        )
+    else:
+        out.append("<p class='note'>no alerts fired</p>")
+    return "".join(out)
+
+
 def render(
     history_path: Optional[Path],
     metrics_path: Optional[Path],
     request_log_path: Optional[Path],
+    slo_log_path: Optional[Path] = None,
 ) -> str:
     """The full dashboard HTML document."""
     sections: List[str] = []
@@ -210,6 +407,12 @@ def render(
         sections.append(_cpi_section(metrics_path))
     if request_log_path is not None and request_log_path.exists():
         sections.append(_requests_section(request_log_path))
+        _, records = load_request_log(request_log_path)
+        fleet = _fleet_section(records)
+        if fleet:
+            sections.append(fleet)
+    if slo_log_path is not None and slo_log_path.exists():
+        sections.append(_slo_section(slo_log_path))
     if not sections:
         sections.append("<p class='note'>no artifacts given</p>")
     return (
@@ -237,11 +440,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="request-log JSONL from repro-experiment --request-log",
     )
     parser.add_argument(
+        "--slo-log", type=Path, default=None,
+        help="SLO state/alert JSONL from repro-experiment --slo-log",
+    )
+    parser.add_argument(
         "--out", type=Path, default=Path("dashboard.html"),
         help="output HTML file (default dashboard.html)",
     )
     args = parser.parse_args(argv)
-    page = render(args.history, args.metrics, args.request_log)
+    page = render(args.history, args.metrics, args.request_log, args.slo_log)
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(page)
     print(f"wrote {args.out} ({len(page):,} bytes)")

@@ -20,6 +20,10 @@ Views:
 * with ``--requests``: the slowest-N request timelines (every lifecycle
   event, simulated ms) and the SLA-miss attribution table — queueing vs
   slow service vs faults vs retries vs admission control;
+* with ``--fleet``: the fleet view of a cluster trace — request
+  outcomes, per-node attempt/hedge accounting, router decision counts,
+  and the slowest request span envelopes (from the ``fleet.*`` spans a
+  traced cluster run emits);
 * ``--validate`` checks the trace against ``tools/trace_schema.json``
   and each request-log line against its ``$defs.request_event`` (exit 1
   on violations) — CI runs this on fresh smoke artifacts.
@@ -45,7 +49,14 @@ from repro.obs.requests import (  # noqa: E402
 )
 from repro.obs.schema import validate, validate_def  # noqa: E402
 
-__all__ = ["main", "load_trace", "summarize", "summarize_requests"]
+__all__ = [
+    "main",
+    "load_trace",
+    "summarize",
+    "summarize_fleet",
+    "summarize_requests",
+    "summarize_slo",
+]
 
 SCHEMA_PATH = REPO_ROOT / "tools" / "trace_schema.json"
 
@@ -222,6 +233,20 @@ def _fmt_ms(value: object) -> str:
     return f"{float(value):,.2f}"
 
 
+def _fmt_nodes(rec: dict) -> str:
+    """The serving node(s) of one request record; '-' for a single box.
+
+    Cluster records carry the sorted node set every shard call of the
+    request touched; single-box records have no node identity.
+    """
+    nodes = rec.get("nodes")
+    if nodes:
+        return ",".join(str(n) for n in nodes)
+    if rec.get("node") is not None:
+        return str(rec["node"])
+    return "-"
+
+
 def summarize_requests(meta: dict, records: List[dict], top: int = 10) -> str:
     """Slowest-N request timelines and the SLA-miss attribution table."""
     sections: List[str] = []
@@ -236,9 +261,13 @@ def summarize_requests(meta: dict, records: List[dict], top: int = 10) -> str:
     attribution = miss_attribution(records)
     total_missed = sum(attribution.values())
     if attribution:
+        # Stable render order: biggest cause first, name breaks ties —
+        # independent of record order, so diffs across runs are clean.
         rows = [
             [cause, str(count), f"{100.0 * count / total_missed:.1f}%"]
-            for cause, count in attribution.items()
+            for cause, count in sorted(
+                attribution.items(), key=lambda kv: (-kv[1], kv[0])
+            )
         ]
         rows.append(["total", str(total_missed), "100.0%"])
         sections.append(
@@ -266,6 +295,7 @@ def summarize_requests(meta: dict, records: List[dict], top: int = 10) -> str:
             f"wait={_fmt_ms(rec.get('wait_ms'))}ms "
             f"service={_fmt_ms(rec.get('service_ms'))}ms "
             f"core={rec.get('core') if rec.get('core') is not None else '-'} "
+            f"node={_fmt_nodes(rec)} "
             f"retries={rec.get('retries', 0)}"
         )
         if rec.get("failovers"):
@@ -275,8 +305,6 @@ def summarize_requests(meta: dict, records: List[dict], top: int = 10) -> str:
                 f" hedges={rec['hedges']}"
                 f" hedges_wasted={rec.get('hedges_wasted', 0)}"
             )
-        if rec.get("nodes"):
-            head += f" nodes={','.join(str(n) for n in rec['nodes'])}"
         if cause is not None:
             head += f" miss_cause={cause}"
         if rec.get("fault_windows"):
@@ -294,6 +322,194 @@ def summarize_requests(meta: dict, records: List[dict], top: int = 10) -> str:
                 + (f"  ({attrs})" if attrs else "")
             )
     sections.append("\n".join(lines))
+    return "\n\n".join(sections)
+
+
+def _fleet_spans(trace: dict) -> List[dict]:
+    """Fleet-trace spans (categories ``fleet.*``) from a Chrome trace."""
+    return [
+        e
+        for e in trace.get("traceEvents", [])
+        if e.get("ph") == "X" and str(e.get("cat", "")).startswith("fleet.")
+    ]
+
+
+def summarize_fleet(trace: dict, top: int = 10) -> str:
+    """Fleet view of a cluster trace: per-node attempts + router behaviour.
+
+    Everything comes from the merged span forest the cluster emitted
+    (``fleet.request`` / ``fleet.gather`` / ``fleet.route`` /
+    ``fleet.attempt`` categories), so the table is exactly the span tree
+    a distributed tracer would show — outcomes per node, hedge win/waste
+    accounting, and why the router was consulted.
+    """
+    spans = _fleet_spans(trace)
+    if not spans:
+        return (
+            "fleet: no fleet spans in this trace "
+            "(run a cluster experiment with --trace)"
+        )
+    requests = [e for e in spans if e.get("cat") == "fleet.request"]
+    attempts = [e for e in spans if e.get("cat") == "fleet.attempt"]
+    routes = [e for e in spans if e.get("cat") == "fleet.route"]
+    sections: List[str] = [
+        f"fleet: {len(requests)} request(s), {len(attempts)} attempt(s), "
+        f"{len(routes)} route decision(s)"
+    ]
+
+    outcomes: Dict[str, int] = defaultdict(int)
+    for e in requests:
+        outcomes[str(e.get("args", {}).get("outcome", "?"))] += 1
+    sections.append(
+        "== request outcomes ==\n"
+        + _table(
+            ["outcome", "requests"],
+            [
+                [name, str(count)]
+                for name, count in sorted(
+                    outcomes.items(), key=lambda kv: (-kv[1], kv[0])
+                )
+            ],
+        )
+    )
+
+    per_node: Dict[int, Dict[str, float]] = defaultdict(
+        lambda: {"attempts": 0, "ok": 0, "failed": 0, "hedges": 0,
+                 "wasted": 0, "ms": 0.0, "max_ms": 0.0}
+    )
+    for e in attempts:
+        args = e.get("args", {})
+        node = int(args.get("node", -1))
+        stats = per_node[node]
+        stats["attempts"] += 1
+        if args.get("outcome") == "ok":
+            stats["ok"] += 1
+            if args.get("winner") is False:
+                stats["wasted"] += 1
+        else:
+            stats["failed"] += 1
+        if args.get("hedge"):
+            stats["hedges"] += 1
+        dur = float(e.get("dur", 0.0))
+        stats["ms"] += dur
+        stats["max_ms"] = max(stats["max_ms"], dur)
+    node_rows = [
+        [
+            f"node{node}",
+            str(int(s["attempts"])),
+            str(int(s["ok"])),
+            str(int(s["failed"])),
+            str(int(s["hedges"])),
+            str(int(s["wasted"])),
+            f"{s['ms'] / s['attempts']:,.2f}" if s["attempts"] else "-",
+            f"{s['max_ms']:,.2f}",
+        ]
+        for node, s in sorted(per_node.items())
+    ]
+    sections.append(
+        "== per-node attempts ==\n"
+        + _table(
+            ["node", "attempts", "ok", "failed", "hedged", "wasted",
+             "mean_ms", "max_ms"],
+            node_rows,
+        )
+    )
+
+    reasons: Dict[str, List[int]] = defaultdict(lambda: [0, 0])
+    for e in routes:
+        args = e.get("args", {})
+        entry = reasons[str(args.get("reason", "?"))]
+        entry[0] += 1
+        if args.get("chosen") is None:
+            entry[1] += 1
+    sections.append(
+        "== router decisions ==\n"
+        + _table(
+            ["reason", "decisions", "no_replica"],
+            [
+                [reason, str(total), str(missed)]
+                for reason, (total, missed) in sorted(reasons.items())
+            ],
+        )
+    )
+
+    slowest = sorted(
+        requests, key=lambda e: float(e.get("dur", 0.0)), reverse=True
+    )[:top]
+    slow_rows = [
+        [
+            str(e.get("args", {}).get("span_id", "?")),
+            str(e.get("args", {}).get("outcome", "?")),
+            f"{float(e.get('ts', 0.0)):,.2f}",
+            f"{float(e.get('dur', 0.0)):,.2f}",
+        ]
+        for e in slowest
+    ]
+    sections.append(
+        f"== slowest {len(slow_rows)} requests (span envelope, ms) ==\n"
+        + _table(["span_id", "outcome", "start_ms", "ms"], slow_rows)
+    )
+    return "\n\n".join(sections)
+
+
+def summarize_slo(lines: List[dict]) -> str:
+    """Per-(scenario, SLO) budget summary + alert list from an SLO log."""
+    states: Dict[tuple, List[dict]] = defaultdict(list)
+    alerts: List[dict] = []
+    for rec in lines:
+        if rec.get("kind") == "slo_state":
+            states[
+                (str(rec.get("scenario", "")), str(rec.get("slo", "")))
+            ].append(rec)
+        elif rec.get("kind") == "alert":
+            alerts.append(rec)
+    sections: List[str] = []
+    if states:
+        rows = []
+        for (scenario, slo), series in sorted(states.items()):
+            fired = sum(
+                1
+                for a in alerts
+                if a.get("state") == "firing"
+                and str(a.get("scenario", "")) == scenario
+                and str(a.get("name", "")).startswith(f"{slo}:")
+            )
+            rows.append(
+                [
+                    f"{scenario}/{slo}",
+                    str(len(series)),
+                    f"{min(float(s.get('compliance', 1.0)) for s in series):.3f}",
+                    f"{max(float(s.get('burn_rate', 0.0)) for s in series):,.1f}",
+                    f"{float(series[-1].get('budget_remaining', 1.0)):+.3f}",
+                    str(fired),
+                ]
+            )
+        sections.append(
+            "== SLO error budgets ==\n"
+            + _table(
+                ["scenario/SLO", "windows", "min_compliance", "peak_burn",
+                 "budget_final", "alerts"],
+                rows,
+            )
+        )
+    firing = [a for a in alerts if a.get("state") == "firing"]
+    if firing:
+        rows = [
+            [
+                str(a.get("scenario", "")),
+                str(a.get("name", "")),
+                str(a.get("source", "")),
+                f"{float(a.get('t_ms', 0.0)):,.1f}",
+                "-" if a.get("node") is None else str(a["node"]),
+            ]
+            for a in firing
+        ]
+        sections.append(
+            f"== alerts fired ({len(firing)}) ==\n"
+            + _table(["scenario", "alert", "source", "t_ms", "node"], rows)
+        )
+    else:
+        sections.append("alerts: none fired")
     return "\n\n".join(sections)
 
 
@@ -316,6 +532,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "timelines and the SLA-miss attribution table",
     )
     parser.add_argument(
+        "--slo", type=Path, default=None, metavar="FILE",
+        help="SLO log JSONL from --slo-log: print per-SLO budget/alert "
+        "summaries (with --validate, check every line against "
+        "$defs.slo_state / $defs.alert_event)",
+    )
+    parser.add_argument(
+        "--fleet", action="store_true",
+        help="also print the fleet view of a cluster trace: per-node "
+        "attempt/outcome tables, router decision counts, and the "
+        "slowest request span envelopes",
+    )
+    parser.add_argument(
         "--top", type=int, default=10, metavar="N", help="rows per table (default 10)"
     )
     parser.add_argument(
@@ -323,8 +551,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         help=f"validate artifacts against {SCHEMA_PATH.name}; exit 1 on violations",
     )
     args = parser.parse_args(argv)
-    if args.trace is None and args.requests is None:
-        parser.error("give a trace file, --requests FILE, or both")
+    if args.trace is None and args.requests is None and args.slo is None:
+        parser.error("give a trace file, --requests FILE, --slo FILE, or any mix")
 
     schema = json.loads(SCHEMA_PATH.read_text()) if args.validate else None
     outputs: List[str] = []
@@ -343,6 +571,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return 1
             print(f"{args.trace}: schema OK")
         outputs.append(summarize(trace, top=args.top))
+        if args.fleet:
+            outputs.append(summarize_fleet(trace, top=args.top))
         if args.metrics is not None:
             outputs.append(summarize_metrics(load_metrics(args.metrics)))
 
@@ -363,6 +593,33 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return 1
             print(f"{args.requests}: schema OK")
         outputs.append(summarize_requests(meta, records, top=args.top))
+
+    if args.slo is not None:
+        lines = []
+        with open(args.slo) as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    lines.append(json.loads(line))
+        if schema is not None:
+            errors = []
+            defs = {"slo_state": "slo_state", "alert": "alert_event"}
+            for i, rec in enumerate(lines):
+                def_name = defs.get(str(rec.get("kind")))
+                if def_name is None:
+                    continue  # meta/unknown lines are out of contract
+                for err in validate_def(rec, schema, def_name):
+                    errors.append(f"line {i + 1}: {err}")
+            if errors:
+                print(
+                    f"{args.slo}: {len(errors)} schema violation(s):",
+                    file=sys.stderr,
+                )
+                for err in errors[:20]:
+                    print(f"  {err}", file=sys.stderr)
+                return 1
+            print(f"{args.slo}: schema OK")
+        outputs.append(summarize_slo(lines))
 
     print("\n\n".join(outputs))
     return 0

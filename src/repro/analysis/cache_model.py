@@ -39,14 +39,19 @@ class CacheHitModel:
     def from_hierarchy(
         cls, config: HierarchyConfig, embedding_dim: int, dtype_bytes: int = FLOAT32_BYTES
     ) -> "CacheHitModel":
-        """Convert byte capacities to embedding-vector counts."""
+        """Convert byte capacities to embedding-vector counts.
+
+        The L3 uses the *effective* capacity so a CAT way allocation
+        (``HierarchyConfig.l3_allocated_ways``) shrinks the analytic model
+        the same way it shrinks the simulated cache.
+        """
         if embedding_dim <= 0:
             raise ConfigError("embedding_dim must be positive")
         row_bytes = embedding_dim * dtype_bytes
         return cls(
             vectors_l1=max(1, config.l1_size // row_bytes),
             vectors_l2=max(1, config.l2_size // row_bytes),
-            vectors_l3=max(1, config.l3_size // row_bytes),
+            vectors_l3=max(1, config.effective_l3_size // row_bytes),
         )
 
     def hit_rates(self, reuse: ReuseResult) -> Dict[str, float]:

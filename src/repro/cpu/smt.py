@@ -28,6 +28,7 @@ MP-HT.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..errors import ConfigError
@@ -45,8 +46,12 @@ class ThreadProfile:
     stall_fraction: float
 
     def __post_init__(self) -> None:
-        if self.time_cycles < 0:
-            raise ConfigError("time must be non-negative")
+        # NaN slips through a plain `< 0` check (nan < 0 is False) and
+        # would propagate silently through every inflation product.
+        if not math.isfinite(self.time_cycles) or self.time_cycles < 0:
+            raise ConfigError(
+                f"time must be finite and non-negative, got {self.time_cycles}"
+            )
         if not 0.0 <= self.utilization <= 1.0:
             raise ConfigError(f"utilization must be in [0,1], got {self.utilization}")
         if not 0.0 <= self.stall_fraction <= 1.0:
@@ -71,8 +76,12 @@ class SMTContention:
     cache_share_penalty: float = 0.25
 
     def __post_init__(self) -> None:
-        if self.window_pressure < 0 or self.cache_share_penalty < 0:
-            raise ConfigError("contention coefficients must be non-negative")
+        for name in ("window_pressure", "cache_share_penalty"):
+            value = getattr(self, name)
+            if not math.isfinite(value) or value < 0:
+                raise ConfigError(
+                    f"{name} must be finite and non-negative, got {value}"
+                )
         if not 0.0 <= self.port_overlap <= 1.0:
             raise ConfigError(
                 f"port_overlap must be in [0,1], got {self.port_overlap}"

@@ -11,6 +11,7 @@ from ..obs import hooks as obs_hooks
 from . import (
     cluster_resilience,
     hotness_sweep,
+    noisy_neighbor,
     resilience,
     slo_observatory,
     synergy,
@@ -57,6 +58,7 @@ _MODULES = (
     resilience,
     cluster_resilience,
     slo_observatory,
+    noisy_neighbor,
 )
 
 _REGISTRY: Dict[str, Callable[..., ExperimentReport]] = {

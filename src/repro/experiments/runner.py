@@ -159,6 +159,18 @@ def build_parser() -> argparse.ArgumentParser:
         "bypasses the result cache",
     )
     parser.add_argument(
+        "--tenants", default=None, metavar="MIXES",
+        help="comma-separated tenant mixes for experiments that accept a "
+        "tenants parameter (noisy_neighbor: none,streaming,compute,"
+        "locker,mix; default sweeps all)",
+    )
+    parser.add_argument(
+        "--defense", default=None, metavar="MODES",
+        help="comma-separated defense modes for experiments that accept a "
+        "defense parameter (noisy_neighbor: static,partition,qos,"
+        "qos_degraded; default sweeps all)",
+    )
+    parser.add_argument(
         "--bench-record", type=Path, default=None, metavar="FILE",
         help="append per-experiment wall-clock records to a benchmark "
         "history JSONL (see tools/bench_all.py for the pinned suite)",
@@ -178,6 +190,10 @@ def _overrides(args: argparse.Namespace, runner) -> dict:
     slo_log = getattr(args, "slo_log", None)
     if slo_log is not None and "slo_log" in accepted:
         out["slo_log"] = str(slo_log)
+    for flag in ("tenants", "defense"):
+        value = getattr(args, flag, None)
+        if value is not None and flag in accepted:
+            out[flag] = str(value)
     return out
 
 

@@ -76,6 +76,8 @@ class DRAMModel:
         self.row_hits = 0
         self._open_rows = [-1] * config.banks
         self._utilization = 0.0
+        self._tenant_utilization = 0.0
+        self._tenant_cap: "float | None" = None
 
     # -- load-dependent latency -------------------------------------------
 
@@ -94,6 +96,52 @@ class DRAMModel:
         """Current offered-load fraction, capped at :data:`MAX_UTILIZATION`."""
         return self._utilization
 
+    # -- tenant pressure ----------------------------------------------------
+
+    def set_tenant_utilization(self, rho: float) -> None:
+        """Extra channel load from co-located foreign tenants.
+
+        Added on top of our own offered load when computing the queueing
+        factor (the combined load is capped at :data:`MAX_UTILIZATION`).
+        With tenant load 0.0 (the default) the model is byte-identical to
+        the single-tenant channel.
+        """
+        if rho < 0:
+            raise ConfigError(
+                f"tenant utilization must be non-negative, got {rho}"
+            )
+        self._tenant_utilization = float(rho)
+
+    def set_tenant_throttle(self, cap: "float | None") -> None:
+        """MBA-style per-tenant bandwidth throttle.
+
+        ``cap`` bounds the channel fraction tenants may consume (their
+        demand above it is delayed outside this channel's queue and does
+        not inflate *our* latency); ``None`` removes the throttle.
+        """
+        if cap is not None and cap < 0:
+            raise ConfigError(f"tenant bandwidth cap must be non-negative, got {cap}")
+        self._tenant_cap = None if cap is None else float(cap)
+
+    @property
+    def tenant_utilization(self) -> float:
+        """Offered tenant load (before throttling)."""
+        return self._tenant_utilization
+
+    @property
+    def effective_tenant_utilization(self) -> float:
+        """Tenant load that actually reaches the channel (after throttle)."""
+        if self._tenant_cap is None:
+            return self._tenant_utilization
+        return min(self._tenant_utilization, self._tenant_cap)
+
+    def total_utilization(self) -> float:
+        """Combined own + effective tenant load the queueing model sees."""
+        rho = self._utilization
+        if self._tenant_utilization > 0.0:
+            rho = min(rho + self.effective_tenant_utilization, MAX_UTILIZATION)
+        return rho
+
     #: Linear and saturating coefficients of the queueing-delay curve.
     QUEUE_LINEAR = 0.15
     QUEUE_SATURATING = 0.30
@@ -106,7 +154,7 @@ class DRAMModel:
         and sharply saturating near peak (the paper's Zen3 128-thread
         contention case).
         """
-        rho = self._utilization
+        rho = self.total_utilization()
         return 1.0 + self.QUEUE_LINEAR * rho + self.QUEUE_SATURATING * rho * rho / (
             1.0 - rho
         )
@@ -189,6 +237,10 @@ class DRAMModel:
         registry.counter("dram.row_hits", **labels).inc(self.row_hits)
         registry.counter("dram.bytes", **labels).inc(self.bytes_transferred)
         registry.gauge("dram.utilization", **labels).set(self._utilization)
+        if self._tenant_utilization > 0.0 or self._tenant_cap is not None:
+            registry.gauge("dram.tenant_utilization", **labels).set(
+                self.effective_tenant_utilization
+            )
 
     def reset(self) -> None:
         """Zero counters and close all row buffers; keep configuration."""
@@ -197,3 +249,5 @@ class DRAMModel:
         self.row_hits = 0
         self._open_rows = [-1] * self.config.banks
         self._utilization = 0.0
+        self._tenant_utilization = 0.0
+        self._tenant_cap = None

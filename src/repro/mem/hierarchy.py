@@ -128,6 +128,13 @@ class HierarchyConfig:
     #: PLRU — real LLCs use different policies than L1/L2, and PLRU needs
     #: power-of-two associativity which 11-way LLCs don't have).
     l3_policy: Optional[str] = None
+    #: CAT-style LLC way allocation: when set, this core's workload may
+    #: only fill this many of the L3's ways — the remaining ways belong to
+    #: co-located tenants (Intel RDT/CAT semantics: same sets, a subset of
+    #: the ways, so the LRU stack property makes hit rates monotone in the
+    #: allocation).  ``None`` keeps the full LLC and is byte-identical to
+    #: the pre-tenancy model.
+    l3_allocated_ways: Optional[int] = None
     dram: DRAMConfig = field(default_factory=DRAMConfig)
 
     def __post_init__(self) -> None:
@@ -135,6 +142,37 @@ class HierarchyConfig:
             raise ConfigError("cache sizes must strictly increase L1 < L2 < L3")
         if not self.l1_latency < self.l2_latency < self.l3_latency:
             raise ConfigError("cache latencies must strictly increase L1 < L2 < L3")
+        if self.l3_allocated_ways is not None:
+            if not 1 <= self.l3_allocated_ways <= self.l3_ways:
+                raise ConfigError(
+                    f"l3_allocated_ways must be in [1, {self.l3_ways}], "
+                    f"got {self.l3_allocated_ways}"
+                )
+            if self.effective_l3_size <= self.l2_size:
+                raise ConfigError(
+                    "L3 way allocation shrinks the effective LLC "
+                    f"({self.effective_l3_size} B) to at or below the L2 "
+                    f"({self.l2_size} B); allocate more ways"
+                )
+
+    @property
+    def effective_l3_ways(self) -> int:
+        """Ways of the L3 this workload may use (all of them without CAT)."""
+        if self.l3_allocated_ways is None:
+            return self.l3_ways
+        return self.l3_allocated_ways
+
+    @property
+    def effective_l3_size(self) -> int:
+        """Bytes of the L3 this workload may fill.
+
+        Way-granular, like real CAT masks: the per-way capacity times the
+        allocated way count.  Set count is unchanged (same index bits,
+        fewer ways per set).
+        """
+        if self.l3_allocated_ways is None:
+            return self.l3_size
+        return (self.l3_size // self.l3_ways) * self.l3_allocated_ways
 
 
 class MemoryHierarchy:
@@ -503,8 +541,8 @@ def build_hierarchy(
     )
     l3 = shared_l3 or make_cache(
         "l3",
-        config.l3_size,
-        config.l3_ways,
+        config.effective_l3_size,
+        config.effective_l3_ways,
         policy=config.l3_policy or config.policy,
         seed=seed + 2,
         engine=engine,

@@ -57,6 +57,7 @@ MISS_CAUSES = (
     "node_fault",          # a node crash/kill hit one of its shard calls
     "failover",            # completed late after failing over replicas
     "hedge_wasted",        # completed late; a hedge raced and lost
+    "contention",          # completed late inside a co-tenant window
     "fault",               # completed late with a fault window overlapping
     "retry_backoff",       # completed late after queue-timeout retries
     "queueing",            # completed late, wait dominated service
@@ -500,7 +501,13 @@ def attribute_miss(record: Dict[str, object]) -> Optional[str]:
             return "failover"
         if record.get("hedges_wasted"):
             return "hedge_wasted"
-        if record.get("fault_windows"):
+        windows = record.get("fault_windows") or []
+        # Tenant windows (named ``tenant_<kind>:<name>`` by the tenancy
+        # layer) are contention, not faults: nothing broke, a neighbor
+        # squeezed the shared LLC/DRAM.  More specific than plain "fault".
+        if any(str(w).startswith("tenant") for w in windows):
+            return "contention"
+        if windows:
             return "fault"
         if record.get("retries"):
             return "retry_backoff"

@@ -61,6 +61,7 @@ __all__ = [
     "NodeCrash",
     "NodePartition",
     "NodeSlow",
+    "NodeTenant",
     "Stragglers",
 ]
 
@@ -410,6 +411,36 @@ class NodeSlow:
             raise ConfigError("node slowdown factor must be >= 1")
 
 
+@dataclass(frozen=True)
+class NodeTenant:
+    """A foreign tenant co-located on one node in ``[start_ms, end_ms)``.
+
+    Cluster-level scoping for the tenancy layer (:mod:`repro.tenants`):
+    the node keeps answering, but every service drawn inside the window is
+    inflated by ``factor`` — the aggregate slowdown the tenant's LLC and
+    DRAM pressure imposes, as computed by the contention model.  Unlike
+    :class:`NodeSlow` (an anonymous bad host) the window is named after
+    the tenant, so request logs attribute the lateness to ``contention``
+    rather than ``fault``.
+    """
+
+    node: int
+    start_ms: float
+    end_ms: float
+    factor: float
+    tenant: str
+    kind: str = "tenant"
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ConfigError("node index must be non-negative")
+        _check_window(self.start_ms, self.end_ms)
+        if self.factor < 1.0:
+            raise ConfigError("tenant slowdown factor must be >= 1")
+        if not self.tenant:
+            raise ConfigError("tenant name must be non-empty")
+
+
 class ClusterFaultPlan:
     """A seeded, composable node-scoped fault scenario for one cluster run.
 
@@ -430,7 +461,9 @@ class ClusterFaultPlan:
                 self.crashes.append(fault)
             elif isinstance(fault, NodePartition):
                 self.partitions.append(fault)
-            elif isinstance(fault, NodeSlow):
+            elif isinstance(fault, (NodeSlow, NodeTenant)):
+                # NodeTenant rides the slowdown machinery: slow_factor()
+                # duck-types on .node/.start_ms/.end_ms/.factor.
                 self.slowdowns.append(fault)
             else:
                 raise ConfigError(
@@ -528,12 +561,27 @@ class ClusterFaultPlan:
                 )
             )
         for slow in self.slowdowns:
-            out.append(
-                (
-                    f"node_slow:{slow.node}",
-                    slow.start_ms,
-                    slow.end_ms,
-                    {"node": slow.node, "factor": slow.factor},
+            tenant = getattr(slow, "tenant", None)
+            if tenant is not None:
+                out.append(
+                    (
+                        f"tenant_{slow.kind}:{slow.node}",
+                        slow.start_ms,
+                        slow.end_ms,
+                        {
+                            "node": slow.node,
+                            "factor": slow.factor,
+                            "tenant": tenant,
+                        },
+                    )
                 )
-            )
+            else:
+                out.append(
+                    (
+                        f"node_slow:{slow.node}",
+                        slow.start_ms,
+                        slow.end_ms,
+                        {"node": slow.node, "factor": slow.factor},
+                    )
+                )
         return out

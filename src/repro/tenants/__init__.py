@@ -1,0 +1,47 @@
+"""Multi-tenant contention: foreign co-runners, defenses, and the QoS loop.
+
+Real fleets co-schedule foreign tenants next to the recommendation model;
+since embedding lookups are bandwidth-bound, a bus-hogging neighbor
+destroys p99 without any fault ever firing.  This package models the
+neighbor (:mod:`profiles`), translates its pressure into mechanistic
+degradation through the shared cache/DRAM models (:mod:`contention`),
+injects it into the serving loops (:mod:`plan`), and closes the loop with
+obs-signal detection plus CAT/MBA-style defenses (:mod:`qos`).
+"""
+
+from .contention import (
+    DEFAULT_DEFENSE_LADDER,
+    ContentionModel,
+    ContentionPoint,
+    DefenseConfig,
+    contended_hierarchy,
+)
+from .plan import TenantFaultPlan, TenantWorld, node_tenant_slowdowns
+from .profiles import (
+    TENANT_KINDS,
+    TenantMix,
+    TenantProfile,
+    compute_tenant,
+    locker_tenant,
+    streaming_tenant,
+)
+from .qos import QoSAction, QoSController
+
+__all__ = [
+    "DEFAULT_DEFENSE_LADDER",
+    "ContentionModel",
+    "ContentionPoint",
+    "DefenseConfig",
+    "QoSAction",
+    "QoSController",
+    "TENANT_KINDS",
+    "TenantFaultPlan",
+    "TenantMix",
+    "TenantProfile",
+    "TenantWorld",
+    "compute_tenant",
+    "contended_hierarchy",
+    "locker_tenant",
+    "node_tenant_slowdowns",
+    "streaming_tenant",
+]

@@ -1,0 +1,292 @@
+"""Mechanistic contention: tenant pressure through the shared-memory models.
+
+No ad-hoc slowdown multipliers: a tenant degrades us exactly the way the
+hardware would.
+
+* **LLC occupancy** — the tenant's footprint claims LLC ways
+  (:func:`contended_hierarchy`), shrinking our effective L3 through the
+  same :class:`~repro.mem.hierarchy.HierarchyConfig` knob a CAT mask
+  uses; the reuse-distance model then converts the smaller capacity into
+  a higher DRAM service fraction.
+* **DRAM bandwidth** — the tenant's channel load feeds
+  :meth:`~repro.mem.dram.DRAMModel.set_tenant_utilization`, and the
+  shared queueing curve inflates every miss's latency.
+* **SMT siblings** — a tenant hyperthread inflates our core time through
+  the calibrated :class:`~repro.cpu.smt.SMTModel`.
+
+Defenses are the same knobs pointed the other way: a CAT allocation caps
+the *tenant's* ways (giving ours back), and an MBA-style throttle caps the
+tenant load the channel queue sees.
+
+:class:`ContentionModel` composes the three effects into a service-time
+multiplier and an observable probe (memory-stall share of the CPI stack,
+per-level miss mix) for each (active tenants, defense) design point, so
+the serving loop and the QoS detectors consume one consistent mechanism.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
+
+from ..analysis.breakdown import estimate_embedding_cycles
+from ..analysis.cache_model import CacheHitModel, ReuseResult
+from ..cpu.platform import CPUSpec
+from ..cpu.smt import SMTModel, ThreadProfile
+from ..engine.kernels import KernelCostModel
+from ..engine.mlp_exec import time_interaction, time_mlp, time_top_mlp
+from ..errors import ConfigError
+from ..mem.dram import DRAMModel
+from ..mem.hierarchy import HierarchyConfig
+from ..model.configs import ModelConfig
+from ..obs.cpi import embedding_cpi_stack
+from ..units import CACHE_LINE_BYTES, FLOAT32_BYTES
+from .profiles import TenantProfile
+
+__all__ = [
+    "DEFAULT_DEFENSE_LADDER",
+    "ContentionModel",
+    "ContentionPoint",
+    "DefenseConfig",
+    "contended_hierarchy",
+]
+
+
+@dataclass(frozen=True)
+class DefenseConfig:
+    """One rung of the QoS defense ladder.
+
+    ``tenant_ways`` confines tenants to that many LLC ways (CAT);
+    ``bandwidth_cap`` bounds the channel fraction tenant traffic may
+    occupy (MBA).  Both ``None`` is the undefended sharing default.
+    """
+
+    name: str
+    tenant_ways: Optional[int] = None
+    bandwidth_cap: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("defense name must be non-empty")
+        if self.tenant_ways is not None and self.tenant_ways < 1:
+            raise ConfigError(
+                f"tenant_ways must be >= 1, got {self.tenant_ways}"
+            )
+        if self.bandwidth_cap is not None and not (
+            math.isfinite(self.bandwidth_cap) and 0.0 <= self.bandwidth_cap <= 1.0
+        ):
+            raise ConfigError(
+                f"bandwidth_cap must be in [0, 1], got {self.bandwidth_cap}"
+            )
+
+
+#: Escalation ladder the QoS controller steps through: share everything,
+#: then wall off the LLC, then also throttle the channel.
+DEFAULT_DEFENSE_LADDER: Tuple[DefenseConfig, ...] = (
+    DefenseConfig("none"),
+    DefenseConfig("partition", tenant_ways=2),
+    DefenseConfig("partition+throttle", tenant_ways=2, bandwidth_cap=0.15),
+)
+
+
+def contended_hierarchy(
+    hierarchy: HierarchyConfig,
+    tenant_footprint_bytes: int,
+    defense: DefenseConfig = DefenseConfig("none"),
+) -> HierarchyConfig:
+    """Our effective hierarchy when tenants occupy part of the LLC.
+
+    Way-granular, like the replacement hardware: undefended, the tenant
+    claims ``ceil(footprint / way_bytes)`` ways (capped so we always keep
+    one); with a CAT defense it holds exactly ``defense.tenant_ways``
+    regardless of appetite — and pays that reservation even while idle.
+    Our allocation is clamped so the effective L3 stays larger than the
+    L2 (the model's strict-inclusion invariant).
+    """
+    if tenant_footprint_bytes < 0:
+        raise ConfigError("tenant footprint must be non-negative")
+    way_bytes = hierarchy.l3_size // hierarchy.l3_ways
+    if defense.tenant_ways is not None:
+        tenant_ways = min(defense.tenant_ways, hierarchy.l3_ways - 1)
+    else:
+        tenant_ways = min(
+            hierarchy.l3_ways - 1,
+            -(-tenant_footprint_bytes // way_bytes),
+        )
+    if tenant_ways <= 0:
+        return hierarchy
+    ours = hierarchy.l3_ways - tenant_ways
+    min_ours = hierarchy.l2_size // way_bytes + 1
+    ours = max(ours, min_ours)
+    if ours >= hierarchy.l3_ways:
+        return hierarchy
+    return replace(hierarchy, l3_allocated_ways=ours)
+
+
+@dataclass(frozen=True)
+class ContentionPoint:
+    """One (active tenants, defense) design point of the contention model."""
+
+    multiplier: float        # service-time inflation vs. the solo baseline
+    batch_cycles: float      # contended cycles for one batch
+    mem_stall_share: float   # L3+DRAM stall fraction of the batch (probe)
+    level_mix: Dict[str, float]  # per-level service fractions (probe)
+    dram_inflation: float    # queueing-factor ratio vs. solo
+    smt_inflation: float     # sibling inflation factor
+    our_l3_ways: int         # ways we keep at this point
+
+
+class ContentionModel:
+    """Maps tenant mixes and defenses to mechanistic service multipliers.
+
+    Built once per workload from the trace's reuse profile; every design
+    point reuses the solo dense-stage roofline and re-derives only what
+    the tenants actually touch (LLC capacity, DRAM queueing, SMT).
+    Points are cached by (active tenant names, defense), since the
+    serving loop asks for the same handful of points thousands of times.
+    """
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        reuse: ReuseResult,
+        platform: CPUSpec,
+        batch_size: int,
+        own_dram_utilization: float = 0.35,
+        own_profile: Optional[ThreadProfile] = None,
+        smt: Optional[SMTModel] = None,
+        cost: KernelCostModel = KernelCostModel(),
+    ) -> None:
+        if batch_size <= 0:
+            raise ConfigError("batch_size must be positive")
+        if not 0.0 <= own_dram_utilization < 1.0:
+            raise ConfigError(
+                f"own_dram_utilization must be in [0, 1), got {own_dram_utilization}"
+            )
+        self.model = model
+        self.reuse = reuse
+        self.platform = platform
+        self.batch_size = batch_size
+        self.own_dram_utilization = own_dram_utilization
+        self.own_profile = own_profile or ThreadProfile(
+            "inference", 1.0, utilization=0.30, stall_fraction=0.60
+        )
+        self.smt = smt or SMTModel()
+        self.cost = cost
+
+        core = platform.core
+        self._dense_cycles = (
+            time_mlp(model.dense_features, model.bottom_mlp, batch_size, core).cycles
+            + time_interaction(
+                batch_size, model.num_tables, model.embedding_dim, core
+            ).cycles
+            + time_top_mlp(
+                model.num_tables, model.embedding_dim, model.top_mlp,
+                batch_size, core,
+            ).cycles
+        )
+        row_lines = -(-model.embedding_dim * FLOAT32_BYTES // CACHE_LINE_BYTES)
+        self._issue_cycles = (
+            cost.instructions_per_lookup(row_lines) / core.issue_width
+        ) * model.lookups_for_batch(batch_size)
+        self._cache: Dict[
+            Tuple[FrozenSet[TenantProfile], DefenseConfig], ContentionPoint
+        ] = {}
+        self._base_cycles = self._contended_cycles((), DefenseConfig("none"))[0]
+
+    # -- internals ----------------------------------------------------------
+
+    def _dram_inflation(
+        self, tenants: Sequence[TenantProfile], defense: DefenseConfig
+    ) -> float:
+        """Queueing-factor ratio: (own + throttled tenant load) vs. own."""
+        channel = DRAMModel(self.platform.hierarchy.dram)
+        channel.set_utilization(self.own_dram_utilization)
+        solo = channel.queueing_factor()
+        channel.set_tenant_utilization(sum(t.dram_utilization for t in tenants))
+        channel.set_tenant_throttle(defense.bandwidth_cap)
+        return channel.queueing_factor() / solo
+
+    def _smt_inflation(self, tenants: Sequence[TenantProfile]) -> float:
+        """Inflation from the most demanding tenant hyperthread (if any)."""
+        live = [t for t in tenants if t.smt_utilization > 0 or t.smt_stall_fraction > 0]
+        if not live:
+            return 1.0
+        worst = max(
+            live,
+            key=lambda t: t.smt_utilization + t.smt_stall_fraction,
+        )
+        sibling = ThreadProfile(
+            worst.name, 1.0,
+            utilization=worst.smt_utilization,
+            stall_fraction=worst.smt_stall_fraction,
+        )
+        return self.smt.inflation(self.own_profile, sibling)
+
+    def _contended_cycles(
+        self, tenants: Sequence[TenantProfile], defense: DefenseConfig
+    ) -> Tuple[float, Dict[str, float], float, float, HierarchyConfig]:
+        footprint = sum(t.llc_footprint_bytes for t in tenants)
+        hierarchy = contended_hierarchy(
+            self.platform.hierarchy, footprint, defense
+        )
+        fractions = CacheHitModel.from_hierarchy(
+            hierarchy, self.model.embedding_dim
+        ).level_fractions(self.reuse)
+        dram_inflation = self._dram_inflation(tenants, defense)
+        # Queueing applies to the DRAM access itself, not the L3 probe in
+        # front of it — inflate only the channel's base latency.
+        loaded = replace(
+            hierarchy,
+            dram=replace(
+                hierarchy.dram,
+                base_latency_cycles=(
+                    hierarchy.dram.base_latency_cycles * dram_inflation
+                ),
+            ),
+        )
+        platform = replace(self.platform, hierarchy=loaded)
+        embedding = estimate_embedding_cycles(
+            self.model, fractions, platform, self.batch_size, cost=self.cost
+        )
+        smt_inflation = self._smt_inflation(tenants)
+        total = (self._dense_cycles + embedding) * smt_inflation
+        return total, fractions, dram_inflation, smt_inflation, loaded
+
+    # -- design points ------------------------------------------------------
+
+    def design_point(
+        self, tenants: Sequence[TenantProfile], defense: DefenseConfig
+    ) -> ContentionPoint:
+        """The contended operating point for one set of live tenants."""
+        key = (frozenset(tenants), defense)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        total, fractions, dram_infl, smt_infl, loaded = self._contended_cycles(
+            tenants, defense
+        )
+        embedding = total / smt_infl - self._dense_cycles
+        stack = embedding_cpi_stack(
+            "tenants.embedding",
+            embedding,
+            self._issue_cycles,
+            fractions,
+            loaded.l3_latency,
+            loaded.l3_latency + loaded.dram.base_latency_cycles,
+        )
+        mem_stall = stack.buckets.get("l3_bound", 0.0) + stack.buckets.get(
+            "dram_bound", 0.0
+        )
+        point = ContentionPoint(
+            multiplier=max(1.0, total / self._base_cycles),
+            batch_cycles=total,
+            mem_stall_share=mem_stall / total if total > 0 else 0.0,
+            level_mix=dict(fractions),
+            dram_inflation=dram_infl,
+            smt_inflation=smt_infl,
+            our_l3_ways=loaded.effective_l3_ways,
+        )
+        self._cache[key] = point
+        return point

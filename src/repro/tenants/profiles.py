@@ -1,0 +1,202 @@
+"""Foreign co-runner profiles and their seeded activity windows.
+
+A :class:`TenantProfile` describes one neighbor by what it takes from the
+shared hardware — LLC footprint, DRAM channel load, SMT sibling pressure —
+not by what it computes.  Three archetypes cover the fleet mix:
+
+* ``streaming`` — a bandwidth-heavy log/video pipeline: large streaming
+  footprint, steady DRAM load, light on the core.
+* ``compute``   — a compute-bound batch job: tiny cache footprint, almost
+  no bandwidth, but a hungry SMT sibling.
+* ``locker``    — the adversary: it sweeps a buffer larger than the whole
+  LLC while hammering the channel, in on/off duty windows, which is the
+  worst case for the embedding kernel (every way evicted, every miss
+  queued behind foreign traffic).
+
+Activity windows are seeded the same way :mod:`repro.serving.faults`
+seeds its streams — every derived stream is
+``SeedSequence([seed, stream, index])`` — so a mix replays identically
+across runs and engines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..units import mib
+
+__all__ = [
+    "TENANT_KINDS",
+    "TenantMix",
+    "TenantProfile",
+    "compute_tenant",
+    "locker_tenant",
+    "streaming_tenant",
+]
+
+#: Recognized archetypes (the window name prefix in request logs).
+TENANT_KINDS = ("streaming", "compute", "locker")
+
+#: Sub-stream tag for window generation (per-tenant index appended).
+_STREAM_WINDOWS = 11
+
+
+def _check_unit(name: str, value: float, lo: float = 0.0, hi: float = 1.0) -> None:
+    if not (math.isfinite(value) and lo <= value <= hi):
+        raise ConfigError(f"{name} must be in [{lo}, {hi}], got {value}")
+
+
+@dataclass(frozen=True)
+class TenantProfile:
+    """One foreign co-runner's demand on the shared hardware.
+
+    Parameters
+    ----------
+    llc_footprint_bytes:
+        Bytes of LLC the tenant's working set occupies while active.  A
+        footprint at or above the LLC size models a streaming sweep that
+        evicts everything it can reach.
+    dram_utilization:
+        Fraction of the shared channel the tenant offers while active
+        (before any throttle).
+    smt_utilization / smt_stall_fraction:
+        The tenant as an SMT sibling: issue-slot utilization and
+        full-window stall fraction of its hyperthread (0/0 = the tenant
+        runs on other physical cores).
+    duty_cycle:
+        Fraction of each activity period the tenant is on.  1.0 = always
+        on from ``phase_frac`` to the horizon.
+    period_frac:
+        Activity period as a fraction of the run horizon.
+    phase_frac:
+        Offset of the first window as a fraction of the horizon.
+    """
+
+    name: str
+    kind: str
+    llc_footprint_bytes: int
+    dram_utilization: float
+    smt_utilization: float = 0.0
+    smt_stall_fraction: float = 0.0
+    duty_cycle: float = 1.0
+    period_frac: float = 0.5
+    phase_frac: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("tenant name must be non-empty")
+        if self.kind not in TENANT_KINDS:
+            raise ConfigError(
+                f"unknown tenant kind {self.kind!r}; expected one of {TENANT_KINDS}"
+            )
+        if self.llc_footprint_bytes < 0:
+            raise ConfigError("LLC footprint must be non-negative")
+        if not (math.isfinite(self.dram_utilization) and self.dram_utilization >= 0):
+            raise ConfigError(
+                f"dram_utilization must be finite and non-negative, "
+                f"got {self.dram_utilization}"
+            )
+        _check_unit("smt_utilization", self.smt_utilization)
+        _check_unit("smt_stall_fraction", self.smt_stall_fraction)
+        if not (math.isfinite(self.duty_cycle) and 0.0 < self.duty_cycle <= 1.0):
+            raise ConfigError(f"duty_cycle must be in (0, 1], got {self.duty_cycle}")
+        if not (math.isfinite(self.period_frac) and 0.0 < self.period_frac <= 1.0):
+            raise ConfigError(
+                f"period_frac must be in (0, 1], got {self.period_frac}"
+            )
+        _check_unit("phase_frac", self.phase_frac, 0.0, 1.0)
+
+
+def streaming_tenant(name: str = "streamer") -> TenantProfile:
+    """A bandwidth-heavy streaming pipeline, on for the whole run."""
+    return TenantProfile(
+        name=name,
+        kind="streaming",
+        llc_footprint_bytes=mib(16),
+        dram_utilization=0.30,
+        smt_utilization=0.15,
+        smt_stall_fraction=0.70,
+    )
+
+
+def compute_tenant(name: str = "batchjob") -> TenantProfile:
+    """A compute-bound batch job: SMT pressure, almost no memory demand."""
+    return TenantProfile(
+        name=name,
+        kind="compute",
+        llc_footprint_bytes=mib(2),
+        dram_utilization=0.05,
+        smt_utilization=0.90,
+        smt_stall_fraction=0.05,
+    )
+
+
+def locker_tenant(name: str = "buslock", phase_frac: float = 0.25) -> TenantProfile:
+    """The adversarial memory-bus locker, in on/off duty windows.
+
+    It runs on its own physical cores (no SMT sibling pressure) — all of
+    its damage flows through the shared LLC and the DRAM channel, which
+    is exactly the surface the CAT/MBA defenses cover.
+    """
+    return TenantProfile(
+        name=name,
+        kind="locker",
+        llc_footprint_bytes=mib(64),
+        dram_utilization=0.85,
+        duty_cycle=0.4,
+        period_frac=0.45,
+        phase_frac=phase_frac,
+    )
+
+
+class TenantMix:
+    """A set of tenants plus the seed their activity windows derive from."""
+
+    def __init__(self, tenants: Sequence[TenantProfile] = (), seed: int = 0) -> None:
+        names = [t.name for t in tenants]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"tenant names must be unique, got {names}")
+        self.tenants: Tuple[TenantProfile, ...] = tuple(tenants)
+        self.seed = int(seed)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.tenants
+
+    def windows(self, horizon_ms: float) -> List[Tuple[int, float, float]]:
+        """Activity windows over ``[0, horizon_ms)`` as (tenant, start, end).
+
+        Each tenant's windows come from its own
+        ``SeedSequence([seed, stream, index])`` generator, so adding a
+        tenant to the mix never perturbs another tenant's schedule.
+        Windows are clipped to the horizon and returned sorted by start.
+        """
+        if horizon_ms <= 0:
+            raise ConfigError("horizon must be positive")
+        out: List[Tuple[int, float, float]] = []
+        for idx, tenant in enumerate(self.tenants):
+            phase = tenant.phase_frac * horizon_ms
+            if tenant.duty_cycle >= 1.0:
+                if phase < horizon_ms:
+                    out.append((idx, phase, horizon_ms))
+                continue
+            rng = np.random.default_rng(
+                np.random.SeedSequence([self.seed, _STREAM_WINDOWS, idx])
+            )
+            period = tenant.period_frac * horizon_ms
+            on_len = tenant.duty_cycle * period
+            slack = period - on_len
+            t = phase
+            while t < horizon_ms:
+                start = t + float(rng.uniform(0.0, slack))
+                end = min(start + on_len, horizon_ms)
+                if end > start:
+                    out.append((idx, start, end))
+                t += period
+        out.sort(key=lambda w: (w[1], w[0]))
+        return out

@@ -30,6 +30,21 @@ def test_contention_validation():
         SMTContention(port_overlap=1.5)
 
 
+def test_profile_rejects_non_finite_time():
+    # Regression: NaN/inf time used to flow straight into inflation math.
+    with pytest.raises(ConfigError):
+        ThreadProfile("x", float("nan"), 0.5, 0.5)
+    with pytest.raises(ConfigError):
+        ThreadProfile("x", float("inf"), 0.5, 0.5)
+
+
+def test_contention_rejects_non_finite_knobs():
+    with pytest.raises(ConfigError):
+        SMTContention(window_pressure=float("nan"))
+    with pytest.raises(ConfigError):
+        SMTContention(cache_share_penalty=float("inf"))
+
+
 def test_heterogeneous_pair_barely_inflates_memory_thread():
     model = SMTModel()
     inflation = model.inflation(emb_thread(), mlp_thread())

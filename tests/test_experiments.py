@@ -57,9 +57,10 @@ class TestBase:
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        # 12 figures + 4 tables + five extensions (synergy, hotness
-        # sweep, resilience, cluster_resilience, slo_observatory).
-        assert len(EXPERIMENT_IDS) == 21
+        # 12 figures + 4 tables + six extensions (synergy, hotness
+        # sweep, resilience, cluster_resilience, slo_observatory,
+        # noisy_neighbor).
+        assert len(EXPERIMENT_IDS) == 22
         assert "fig12" in EXPERIMENT_IDS
         assert "table4" in EXPERIMENT_IDS
         assert "synergy" in EXPERIMENT_IDS
@@ -67,6 +68,7 @@ class TestRegistry:
         assert "resilience" in EXPERIMENT_IDS
         assert "cluster_resilience" in EXPERIMENT_IDS
         assert "slo_observatory" in EXPERIMENT_IDS
+        assert "noisy_neighbor" in EXPERIMENT_IDS
 
     def test_titles_listed(self):
         titles = list_experiments()

@@ -1,0 +1,225 @@
+"""QoS closed-loop tests: detection, hysteresis, release probing, protocol."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serving.faults import CoreSlowdown, FaultPlan
+from repro.tenants import (
+    DEFAULT_DEFENSE_LADDER,
+    QoSController,
+    TenantFaultPlan,
+    TenantMix,
+    TenantWorld,
+)
+from repro.tenants.plan import DefenseChange
+
+
+class FakeWorld:
+    """A scriptable world: mem-share series indexed by probe window.
+
+    The controller probes at window midpoints, so sample ``i`` of the
+    series is what window ``i`` (ending at ``(i+1)*window_ms``) reads.
+    """
+
+    def __init__(self, series, window_ms, max_step=2, mix=None, defended=None):
+        self.series = list(series)
+        self.window_ms = window_ms
+        self.horizon_ms = len(self.series) * window_ms
+        self._max_step = max_step
+        self.defense_step = 0
+        self.changes = []
+        self.mix_series = mix
+        self.defended = defended  # value read while any defense is engaged
+
+    @property
+    def max_step(self):
+        return self._max_step
+
+    def probe_at(self, t_ms):
+        idx = min(int(t_ms / self.window_ms), len(self.series) - 1)
+        mix = (
+            self.mix_series[idx]
+            if self.mix_series is not None
+            else {"l1": 0.3, "dram": 0.7}
+        )
+        value = self.series[idx]
+        if self.defense_step > 0 and self.defended is not None:
+            value = min(value, self.defended)
+        return value, mix
+
+    def set_defense(self, t_ms, step, reason):
+        if step != self.defense_step:
+            self.changes.append(DefenseChange(t_ms, self.defense_step, step, reason))
+            self.defense_step = step
+
+
+def drive(controller, windows, window_ms=10.0):
+    """Feed one completion per window edge so every window closes."""
+    for i in range(1, windows + 1):
+        controller.observe(i * window_ms, 1.0)
+
+
+def make(series, **kwargs):
+    world = FakeWorld(series, 10.0)
+    kwargs.setdefault("probe_noise", 0.0)
+    return world, QoSController(world, 10.0, **kwargs)
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        world = FakeWorld([0.5] * 4, 10.0)
+        with pytest.raises(ConfigError):
+            QoSController(world, 0.0)
+        with pytest.raises(ConfigError):
+            QoSController(world, 10.0, release_windows=0)
+        with pytest.raises(ConfigError):
+            QoSController(world, 10.0, probe_noise=1.0)
+
+
+class TestDetectionLoop:
+    def test_quiet_series_never_moves(self):
+        world, ctrl = make([0.5] * 40)
+        drive(ctrl, 40)
+        assert world.changes == []
+        assert ctrl.actions == []
+        assert not ctrl.mem_detector.firing
+
+    def test_constant_high_is_baseline_not_an_event(self):
+        # A neighbor present since before warmup is what the detector
+        # calibrates against -- it cannot and should not fire.
+        world, ctrl = make([0.9] * 40)
+        drive(ctrl, 40)
+        assert ctrl.actions == []
+
+    def test_shift_fires_and_jumps_to_max_defense(self):
+        series = [0.5] * 12 + [0.9] * 20
+        world, ctrl = make(series)
+        drive(ctrl, 32)
+        fired = [a for a in ctrl.actions if a.reason == "detector_fired"]
+        assert fired and fired[0].to_step == world.max_step
+        assert fired[0].score > 0.0
+        assert world.defense_step in (0, world.max_step)
+
+    def test_release_after_calm_windows(self):
+        # Shift, then back to baseline: defense must come off after
+        # release_windows calm windows, with probation armed.
+        series = [0.5] * 12 + [0.9] * 4 + [0.5] * 30
+        world, ctrl = make(series, release_windows=4)
+        drive(ctrl, len(series))
+        reasons = [a.reason for a in ctrl.actions]
+        assert "detector_fired" in reasons
+        assert "release_probe" in reasons
+        assert world.defense_step == 0
+
+    def test_refire_during_probation_doubles_backoff(self):
+        # A persistent neighbor under an effective defense: fire, the
+        # defended signal calms, release probes re-expose the neighbor,
+        # each re-fire doubles the calm requirement -- so gaps between
+        # successive release probes never shrink.
+        series = [0.5] * 12 + [0.9] * 120
+        world = FakeWorld(series, 10.0, defended=0.5)
+        ctrl = QoSController(world, 10.0, probe_noise=0.0, release_windows=4)
+        drive(ctrl, len(series))
+        releases = [a.t_ms for a in ctrl.actions if a.reason == "release_probe"]
+        refires = [a for a in ctrl.actions if a.reason == "detector_fired"]
+        assert len(releases) >= 2
+        assert len(refires) >= 2
+        gaps = [b - a for a, b in zip(releases, releases[1:])]
+        assert all(b >= a - 1e-9 for a, b in zip(gaps, gaps[1:]))
+        assert gaps[-1] > gaps[0]
+
+    def test_windows_stop_at_world_horizon(self):
+        world, ctrl = make([0.5] * 10)  # horizon = 100 ms
+        drive(ctrl, 40)  # drain continues long past the horizon
+        assert ctrl._window_index <= 10
+
+    def test_deterministic_under_seeded_noise(self):
+        series = [0.5] * 12 + [0.9] * 20
+        _, a = make(series, probe_noise=0.02, seed=5)
+        _, b = make(series, probe_noise=0.02, seed=5)
+        drive(a, 32)
+        drive(b, 32)
+        assert [x.t_ms for x in a.actions] == [x.t_ms for x in b.actions]
+        assert [e.t_ms for e in a.detections] == [e.t_ms for e in b.detections]
+
+    def test_mix_drift_alone_can_fire(self):
+        flat = [0.5] * 40
+        shifted = [{"l1": 0.3, "dram": 0.7}] * 12 + [{"l1": 0.05, "dram": 0.95}] * 28
+        world = FakeWorld(flat, 10.0, mix=shifted)
+        ctrl = QoSController(world, 10.0, probe_noise=0.0)
+        drive(ctrl, 40)
+        assert any(a.reason == "detector_fired" for a in ctrl.actions)
+        assert any(e.signal == "tenants.level_mix" for e in ctrl.detections)
+
+
+class FakeInner:
+    def __init__(self):
+        self.seen = []
+        self.level = 3
+        self.ladder = ("a", "b")
+        self.events = ["evt"]
+
+    def scale(self):
+        return 0.25
+
+    def observe(self, now_ms, latency_ms):
+        self.seen.append((now_ms, latency_ms))
+
+
+class TestProtocolDelegation:
+    def test_null_inner_defaults(self):
+        _, ctrl = make([0.5] * 4)
+        assert ctrl.scale() == 1.0
+        assert ctrl.level == 0
+        assert ctrl.ladder[0].name == "baseline"
+        assert ctrl.events == []
+
+    def test_inner_is_forwarded(self):
+        inner = FakeInner()
+        world = FakeWorld([0.5] * 4, 10.0)
+        ctrl = QoSController(world, 10.0, inner=inner, probe_noise=0.0)
+        ctrl.observe(10.0, 2.5)
+        assert inner.seen == [(10.0, 2.5)]
+        assert ctrl.scale() == 0.25
+        assert ctrl.level == 3
+        assert ctrl.ladder == ("a", "b")
+        assert ctrl.events == ["evt"]
+
+
+class TestTenantFaultPlan:
+    @pytest.fixture()
+    def world(self, request):
+        # A real-world stand-in is heavier than needed: the plan only
+        # calls is_empty / multiplier_at / tenant_windows.
+        class W:
+            is_empty = True
+
+            def multiplier_at(self, t_ms):
+                return 3.0 if 10.0 <= t_ms < 20.0 else 1.0
+
+            def tenant_windows(self):
+                return [("tenant_locker:x", 10.0, 20.0, {"kind": "locker"})]
+
+        return W()
+
+    def test_empty_world_empty_faults_is_empty(self, world):
+        assert TenantFaultPlan(world).is_empty
+        world.is_empty = False
+        assert not TenantFaultPlan(world).is_empty
+        world.is_empty = True
+        assert not TenantFaultPlan(world, faults=[CoreSlowdown(0, 0.0, 5.0, 2.0)]).is_empty
+
+    def test_multipliers_stack(self, world):
+        plan = TenantFaultPlan(world, faults=[CoreSlowdown(0, 5.0, 30.0, 2.0)])
+        assert plan.service_multiplier(0, 12.0) == pytest.approx(6.0)
+        assert plan.service_multiplier(0, 25.0) == pytest.approx(2.0)
+        assert plan.service_multiplier(1, 12.0) == pytest.approx(3.0)
+
+    def test_windows_concatenate(self, world):
+        plan = TenantFaultPlan(world, faults=[CoreSlowdown(0, 5.0, 30.0, 2.0)])
+        names = {w[0] for w in plan.windows()}
+        assert names == {"core_slowdown:0", "tenant_locker:x"}
+
+    def test_plain_faultplan_interface_unchanged(self):
+        assert FaultPlan().is_empty
+        assert FaultPlan().service_multiplier(0, 1.0) == 1.0

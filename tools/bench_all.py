@@ -55,6 +55,7 @@ import bench_sim  # noqa: E402
 from repro.config import SimConfig  # noqa: E402
 from repro.core.schemes import evaluate_all_schemes  # noqa: E402
 from repro.cpu.platform import get_platform  # noqa: E402
+from repro.experiments.noisy_neighbor import run as noisy_run  # noqa: E402
 from repro.experiments.workloads import build_workload  # noqa: E402
 from repro.obs.regress import (  # noqa: E402
     Benchmark,
@@ -433,6 +434,47 @@ def _fleet_benchmarks(mode: str, repeats: int) -> List[Benchmark]:
     return out
 
 
+def _tenant_benchmarks(mode: str) -> List[Benchmark]:
+    """Noisy-neighbor defense quality, pinned (exact).
+
+    One seeded locker-vs-QoS run of the ``noisy_neighbor`` experiment:
+    the gate watches that the detectors keep finding every injected
+    locker window (recall), how fast (MTTD), and that the defense keeps
+    restoring no-tenant goodput — the experiment's headline properties.
+    """
+    num_requests = 1500 if mode == "smoke" else 6000
+    report = noisy_run(
+        config=SimConfig(seed=77),
+        num_requests=num_requests,
+        tenants="none,locker",
+        defense="static,qos",
+        cluster_nodes=1,
+    )
+    row = next(
+        r for r in report.rows
+        if r["scenario"] == "locker" and r["mode"] == "qos"
+    )
+    windows = int(row["tenant_windows"]) or 1
+    horizon_ms = num_requests * 10.0  # worst-case MTTD stand-in
+    mttd = row["mttd_ms"]
+    return [
+        Benchmark(
+            "tenants.detection.recall",
+            float(row["windows_detected"]) / windows, "frac",
+            direction="higher",
+        ),
+        Benchmark(
+            "tenants.detection.mttd_ms",
+            float(mttd) if mttd is not None else horizon_ms, "ms",
+            direction="lower",
+        ),
+        Benchmark(
+            "tenants.qos.goodput_recovery",
+            float(row["goodput_vs_no_tenant"]), "frac", direction="higher",
+        ),
+    ]
+
+
 def run_suite(mode: str, repeats: int) -> Dict[str, object]:
     """Run the pinned suite; return the (schema-valid) history record."""
     if mode not in MODES:
@@ -443,6 +485,7 @@ def run_suite(mode: str, repeats: int) -> Dict[str, object]:
     benchmarks.extend(_serving_benchmarks(mode))
     benchmarks.extend(_cluster_benchmarks(mode))
     benchmarks.extend(_fleet_benchmarks(mode, repeats))
+    benchmarks.extend(_tenant_benchmarks(mode))
     for bench in benchmarks:
         print(
             f"{bench.name:42s} {bench.value:>14,.4g} {bench.unit:<8s} "

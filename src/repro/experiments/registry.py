@@ -10,6 +10,7 @@ from ..mem.hierarchy import get_default_engine, set_default_engine
 from ..obs import hooks as obs_hooks
 from . import (
     cluster_resilience,
+    critpath_observatory,
     hotness_sweep,
     noisy_neighbor,
     resilience,
@@ -59,6 +60,7 @@ _MODULES = (
     cluster_resilience,
     slo_observatory,
     noisy_neighbor,
+    critpath_observatory,
 )
 
 _REGISTRY: Dict[str, Callable[..., ExperimentReport]] = {

@@ -159,6 +159,13 @@ def build_parser() -> argparse.ArgumentParser:
         "bypasses the result cache",
     )
     parser.add_argument(
+        "--critpath-log", type=Path, default=None, metavar="FILE",
+        help="write critical-path profiles and what-if validation records "
+        "as JSONL (experiments that accept a critpath_log parameter, e.g. "
+        "critpath_observatory); forces serial in-process execution and "
+        "bypasses the result cache",
+    )
+    parser.add_argument(
         "--tenants", default=None, metavar="MIXES",
         help="comma-separated tenant mixes for experiments that accept a "
         "tenants parameter (noisy_neighbor: none,streaming,compute,"
@@ -187,9 +194,10 @@ def _overrides(args: argparse.Namespace, runner) -> dict:
         value = getattr(args, flag, None)
         if value is not None and flag in accepted:
             out[flag] = value
-    slo_log = getattr(args, "slo_log", None)
-    if slo_log is not None and "slo_log" in accepted:
-        out["slo_log"] = str(slo_log)
+    for log_flag in ("slo_log", "critpath_log"):
+        value = getattr(args, log_flag, None)
+        if value is not None and log_flag in accepted:
+            out[log_flag] = str(value)
     for flag in ("tenants", "defense"):
         value = getattr(args, flag, None)
         if value is not None and flag in accepted:
@@ -328,6 +336,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         or args.cpi_stack
         or args.request_log is not None
         or args.slo_log is not None
+        or args.critpath_log is not None
     )
     use_cache = (args.cache or multi) and not args.no_cache and not observing
 

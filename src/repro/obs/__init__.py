@@ -26,12 +26,31 @@ With no session active every hook in the simulator reduces to one
 the fast engine's throughput is unaffected (see docs/observability.md).
 """
 
+from .critpath import (
+    SEGMENT_KINDS,
+    CriticalPath,
+    Segment,
+    aggregate_profiles,
+    check_conservation,
+    extract_critical_path,
+    extract_paths,
+    profile_records,
+)
 from .detect import (
     CompositionDriftDetector,
     DetectionEvent,
     MeanShiftDetector,
 )
 from .fleet import FleetSpan, FleetTrace, check_span_tree, merge_spans
+from .ids import (
+    attempt_id,
+    parse_request_id,
+    parse_span_id,
+    request_id,
+    request_of_span,
+    route_id,
+    slot_id,
+)
 from .cpi import (
     CPI_BUCKETS,
     CpiStack,
@@ -68,6 +87,13 @@ from .slo import (
     score_detections,
 )
 from .tracer import SIM_PID, WALL_PID, SpanEvent, Tracer
+from .whatif import (
+    KNOBS,
+    WhatIfPrediction,
+    predict,
+    whatif_record,
+    within_bounds,
+)
 
 __all__ = [
     "CPI_BUCKETS",
@@ -77,26 +103,34 @@ __all__ = [
     "CompositionDriftDetector",
     "Counter",
     "CpiStack",
+    "CriticalPath",
     "DetectionEvent",
     "FleetMonitor",
     "FleetSpan",
     "FleetTrace",
     "Gauge",
     "Histogram",
+    "KNOBS",
     "MeanShiftDetector",
     "MetricsRegistry",
     "Observation",
     "Regression",
     "RequestLog",
+    "SEGMENT_KINDS",
     "SIM_PID",
     "SLOSpec",
+    "Segment",
     "SloTimeline",
     "SpanEvent",
     "Tracer",
     "WALL_PID",
+    "WhatIfPrediction",
     "active",
+    "aggregate_profiles",
+    "attempt_id",
     "attribute_miss",
     "burn_alerts",
+    "check_conservation",
     "check_span_tree",
     "collect_cpi_stacks",
     "compare",
@@ -104,15 +138,27 @@ __all__ = [
     "embedding_cpi_stack",
     "enabled",
     "evaluate_slo",
+    "extract_critical_path",
+    "extract_paths",
     "format_cpi_table",
     "load_history",
     "load_request_log",
     "make_record",
     "merge_spans",
     "miss_attribution",
+    "parse_request_id",
+    "parse_span_id",
+    "predict",
+    "profile_records",
     "publish_cpi_stack",
+    "request_id",
+    "request_of_span",
+    "route_id",
     "score_detections",
     "session",
+    "slot_id",
     "validate",
     "validate_def",
+    "whatif_record",
+    "within_bounds",
 ]

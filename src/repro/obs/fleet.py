@@ -38,6 +38,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from . import ids
+
 __all__ = [
     "FLEET_SPAN_KINDS",
     "FleetSpan",
@@ -92,10 +94,10 @@ class FleetTrace:
     # -- id scheme -----------------------------------------------------------
 
     def root_id(self, req: int) -> str:
-        return f"{self.run_index}:{req}"
+        return ids.request_id(self.run_index, req)
 
     def slot_id(self, req: int, k: int) -> str:
-        return f"{self.root_id(req)}/g{k}"
+        return ids.slot_id(self.root_id(req), k)
 
     # -- recording -----------------------------------------------------------
 
@@ -172,17 +174,19 @@ class FleetTrace:
         policy: str,
         eligible: int,
         reason: str,
+        load_ms: Optional[float] = None,
     ) -> None:
         """Record one router decision under a gather span.
 
         ``reason`` says why the router was consulted (``primary``,
         ``failover``, ``hedge``); ``chosen`` is None when no routable
-        replica remained.
+        replica remained; ``load_ms`` is the chosen node's backlog
+        estimate at decision time (least_loaded only).
         """
         seq = self._route_seq.get(slot_id, 0)
         self._route_seq[slot_id] = seq + 1
         self._add(
-            f"{slot_id}/r{seq}",
+            ids.route_id(slot_id, seq),
             slot_id,
             f"route:{reason}",
             "route",
@@ -193,6 +197,7 @@ class FleetTrace:
             eligible=eligible,
             reason=reason,
             chosen=chosen,
+            load_ms=load_ms,
         )
 
     def begin_attempt(
@@ -200,7 +205,7 @@ class FleetTrace:
     ) -> str:
         seq = self._attempt_seq.get(slot_id, 0)
         self._attempt_seq[slot_id] = seq + 1
-        aid = f"{slot_id}/a{seq}"
+        aid = ids.attempt_id(slot_id, seq)
         self._add(
             aid,
             slot_id,

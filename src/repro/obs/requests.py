@@ -28,6 +28,8 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional, Tuple
 
+from .ids import request_id
+
 __all__ = [
     "MISS_CAUSES",
     "RequestLog",
@@ -96,8 +98,8 @@ class RunLog:
 
     def exemplar_id(self, req: int) -> str:
         """The stable id linking request ``req`` across log, spans, and
-        histogram exemplars."""
-        return f"{self.index}:{req}"
+        histogram exemplars (see :mod:`repro.obs.ids`)."""
+        return request_id(self.index, req)
 
     def event(self, req: int, kind: str, t_ms: float, **attrs: object) -> None:
         """Record one lifecycle event of request ``req``."""

@@ -374,8 +374,13 @@ class _NodeWorld:
 
     def submit(
         self, t_work: float, multiplier: float, plan: Optional[ClusterFaultPlan]
-    ) -> Tuple[int, float, float]:
-        """Run one shard call; returns ``(core, start, completion)``."""
+    ) -> Tuple[int, float, float, float]:
+        """Run one shard call; returns ``(core, start, completion, slow)``.
+
+        ``slow`` is the fault-plan slowdown factor in effect at the call's
+        start — the observability layer uses it to carve the contention
+        penalty out of the service segment.
+        """
         if self.controller is not None:
             while self._pending and self._pending[0][0] <= t_work:
                 done, latency = heapq.heappop(self._pending)
@@ -391,7 +396,7 @@ class _NodeWorld:
         self.busy_ms += service
         if self.controller is not None:
             heapq.heappush(self._pending, (completion, completion - t_work))
-        return core, start, completion
+        return core, start, completion, slow
 
     def crash(self, until_ms: float) -> None:
         """Hard kill: drop queued work, restart cold at ``until_ms``."""
@@ -705,8 +710,9 @@ class ClusterSim:
         )
         if trace is not None:
             router.on_decision = (
-                lambda ctx, shard, chosen, eligible, t: trace.route(
-                    ctx[0], t, chosen, cfg.routing, eligible, ctx[1]
+                lambda ctx, shard, chosen, eligible, t, load: trace.route(
+                    ctx[0], t, chosen, cfg.routing, eligible, ctx[1],
+                    load_ms=load,
                 )
             )
 
@@ -797,11 +803,13 @@ class ClusterSim:
                 att.fail_cause = "partition"
                 push(now + cfg.call_timeout_ms, _EV_TIMEOUT, aid)
                 return
-            core, start, completion = nodes[node].submit(
+            core, start, completion, slow = nodes[node].submit(
                 now + cfg.hop_ms, self.shard_map.call_multiplier(slot.shard, node),
                 plan,
             )
             att.core = core
+            att.start = start
+            att.slow = slow
             att.completion = completion
             outstanding_on[node][aid] = completion
             deliver = completion + cfg.hop_ms
@@ -964,6 +972,9 @@ class ClusterSim:
                 if window is not None:
                     window.observe(now - att.submit_ms)
                 if run is not None:
+                    # The attempt's internal decomposition: on-node queue
+                    # wait, service time, and the fault-plan slowdown in
+                    # effect — the critical-path extractor's raw material.
                     run.event(
                         slot.request,
                         "call_ok",
@@ -972,6 +983,9 @@ class ClusterSim:
                         shard=slot.shard,
                         latency_ms=now - att.submit_ms,
                         hedge=att.is_hedge,
+                        queue_ms=att.start - (att.submit_ms + cfg.hop_ms),
+                        service_ms=att.completion - att.start,
+                        slow=att.slow,
                     )
                 if slot.resolved:
                     if att.is_hedge:
@@ -981,6 +995,9 @@ class ClusterSim:
                         trace.end_attempt(
                             att.trace_id, now, "ok",
                             latency_ms=now - att.submit_ms, winner=False,
+                            queue_ms=att.start - (att.submit_ms + cfg.hop_ms),
+                            service_ms=att.completion - att.start,
+                            slow=att.slow,
                         )
                     maybe_free_slot(slot)
                     continue
@@ -991,6 +1008,9 @@ class ClusterSim:
                     trace.end_attempt(
                         att.trace_id, now, "ok",
                         latency_ms=now - att.submit_ms, winner=True,
+                        queue_ms=att.start - (att.submit_ms + cfg.hop_ms),
+                        service_ms=att.completion - att.start,
+                        slow=att.slow,
                     )
                     trace.end_slot(slot.trace_id, now, "ok")
                 maybe_free_slot(slot)
@@ -1053,8 +1073,15 @@ class ClusterSim:
                 counters["hedges_issued"] += 1
                 req_hedges[slot.request] += 1
                 if run is not None:
+                    # q_ms: the latency-window quantile the hedge delay was
+                    # racing (the fire-time estimate of the arming-time
+                    # value) — lets the what-if engine re-time hedges under
+                    # a different floor.
                     run.event(
-                        slot.request, "hedge", now, node=target, shard=slot.shard
+                        slot.request, "hedge", now, node=target,
+                        shard=slot.shard,
+                        q_ms=window.quantile(cfg.hedge.quantile)
+                        if window is not None else None,
                     )
                 submit_attempt(slot, target, now, hedge=True)
                 if slot.hedges < cfg.hedge.max_hedges:
@@ -1240,6 +1267,8 @@ class _Attempt:
         "is_hedge",
         "resolved",
         "core",
+        "start",
+        "slow",
         "completion",
         "deliver",
         "fail_cause",
@@ -1256,6 +1285,8 @@ class _Attempt:
         self.is_hedge = is_hedge
         self.resolved = False
         self.core: Optional[int] = None
+        self.start: Optional[float] = None
+        self.slow: float = 1.0
         self.completion: Optional[float] = None
         self.deliver: Optional[float] = None
         self.fail_cause: Optional[str] = None

@@ -283,6 +283,7 @@ def resilient_events(
                             ),
                             fault_mult=float(fault_mult),
                             straggler_mult=float(strag_l[i]),
+                            scale=float(scale),
                         )
                     heap_push(events, (now + svc, _EV_FREE, seq, icore))
                     seq += 1
@@ -357,6 +358,7 @@ def resilient_events(
                                 ),
                                 fault_mult=float(fault_mult),
                                 straggler_mult=float(strag_l[j]),
+                                scale=float(scale),
                             )
                         heap_push(events, (now + svc, _EV_FREE, seq, icore))
                         seq += 1

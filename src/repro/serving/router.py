@@ -176,11 +176,13 @@ class Router:
 
     ``on_decision`` is the tracing seam: when set (the cluster wires it
     up for observed runs), every :meth:`choose` reports its verdict as
-    ``on_decision(ctx, shard, chosen, eligible_count, now_ms)``, where
-    ``ctx`` is whatever trace context the caller threaded through — the
-    router is the only place that knows how many replicas were actually
-    eligible after health filtering.  Unset, the cost is one ``is None``
-    branch per decision.
+    ``on_decision(ctx, shard, chosen, eligible_count, now_ms, load_ms)``,
+    where ``ctx`` is whatever trace context the caller threaded through —
+    the router is the only place that knows how many replicas were
+    actually eligible after health filtering — and ``load_ms`` is the
+    backlog estimate of the chosen node at decision time (None under
+    ``round_robin`` or when nothing was chosen).  Unset, the cost is one
+    ``is None`` branch per decision.
     """
 
     def __init__(
@@ -239,5 +241,10 @@ class Router:
                     eligible, key=lambda n: (self._load_of(n, now_ms), n)
                 )
         if self.on_decision is not None:
-            self.on_decision(ctx, shard, chosen, len(eligible), now_ms)
+            load = (
+                self._load_of(chosen, now_ms)
+                if chosen is not None and self._load_of is not None
+                else None
+            )
+            self.on_decision(ctx, shard, chosen, len(eligible), now_ms, load)
         return chosen

@@ -578,6 +578,7 @@ def _simulate_resilient(
                         ),
                         fault_mult=float(fault_mult),
                         straggler_mult=float(strag[i]),
+                        scale=float(scale),
                     )
                 push(now + svc, _EV_FREE, core)
 

@@ -57,10 +57,10 @@ class TestBase:
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        # 12 figures + 4 tables + six extensions (synergy, hotness
+        # 12 figures + 4 tables + seven extensions (synergy, hotness
         # sweep, resilience, cluster_resilience, slo_observatory,
-        # noisy_neighbor).
-        assert len(EXPERIMENT_IDS) == 22
+        # noisy_neighbor, critpath_observatory).
+        assert len(EXPERIMENT_IDS) == 23
         assert "fig12" in EXPERIMENT_IDS
         assert "table4" in EXPERIMENT_IDS
         assert "synergy" in EXPERIMENT_IDS
@@ -69,6 +69,7 @@ class TestRegistry:
         assert "cluster_resilience" in EXPERIMENT_IDS
         assert "slo_observatory" in EXPERIMENT_IDS
         assert "noisy_neighbor" in EXPERIMENT_IDS
+        assert "critpath_observatory" in EXPERIMENT_IDS
 
     def test_titles_listed(self):
         titles = list_experiments()

@@ -180,6 +180,77 @@ class TestMergeSpans:
         assert "attempt without a node" in text
 
 
+class TestMalformedTrees:
+    """check_span_tree on the broken shapes a buggy recorder could emit."""
+
+    def _span(self, sid, parent, kind, node, start, end, **attrs):
+        return FleetSpan(sid, parent, sid, kind, node, start, end, dict(attrs))
+
+    def test_orphaned_hedge_attempt_is_flagged(self):
+        # A hedge attempt whose gather span was never recorded: the
+        # parent id resolves to nothing, which must surface as an
+        # orphan, not silently pass.
+        root = self._span("0:0", None, "request", None, 0.0, 5.0)
+        hedge = self._span(
+            "0:0/g1/a1", "0:0/g1", "attempt", 2, 1.0, 3.0, hedge=True
+        )
+        problems = check_span_tree([root, hedge])
+        assert len(problems) == 1
+        assert "orphan" in problems[0]
+        assert "0:0/g1/a1" in problems[0]
+
+    def test_zero_duration_spans_are_legal(self):
+        # Route decisions are zero-duration by design; a zero-duration
+        # attempt (instantaneous delivery) is degenerate but not a
+        # structural violation.
+        root = self._span("0:0", None, "request", None, 0.0, 2.0)
+        slot = self._span("0:0/g0", "0:0", "gather", None, 1.0, 1.0)
+        route = self._span("0:0/g0/r0", "0:0/g0", "route", 1, 1.0, 1.0)
+        attempt = self._span("0:0/g0/a0", "0:0/g0", "attempt", 1, 1.0, 1.0)
+        assert check_span_tree([root, slot, route, attempt]) == []
+
+    def test_out_of_order_siblings_fixed_by_merge(self):
+        # Siblings recorded out of chronological order (the hedge landed
+        # in the log before the primary): merge_spans must restore the
+        # deterministic (start, id) order and the result must verify.
+        root = self._span("0:0", None, "request", None, 0.0, 6.0)
+        slot = self._span("0:0/g0", "0:0", "gather", None, 0.0, 6.0)
+        hedge = self._span("0:0/g0/a1", "0:0/g0", "attempt", 2, 3.0, 5.0)
+        primary = self._span("0:0/g0/a0", "0:0/g0", "attempt", 1, 1.0, 6.0)
+        merged = merge_spans([root, slot], {2: [hedge], 1: [primary]})
+        attempts = [s.span_id for s in merged if s.kind == "attempt"]
+        assert attempts == ["0:0/g0/a0", "0:0/g0/a1"]
+        assert check_span_tree(merged) == []
+
+    def test_child_outside_unwidened_parent_is_flagged(self):
+        # Without envelope widening a late child sticks out of its
+        # parent's interval — exactly what check_span_tree exists to
+        # catch when someone skips finalize().
+        root = self._span("0:0", None, "request", None, 0.0, 2.0)
+        slot = self._span("0:0/g0", "0:0", "gather", None, 0.0, 2.0)
+        late = self._span("0:0/g0/a0", "0:0/g0", "attempt", 1, 1.0, 9.0)
+        problems = check_span_tree([root, slot, late])
+        assert any("outside parent interval" in p for p in problems)
+
+    def test_crash_mid_gather_still_produces_clean_forest(self):
+        # A request whose gather never closed (the recorder "crashed"
+        # after the attempt failed): end_slot/end_request were never
+        # called, so the raw parents are zero-width — finalize's
+        # envelope widening must still yield a verifiable forest.
+        trace = FleetTrace("t", run_index=0)
+        trace.begin_request(0, 0.0)
+        sid = trace.begin_slot(0, 0, 4, 0.0)
+        trace.route(sid, 0.0, 2, "round_robin", 1, "primary")
+        aid = trace.begin_attempt(sid, 2, 0.0, False)
+        trace.end_attempt(aid, 3.0, "crash")
+        # no end_slot, no end_request
+        merged = trace.finalize()
+        assert check_span_tree(merged) == []
+        by_id = {s.span_id: s for s in merged}
+        assert by_id[sid].end_ms == 3.0
+        assert by_id["0:0"].end_ms == 3.0
+
+
 class TestFleetTraceApi:
     def test_emit_requires_finalize_only_once(self):
         trace = FleetTrace("t", run_index=0)

@@ -1,0 +1,62 @@
+"""The shared "run:req" id scheme: construction, parsing, round-trips."""
+
+import pytest
+
+from repro.obs.ids import (
+    attempt_id,
+    parse_request_id,
+    parse_span_id,
+    request_id,
+    request_of_span,
+    route_id,
+    slot_id,
+)
+
+
+class TestRequestIds:
+    def test_round_trip(self):
+        for run, req in [(0, 0), (3, 17), (12, 99999)]:
+            assert parse_request_id(request_id(run, req)) == (run, req)
+
+    def test_format_is_run_colon_req(self):
+        assert request_id(2, 41) == "2:41"
+
+    @pytest.mark.parametrize("bad", ["", "7", "7:", ":", "abc", "1:2:3x"])
+    def test_malformed_ids_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_request_id(bad)
+
+
+class TestSpanIds:
+    def test_slot_route_attempt_construction(self):
+        root = request_id(1, 5)
+        assert slot_id(root, 2) == "1:5/g2"
+        assert route_id("1:5/g2", 0) == "1:5/g2/r0"
+        assert attempt_id("1:5/g2", 3) == "1:5/g2/a3"
+
+    def test_request_of_span_any_depth(self):
+        assert request_of_span("0:17") == "0:17"
+        assert request_of_span("0:17/g1") == "0:17"
+        assert request_of_span("0:17/g1/a0") == "0:17"
+
+    def test_parse_span_id_round_trips(self):
+        root = request_id(4, 8)
+        assert parse_span_id(root) == (4, 8, None, None, None)
+        assert parse_span_id(slot_id(root, 1)) == (4, 8, 1, "g", None)
+        assert parse_span_id(route_id(slot_id(root, 1), 2)) == (4, 8, 1, "r", 2)
+        assert parse_span_id(attempt_id(slot_id(root, 0), 5)) == (4, 8, 0, "a", 5)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "1:2/x3",          # unknown child prefix
+            "1:2/g1/z0",       # unknown grandchild prefix
+            "1:2/g1/a0/r0",    # too deep
+            "1:2/g1/",         # empty tail
+            "1:2/gx",          # non-numeric slot
+            "nope/g0",         # malformed root
+        ],
+    )
+    def test_malformed_span_ids_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_span_id(bad)

@@ -1,0 +1,198 @@
+"""Counterfactual what-if engine: re-timing accuracy, bounds, records."""
+
+import json
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.config import SimConfig
+from repro.obs import hooks as obs_hooks
+from repro.obs.hooks import Observation
+from repro.obs.requests import RequestLog
+from repro.obs.schema import validate_def
+from repro.obs.whatif import (
+    KNOBS,
+    percentile,
+    predict,
+    whatif_record,
+    within_bounds,
+)
+from repro.serving.cluster import ClusterConfig, ClusterSim
+from repro.serving.faults import ClusterFaultPlan, NodeCrash, NodeSlow
+from repro.serving.router import HedgePolicy
+from repro.serving.workload import poisson_arrivals
+
+SCHEMA = json.loads(open("tools/trace_schema.json").read())
+
+N_REQUESTS = 1200
+INTERARRIVAL = 0.9
+HORIZON = N_REQUESTS * INTERARRIVAL
+
+
+def _arrivals():
+    rng = SimConfig(seed=7).rng("whatif:arr")
+    return poisson_arrivals(INTERARRIVAL, N_REQUESTS, rng)
+
+
+def _noisy_config():
+    """The slow-node scenario: hedges fire, no crash, replication 2."""
+    return ClusterConfig(
+        num_nodes=4, cores_per_node=4, mean_service_ms=2.0, num_shards=8,
+        replication=2, gather_width=2, hop_ms=0.1, call_timeout_ms=50.0,
+        deadline_ms=100.0, placement="striped", routing="least_loaded",
+        hedge=HedgePolicy(quantile=95.0, min_ms=12.0, window=128),
+        faults=ClusterFaultPlan(
+            [NodeSlow(0, 0.13 * HORIZON, 0.40 * HORIZON, factor=6.0)],
+            seed=78,
+        ),
+        seed=78, label="t:whatif:noisy",
+    )
+
+
+def _kill_config():
+    """The node-kill scenario: replication 1, failovers and misses."""
+    return ClusterConfig(
+        num_nodes=4, cores_per_node=4, mean_service_ms=2.0, num_shards=8,
+        replication=1, gather_width=2, hop_ms=0.1, call_timeout_ms=25.0,
+        deadline_ms=100.0, placement="striped", routing="least_loaded",
+        faults=ClusterFaultPlan(
+            [NodeCrash(1, 0.11 * HORIZON, 0.27 * HORIZON)], seed=77
+        ),
+        seed=77, label="t:whatif:kill",
+    )
+
+
+def _observed_records(config):
+    obs = Observation(requests=RequestLog())
+    with obs_hooks.session(obs):
+        ClusterSim(config).run(_arrivals())
+    return obs.requests.runs[-1].records
+
+
+def _rerun_p99(config):
+    result = ClusterSim(config).run(_arrivals())
+    lat = result.request_latency_ms
+    return float(np.percentile(lat[np.isfinite(lat)], 99.0))
+
+
+class TestPercentile:
+    def test_matches_numpy_linear_interpolation(self):
+        rng = np.random.default_rng(3)
+        values = rng.exponential(2.0, size=257).tolist()
+        for q in (50.0, 90.0, 99.0):
+            assert percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q))
+            )
+
+    def test_degenerate_inputs(self):
+        assert percentile([], 99.0) == 0.0
+        assert percentile([4.2], 99.0) == 4.2
+
+
+class TestBounds:
+    def test_exact_match_is_in_bounds(self):
+        assert within_bounds("t", 10.0, 10.0)
+
+    def test_large_miss_is_out_of_bounds(self):
+        assert not within_bounds("t", 10.0, 14.0, rel_threshold=0.25)
+        assert not within_bounds("t", 14.0, 10.0, rel_threshold=0.25)
+
+    def test_noise_floor_absorbs_small_absolute_misses(self):
+        assert not within_bounds("t", 1.0, 1.5, rel_threshold=0.25)
+        assert within_bounds(
+            "t", 1.0, 1.5, rel_threshold=0.25, noise_floor=0.6
+        )
+
+
+class TestPredict:
+    def test_unknown_knob_raises(self):
+        with pytest.raises(ValueError, match="unknown what-if knob"):
+            predict([], _noisy_config(), "magic", 1.0)
+        assert "hedge_min_ms" in KNOBS
+
+    def test_baseline_is_logged_p99(self):
+        config = _noisy_config()
+        records = _observed_records(config)
+        pred = predict(records, config, "hedge_min_ms", 6.0)
+        logged = [
+            r["latency_ms"] for r in records if r["latency_ms"] is not None
+        ]
+        assert pred.baseline == pytest.approx(
+            float(np.percentile(logged, 99.0))
+        )
+        assert pred.metric == "p99_ms"
+        assert pred.requests == len(logged)
+
+    def test_hedge_floor_prediction_matches_rerun(self):
+        config = _noisy_config()
+        pred = predict(
+            _observed_records(config), config, "hedge_min_ms", 6.0
+        )
+        actual = _rerun_p99(
+            replace(config, hedge=replace(config.hedge, min_ms=6.0))
+        )
+        assert within_bounds(
+            "hedge", actual, pred.predicted,
+            rel_threshold=0.25, noise_floor=0.15 * actual,
+        )
+
+    def test_replication_delta_prediction_matches_rerun(self):
+        config = _kill_config()
+        pred = predict(
+            _observed_records(config), config, "replication_delta", 1.0
+        )
+        actual = _rerun_p99(replace(config, replication=2))
+        assert within_bounds(
+            "repl", actual, pred.predicted,
+            rel_threshold=0.25, noise_floor=0.15 * actual,
+        )
+
+    def test_gather_width_prediction_matches_rerun(self):
+        config = _kill_config()
+        pred = predict(
+            _observed_records(config), config, "gather_width", 1.0
+        )
+        actual = _rerun_p99(replace(config, gather_width=1))
+        assert within_bounds(
+            "gather", actual, pred.predicted,
+            rel_threshold=0.25, noise_floor=0.15 * actual,
+        )
+
+    def test_extra_cores_is_estimate_only_and_helps(self):
+        config = _noisy_config()
+        pred = predict(
+            _observed_records(config), config, "extra_cores", 4.0
+        )
+        assert pred.estimated  # never gated: queue-scaling heuristic
+        assert pred.predicted <= pred.baseline
+
+    def test_prediction_is_deterministic(self):
+        config = _noisy_config()
+        records = _observed_records(config)
+        a = predict(records, config, "hedge_min_ms", 6.0)
+        b = predict(records, config, "hedge_min_ms", 6.0)
+        assert a.predicted == b.predicted
+        assert a.latencies_ms == b.latencies_ms
+
+
+class TestRecords:
+    def test_whatif_record_is_schema_valid(self):
+        config = _noisy_config()
+        pred = predict(
+            _observed_records(config), config, "hedge_min_ms", 6.0
+        )
+        rec = whatif_record(
+            pred, scenario="noisy", actual=pred.predicted, in_bounds=True
+        )
+        assert validate_def(rec, SCHEMA, "whatif_record") == []
+
+    def test_record_allows_unvalidated_predictions(self):
+        config = _noisy_config()
+        pred = predict(
+            _observed_records(config), config, "extra_cores", 4.0
+        )
+        rec = whatif_record(pred, scenario="noisy")
+        assert rec["actual"] is None
+        assert rec["within_bounds"] is None
+        assert validate_def(rec, SCHEMA, "whatif_record") == []

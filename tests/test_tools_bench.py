@@ -296,6 +296,84 @@ def test_trace_report_slo_mode(tmp_path, capsys):
     assert "alerts fired (1)" in out
 
 
+# -- critical path + what-if (PR 10) -----------------------------------------
+
+
+def test_trace_report_critpath_from_requests(tmp_path, capsys):
+    trace_report = _load_tool("trace_report")
+    _, req_path = _cluster_artifacts(tmp_path)
+    assert trace_report.main(
+        ["--requests", str(req_path), "--critpath", "--validate", "--top", "3"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "schema OK" in out
+    assert "conservation: 400 request(s), 0 violation(s)" in out
+    assert "critical-path profiles" in out
+    assert "bottleneck" in out
+
+
+def test_trace_report_critpath_needs_requests(capsys):
+    trace_report = _load_tool("trace_report")
+    with pytest.raises(SystemExit):
+        trace_report.main(["--critpath"])
+
+
+def test_trace_report_critpath_log_mode(tmp_path, capsys):
+    trace_report = _load_tool("trace_report")
+    path = tmp_path / "critpath.jsonl"
+    lines = [
+        {"kind": "critpath_log_meta", "schema_version": 1,
+         "scenarios": ["noisy"], "lines": 2},
+        {"kind": "critpath_profile", "schema_version": 1,
+         "scenario": "noisy", "scope": "overall", "requests": 10,
+         "total_ms": 40.0, "segments": {"queue": 25.0, "service": 15.0},
+         "bottleneck": "queue"},
+        {"kind": "whatif", "schema_version": 1, "scenario": "noisy",
+         "knob": "hedge_min_ms", "value": 6.0, "metric": "p99_ms",
+         "baseline": 15.0, "predicted": 12.0, "actual": 12.5,
+         "within_bounds": True, "requests": 10, "estimated": False},
+    ]
+    path.write_text("".join(json.dumps(l) + "\n" for l in lines))
+    assert trace_report.main(["--critpath-log", str(path), "--validate"]) == 0
+    out = capsys.readouterr().out
+    assert "schema OK" in out
+    assert "critical-path profiles" in out
+    assert "what-if predictions" in out
+    assert "noisy/hedge_min_ms" in out
+
+
+def test_trace_report_critpath_log_rejects_bad_record(tmp_path, capsys):
+    trace_report = _load_tool("trace_report")
+    path = tmp_path / "critpath.jsonl"
+    bad = {"kind": "whatif", "schema_version": 1, "scenario": "x",
+           "knob": "warp_drive", "value": 1.0, "metric": "p99_ms",
+           "baseline": 1.0, "predicted": 1.0, "actual": None,
+           "within_bounds": None, "requests": 1, "estimated": False}
+    path.write_text(json.dumps(bad) + "\n")
+    assert trace_report.main(["--critpath-log", str(path), "--validate"]) == 1
+    err = capsys.readouterr().err
+    assert "schema violation" in err
+
+
+def test_trace_report_json_format(tmp_path, capsys):
+    trace_report = _load_tool("trace_report")
+    _, req_path = _cluster_artifacts(tmp_path)
+    assert trace_report.main(
+        ["--requests", str(req_path), "--critpath", "--validate",
+         "--format", "json"]
+    ) == 0
+    captured = capsys.readouterr()
+    document = json.loads(captured.out)  # stdout is one JSON document
+    assert "schema OK" not in captured.out  # diagnostics go to stderr
+    assert "schema OK" in captured.err
+    assert document["requests"]["slowest"]  # top-N rows present as data
+    critpath = document["critpath"]
+    assert critpath["conservation"][0]["requests"] == 400
+    assert critpath["conservation"][0]["violations"] == 0
+    scopes = {r["scope"] for r in critpath["profiles"]}
+    assert "overall" in scopes
+
+
 def test_miss_attribution_sorted_by_count_then_cause(tmp_path, capsys):
     """Satellite fix: attribution rows render most-frequent first."""
     from repro.obs import RequestLog

@@ -27,6 +27,10 @@ The suite:
   drift-detector update throughputs (kind ``wall``) bounding what the
   tracing layer may cost, plus detection recall/MTTD on the pinned
   node-kill run (kind ``sim``, exact).
+* **critical path** (``obs.critpath.*``) — extraction throughput over a
+  pinned cluster log (kind ``wall``), plus the conservation rate and the
+  worst gated what-if prediction error of the ``critpath_observatory``
+  scenarios (kind ``sim``, exact).
 
 Records validate against ``$defs.bench_record`` in
 ``tools/trace_schema.json``; ``tools/bench_gate.py`` compares the two
@@ -434,6 +438,78 @@ def _fleet_benchmarks(mode: str, repeats: int) -> List[Benchmark]:
     return out
 
 
+def _critpath_benchmarks(mode: str, repeats: int) -> List[Benchmark]:
+    """Critical-path extraction cost and what-if accuracy, pinned.
+
+    One wall clock bounds what per-request attribution costs (requests
+    extracted per second over a pinned node-kill cluster log), and two
+    exact sim outputs pin the observatory's analytic quality: the
+    fraction of requests whose segments conserve exactly, and the worst
+    relative error any *gated* what-if prediction made against its
+    actual re-run in the ``critpath_observatory`` scenarios.
+    """
+    from repro.experiments.critpath_observatory import (
+        GATED_KNOBS,
+        _scenarios,
+        run as critpath_run,
+    )
+    from repro.obs.critpath import extract_paths
+
+    num_requests = 1500 if mode == "smoke" else 6000
+    config = SimConfig(seed=7)
+    report = critpath_run(config=config, num_requests=num_requests)
+    conservation = [r for r in report.rows if r["kind"] == "conservation"]
+    total = sum(int(r["requests"]) for r in conservation) or 1
+    violations = sum(int(r["violations"]) for r in conservation)
+    errors = [
+        abs(float(r["delta_frac"]))
+        for r in report.rows
+        if r["kind"] == "whatif"
+        and r.get("delta_frac") is not None
+        and r["knob"] in GATED_KNOBS
+    ]
+    out = [
+        Benchmark(
+            "obs.critpath.conserved_frac",
+            1.0 - violations / total, "frac", direction="higher",
+        ),
+        Benchmark(
+            "obs.critpath.whatif.max_err_frac",
+            max(errors), "frac", direction="lower",
+            # Prediction error legitimately wobbles as the estimators
+            # evolve; only a loss of more than 5 points is a regression.
+            noise_floor=0.05,
+        ),
+    ]
+
+    scenario_cfg = _scenarios(num_requests * 0.9, 2.0, 4, 4, 8)[0][1]
+    arrivals = config.rng("critpath:arrivals").exponential(
+        0.9, size=num_requests
+    ).cumsum()
+    log = RequestLog()
+    with session(Observation(requests=log)):
+        ClusterSim(scenario_cfg).run(arrivals)
+    records = log.runs[-1].records
+    rates = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        extract_paths(records)
+        elapsed = time.perf_counter() - start
+        rates.append(len(records) / elapsed)
+    value = median(rates)
+    out.append(
+        Benchmark(
+            name="obs.critpath.extract.requests_per_sec",
+            value=value,
+            unit="req/s",
+            direction="higher",
+            noise_floor=WALL_NOISE_FRAC * value,
+            kind="wall",
+        )
+    )
+    return out
+
+
 def _tenant_benchmarks(mode: str) -> List[Benchmark]:
     """Noisy-neighbor defense quality, pinned (exact).
 
@@ -485,6 +561,7 @@ def run_suite(mode: str, repeats: int) -> Dict[str, object]:
     benchmarks.extend(_serving_benchmarks(mode))
     benchmarks.extend(_cluster_benchmarks(mode))
     benchmarks.extend(_fleet_benchmarks(mode, repeats))
+    benchmarks.extend(_critpath_benchmarks(mode, repeats))
     benchmarks.extend(_tenant_benchmarks(mode))
     for bench in benchmarks:
         print(

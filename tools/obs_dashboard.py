@@ -19,7 +19,10 @@ Sections (each present only when its input is given):
   the windowed drift detectors, the shard x node call heat map, and
   latency percentiles (blank, not NaN, when no request completed);
 * **error budget** (``--slo-log``) — per-SLO budget-remaining sparkline,
-  burn-rate peak, and the fired burn/detector alerts.
+  burn-rate peak, and the fired burn/detector alerts;
+* **critical path** (``--critpath-log``) — per-scope latency attribution
+  bars ("where does p99 go") and the counterfactual what-if prediction
+  table with its validation verdicts.
 """
 
 from __future__ import annotations
@@ -393,11 +396,110 @@ def _slo_section(slo_log_path: Path) -> str:
     return "".join(out)
 
 
+#: Segment-kind colors for the critical-path attribution bars.
+_SEGMENT_COLORS = {
+    "queue": "#1f6feb",
+    "service": "#1f6f3f",
+    "penalty": "#b62324",
+    "network": "#8b949e",
+    "hedge_wait": "#b08800",
+    "recovery": "#a371f7",
+    "backoff": "#db6d28",
+    "other": "#2a3038",
+}
+
+
+def _critpath_section(critpath_log_path: Path) -> str:
+    """Attribution bars + what-if table from a --critpath-log export."""
+    profiles: List[Dict[str, object]] = []
+    whatifs: List[Dict[str, object]] = []
+    with open(critpath_log_path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec.get("kind") == "critpath_profile":
+                profiles.append(rec)
+            elif rec.get("kind") == "whatif":
+                whatifs.append(rec)
+    if not profiles and not whatifs:
+        return "<h2>critical path</h2><p class='note'>empty critpath log</p>"
+    out = ["<h2>critical path</h2>"]
+    if profiles:
+        legend = " ".join(
+            f"<span style='color:{color}'>&#9632;</span>&nbsp;{kind}"
+            for kind, color in _SEGMENT_COLORS.items()
+        )
+        rows = []
+        for prof in profiles:
+            scope = str(prof.get("scope", "?"))
+            # Node/shard scopes stay in the log; the page shows the
+            # fleet-wide and tail breakdowns.
+            if not (scope == "overall" or scope.startswith("tail_")):
+                continue
+            segments: Dict[str, float] = prof.get("segments", {})  # type: ignore[assignment]
+            total = float(prof.get("total_ms", 0.0))
+            cells = "".join(
+                f"<span class='bar' style='background:"
+                f"{_SEGMENT_COLORS.get(kind, '#2a3038')};"
+                f"width:{240.0 * dur / total:.0f}px' title='{html.escape(kind)}"
+                f" {dur:,.1f} ms'></span>"
+                for kind, dur in sorted(segments.items(), key=lambda kv: -kv[1])
+                if total > 0 and dur > 0
+            )
+            rows.append(
+                "<tr>"
+                f"<td>{html.escape(str(prof.get('scenario', '')))}/"
+                f"{html.escape(scope)}</td>"
+                f"<td>{int(prof.get('requests', 0))}</td>"
+                f"<td>{total:,.1f}</td>"
+                f"<td>{html.escape(str(prof.get('bottleneck') or '-'))}</td>"
+                f"<td style='text-align:left'>{cells}</td>"
+                "</tr>"
+            )
+        out.append(
+            f"<p class='note'>{legend}</p>"
+            "<table><tr><th>scenario/scope</th><th>requests</th>"
+            "<th>total_ms</th><th>bottleneck</th><th>attribution</th></tr>"
+            + "".join(rows)
+            + "</table>"
+        )
+    if whatifs:
+        rows = []
+        for rec in whatifs:
+            actual = rec.get("actual")
+            predicted = float(rec.get("predicted", 0.0))
+            bounds = rec.get("within_bounds")
+            cls = "flat" if bounds is None else ("better" if bounds else "worse")
+            verdict = "—" if bounds is None else ("ok" if bounds else "MISS")
+            rows.append(
+                "<tr>"
+                f"<td>{html.escape(str(rec.get('scenario', '')))}/"
+                f"{html.escape(str(rec.get('knob', '?')))}</td>"
+                f"<td>{float(rec.get('value', 0.0)):g}</td>"
+                f"<td>{float(rec.get('baseline', 0.0)):,.2f}</td>"
+                f"<td>{predicted:,.2f}</td>"
+                f"<td>{'—' if actual is None else f'{float(actual):,.2f}'}</td>"
+                f"<td class='{cls}'>{verdict}</td>"
+                f"<td class='note'>{'est' if rec.get('estimated') else 'exact'}</td>"
+                "</tr>"
+            )
+        out.append(
+            "<h3>what-if predictions (p99, ms)</h3>"
+            "<table><tr><th>scenario/knob</th><th>value</th>"
+            "<th>baseline</th><th>predicted</th><th>actual</th>"
+            "<th>verdict</th><th>mode</th></tr>" + "".join(rows) + "</table>"
+        )
+    return "".join(out)
+
+
 def render(
     history_path: Optional[Path],
     metrics_path: Optional[Path],
     request_log_path: Optional[Path],
     slo_log_path: Optional[Path] = None,
+    critpath_log_path: Optional[Path] = None,
 ) -> str:
     """The full dashboard HTML document."""
     sections: List[str] = []
@@ -413,6 +515,8 @@ def render(
             sections.append(fleet)
     if slo_log_path is not None and slo_log_path.exists():
         sections.append(_slo_section(slo_log_path))
+    if critpath_log_path is not None and critpath_log_path.exists():
+        sections.append(_critpath_section(critpath_log_path))
     if not sections:
         sections.append("<p class='note'>no artifacts given</p>")
     return (
@@ -444,11 +548,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="SLO state/alert JSONL from repro-experiment --slo-log",
     )
     parser.add_argument(
+        "--critpath-log", type=Path, default=None,
+        help="critical-path/what-if JSONL from repro-experiment "
+        "--critpath-log",
+    )
+    parser.add_argument(
         "--out", type=Path, default=Path("dashboard.html"),
         help="output HTML file (default dashboard.html)",
     )
     args = parser.parse_args(argv)
-    page = render(args.history, args.metrics, args.request_log, args.slo_log)
+    page = render(
+        args.history, args.metrics, args.request_log, args.slo_log,
+        args.critpath_log,
+    )
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(page)
     print(f"wrote {args.out} ({len(page):,} bytes)")

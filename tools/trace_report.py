@@ -24,6 +24,15 @@ Views:
   outcomes, per-node attempt/hedge accounting, router decision counts,
   and the slowest request span envelopes (from the ``fleet.*`` spans a
   traced cluster run emits);
+* with ``--critpath``: critical-path attribution computed from the
+  ``--requests`` log — per-scope "where does the time go" profiles
+  (overall, p99 tail, per node/shard) and the conservation check;
+* with ``--critpath-log``: the profiles and what-if predictions an
+  experiment exported (``repro-experiment critpath_observatory
+  --critpath-log``), validated against ``$defs.critpath_record`` /
+  ``$defs.whatif_record`` under ``--validate``;
+* ``--format json`` emits every requested view as one machine-readable
+  JSON document instead of text tables;
 * ``--validate`` checks the trace against ``tools/trace_schema.json``
   and each request-log line against its ``$defs.request_event`` (exit 1
   on violations) — CI runs this on fresh smoke artifacts.
@@ -42,6 +51,11 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.obs.cpi import CPI_BUCKETS, CpiStack, format_cpi_table  # noqa: E402
+from repro.obs.critpath import (  # noqa: E402
+    check_conservation,
+    extract_paths,
+    aggregate_profiles,
+)
 from repro.obs.requests import (  # noqa: E402
     attribute_miss,
     load_request_log,
@@ -53,6 +67,7 @@ __all__ = [
     "main",
     "load_trace",
     "summarize",
+    "summarize_critpath",
     "summarize_fleet",
     "summarize_requests",
     "summarize_slo",
@@ -513,6 +528,265 @@ def summarize_slo(lines: List[dict]) -> str:
     return "\n\n".join(sections)
 
 
+def critpath_from_requests(records: List[dict], top: int = 10) -> List[dict]:
+    """Profile records (plus a conservation line) computed from a request log."""
+    paths = extract_paths(records)
+    violations = sum(1 for p in paths if check_conservation(p) != 0.0)
+    profiles = aggregate_profiles(paths)
+    return [
+        {
+            "kind": "critpath_conservation",
+            "requests": len(paths),
+            "violations": violations,
+        }
+    ] + profiles
+
+
+def summarize_critpath(lines: List[dict], top: int = 10) -> str:
+    """Profile + what-if tables from critpath records (log or computed)."""
+    profiles = [r for r in lines if r.get("kind") == "critpath_profile"]
+    whatifs = [r for r in lines if r.get("kind") == "whatif"]
+    conservation = [
+        r for r in lines if r.get("kind") == "critpath_conservation"
+    ]
+    sections: List[str] = []
+    for rec in conservation:
+        sections.append(
+            f"conservation: {rec.get('requests', 0)} request(s), "
+            f"{rec.get('violations', 0)} violation(s)"
+        )
+    if profiles:
+        rows = []
+        for prof in profiles:
+            segments: Dict[str, float] = prof.get("segments", {})
+            total = float(prof.get("total_ms", 0.0)) or 1.0
+            breakdown = " ".join(
+                f"{kind}={dur:,.1f}({100.0 * dur / total:.0f}%)"
+                for kind, dur in sorted(
+                    segments.items(), key=lambda kv: -kv[1]
+                )[:3]
+            )
+            rows.append(
+                [
+                    f"{prof.get('scenario', '')}/{prof.get('scope', '?')}",
+                    str(prof.get("requests", 0)),
+                    f"{float(prof.get('total_ms', 0.0)):,.1f}",
+                    str(prof.get("bottleneck") or "-"),
+                    breakdown,
+                ]
+            )
+        sections.append(
+            "== critical-path profiles (where does the time go) ==\n"
+            + _table(
+                ["scenario/scope", "requests", "total_ms", "bottleneck",
+                 "top segments (ms, share)"],
+                rows,
+            )
+        )
+    if whatifs:
+        rows = []
+        for rec in whatifs:
+            actual = rec.get("actual")
+            predicted = float(rec.get("predicted", 0.0))
+            delta = (
+                f"{100.0 * (predicted - float(actual)) / float(actual):+.1f}%"
+                if actual
+                else "-"
+            )
+            bounds = rec.get("within_bounds")
+            rows.append(
+                [
+                    f"{rec.get('scenario', '')}/{rec.get('knob', '?')}",
+                    f"{float(rec.get('value', 0.0)):g}",
+                    f"{float(rec.get('baseline', 0.0)):,.2f}",
+                    f"{predicted:,.2f}",
+                    "-" if actual is None else f"{float(actual):,.2f}",
+                    delta,
+                    "-" if bounds is None else str(bool(bounds)),
+                    "yes" if rec.get("estimated") else "no",
+                ]
+            )
+        sections.append(
+            "== what-if predictions (p99, ms) ==\n"
+            + _table(
+                ["scenario/knob", "value", "baseline", "predicted",
+                 "actual", "delta", "in_bounds", "estimated"],
+                rows,
+            )
+        )
+    if not sections:
+        sections.append("critpath: no critpath_profile or whatif records")
+    return "\n\n".join(sections)
+
+
+# -- machine-readable (--format json) ----------------------------------------
+
+
+def trace_data(trace: dict, top: int = 10) -> dict:
+    """The trace view as plain data (what ``summarize`` prints)."""
+    sim = _sim_spans(trace)
+    wall = _wall_spans(trace)
+    agg: Dict[str, List[float]] = defaultdict(lambda: [0.0, 0])
+    for e in sim:
+        entry = agg[str(e.get("name", "?"))]
+        entry[0] += float(e.get("dur", 0.0))
+        entry[1] += 1
+    return {
+        "sim_spans": len(sim),
+        "wall_spans": len(wall),
+        "dropped": trace.get("otherData", {}).get("dropped_events", 0),
+        "top_sim_spans": [
+            {
+                "name": e.get("name"),
+                "category": e.get("cat"),
+                "tid": e.get("tid"),
+                "start": e.get("ts", 0.0),
+                "cycles": e.get("dur", 0.0),
+            }
+            for e in sorted(
+                sim, key=lambda e: e.get("dur", 0.0), reverse=True
+            )[:top]
+        ],
+        "by_name": [
+            {"name": name, "total_cycles": total, "spans": int(count)}
+            for name, (total, count) in sorted(
+                agg.items(), key=lambda kv: kv[1][0], reverse=True
+            )[:top]
+        ],
+        "wall": [
+            {"name": e.get("name"), "ms": float(e.get("dur", 0.0)) / 1000.0}
+            for e in sorted(
+                wall, key=lambda e: e.get("dur", 0.0), reverse=True
+            )[:top]
+        ],
+    }
+
+
+def fleet_data(trace: dict, top: int = 10) -> dict:
+    """The fleet view as plain data (what ``summarize_fleet`` prints)."""
+    spans = _fleet_spans(trace)
+    requests = [e for e in spans if e.get("cat") == "fleet.request"]
+    attempts = [e for e in spans if e.get("cat") == "fleet.attempt"]
+    routes = [e for e in spans if e.get("cat") == "fleet.route"]
+    outcomes: Dict[str, int] = defaultdict(int)
+    for e in requests:
+        outcomes[str(e.get("args", {}).get("outcome", "?"))] += 1
+    per_node: Dict[int, Dict[str, float]] = defaultdict(
+        lambda: {"attempts": 0, "ok": 0, "failed": 0, "hedges": 0,
+                 "wasted": 0, "ms": 0.0}
+    )
+    for e in attempts:
+        args = e.get("args", {})
+        stats = per_node[int(args.get("node", -1))]
+        stats["attempts"] += 1
+        if args.get("outcome") == "ok":
+            stats["ok"] += 1
+            if args.get("winner") is False:
+                stats["wasted"] += 1
+        else:
+            stats["failed"] += 1
+        if args.get("hedge"):
+            stats["hedges"] += 1
+        stats["ms"] += float(e.get("dur", 0.0))
+    reasons: Dict[str, List[int]] = defaultdict(lambda: [0, 0])
+    for e in routes:
+        args = e.get("args", {})
+        entry = reasons[str(args.get("reason", "?"))]
+        entry[0] += 1
+        if args.get("chosen") is None:
+            entry[1] += 1
+    return {
+        "requests": len(requests),
+        "attempts": len(attempts),
+        "routes": len(routes),
+        "outcomes": dict(outcomes),
+        "per_node": {
+            str(node): stats for node, stats in sorted(per_node.items())
+        },
+        "router": {
+            reason: {"decisions": total, "no_replica": missed}
+            for reason, (total, missed) in sorted(reasons.items())
+        },
+        "slowest": [
+            {
+                "span_id": e.get("args", {}).get("span_id"),
+                "outcome": e.get("args", {}).get("outcome"),
+                "start_ms": float(e.get("ts", 0.0)),
+                "ms": float(e.get("dur", 0.0)),
+            }
+            for e in sorted(
+                requests, key=lambda e: float(e.get("dur", 0.0)), reverse=True
+            )[:top]
+        ],
+    }
+
+
+def requests_data(meta: dict, records: List[dict], top: int = 10) -> dict:
+    """The request-log view as plain data."""
+
+    def span_ms(rec: dict) -> float:
+        if rec.get("latency_ms") is not None:
+            return float(rec["latency_ms"])
+        return float(rec.get("end_ms", 0.0)) - float(rec.get("arrival_ms", 0.0))
+
+    return {
+        "meta": meta,
+        "miss_attribution": miss_attribution(records),
+        "slowest": [
+            {
+                "id": rec.get("id"),
+                "outcome": rec.get("outcome"),
+                "in_system_ms": span_ms(rec),
+                "retries": rec.get("retries", 0),
+                "miss_cause": attribute_miss(rec),
+            }
+            for rec in sorted(records, key=span_ms, reverse=True)[:top]
+        ],
+    }
+
+
+def slo_data(lines: List[dict]) -> dict:
+    """The SLO-log view as plain data."""
+    states: Dict[tuple, List[dict]] = defaultdict(list)
+    alerts: List[dict] = []
+    for rec in lines:
+        if rec.get("kind") == "slo_state":
+            states[
+                (str(rec.get("scenario", "")), str(rec.get("slo", "")))
+            ].append(rec)
+        elif rec.get("kind") == "alert":
+            alerts.append(rec)
+    return {
+        "budgets": [
+            {
+                "scenario": scenario,
+                "slo": slo,
+                "windows": len(series),
+                "min_compliance": min(
+                    float(s.get("compliance", 1.0)) for s in series
+                ),
+                "peak_burn": max(
+                    float(s.get("burn_rate", 0.0)) for s in series
+                ),
+                "budget_final": float(series[-1].get("budget_remaining", 1.0)),
+            }
+            for (scenario, slo), series in sorted(states.items())
+        ],
+        "alerts": [a for a in alerts if a.get("state") == "firing"],
+    }
+
+
+def critpath_data(lines: List[dict]) -> dict:
+    """The critpath view as plain data (profiles + what-if records)."""
+    return {
+        "conservation": [
+            r for r in lines if r.get("kind") == "critpath_conservation"
+        ],
+        "profiles": [r for r in lines if r.get("kind") == "critpath_profile"],
+        "whatif": [r for r in lines if r.get("kind") == "whatif"],
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI main; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -544,18 +818,48 @@ def main(argv: Optional[List[str]] = None) -> int:
         "slowest request span envelopes",
     )
     parser.add_argument(
+        "--critpath", action="store_true",
+        help="with --requests: extract every request's critical path, "
+        "check the conservation invariant, and print the per-scope "
+        "attribution profiles",
+    )
+    parser.add_argument(
+        "--critpath-log", type=Path, default=None, metavar="FILE",
+        help="critpath log JSONL from --critpath-log: print the "
+        "attribution profiles and what-if prediction table (with "
+        "--validate, check every line against $defs.critpath_record / "
+        "$defs.whatif_record)",
+    )
+    parser.add_argument(
         "--top", type=int, default=10, metavar="N", help="rows per table (default 10)"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format: human tables (text, default) or one "
+        "machine-readable JSON document covering every requested view",
     )
     parser.add_argument(
         "--validate", action="store_true",
         help=f"validate artifacts against {SCHEMA_PATH.name}; exit 1 on violations",
     )
     args = parser.parse_args(argv)
-    if args.trace is None and args.requests is None and args.slo is None:
-        parser.error("give a trace file, --requests FILE, --slo FILE, or any mix")
+    if (
+        args.trace is None
+        and args.requests is None
+        and args.slo is None
+        and args.critpath_log is None
+    ):
+        parser.error(
+            "give a trace file, --requests FILE, --slo FILE, "
+            "--critpath-log FILE, or any mix"
+        )
+    if args.critpath and args.requests is None:
+        parser.error("--critpath needs --requests FILE")
 
     schema = json.loads(SCHEMA_PATH.read_text()) if args.validate else None
+    as_json = args.format == "json"
     outputs: List[str] = []
+    document: Dict[str, object] = {}
 
     if args.trace is not None:
         trace = load_trace(args.trace)
@@ -569,12 +873,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                 for err in errors[:20]:
                     print(f"  {err}", file=sys.stderr)
                 return 1
-            print(f"{args.trace}: schema OK")
-        outputs.append(summarize(trace, top=args.top))
-        if args.fleet:
-            outputs.append(summarize_fleet(trace, top=args.top))
+            # In json mode diagnostics go to stderr so stdout stays one
+            # parseable document.
+            print(
+                f"{args.trace}: schema OK",
+                file=sys.stderr if as_json else sys.stdout,
+            )
+        if as_json:
+            document["trace"] = trace_data(trace, top=args.top)
+            if args.fleet:
+                document["fleet"] = fleet_data(trace, top=args.top)
+        else:
+            outputs.append(summarize(trace, top=args.top))
+            if args.fleet:
+                outputs.append(summarize_fleet(trace, top=args.top))
         if args.metrics is not None:
-            outputs.append(summarize_metrics(load_metrics(args.metrics)))
+            metrics = load_metrics(args.metrics)
+            if as_json:
+                document["metrics"] = metrics
+            else:
+                outputs.append(summarize_metrics(metrics))
 
     if args.requests is not None:
         meta, records = load_request_log(args.requests)
@@ -591,8 +909,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                 for err in errors[:20]:
                     print(f"  {err}", file=sys.stderr)
                 return 1
-            print(f"{args.requests}: schema OK")
-        outputs.append(summarize_requests(meta, records, top=args.top))
+            print(
+                f"{args.requests}: schema OK",
+                file=sys.stderr if as_json else sys.stdout,
+            )
+        if as_json:
+            document["requests"] = requests_data(meta, records, top=args.top)
+        else:
+            outputs.append(summarize_requests(meta, records, top=args.top))
+        if args.critpath:
+            critpath_lines = critpath_from_requests(records, top=args.top)
+            if as_json:
+                document["critpath"] = critpath_data(critpath_lines)
+            else:
+                outputs.append(summarize_critpath(critpath_lines, top=args.top))
 
     if args.slo is not None:
         lines = []
@@ -618,10 +948,55 @@ def main(argv: Optional[List[str]] = None) -> int:
                 for err in errors[:20]:
                     print(f"  {err}", file=sys.stderr)
                 return 1
-            print(f"{args.slo}: schema OK")
-        outputs.append(summarize_slo(lines))
+            print(
+                f"{args.slo}: schema OK",
+                file=sys.stderr if as_json else sys.stdout,
+            )
+        if as_json:
+            document["slo"] = slo_data(lines)
+        else:
+            outputs.append(summarize_slo(lines))
 
-    print("\n\n".join(outputs))
+    if args.critpath_log is not None:
+        lines = []
+        with open(args.critpath_log) as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    lines.append(json.loads(line))
+        if schema is not None:
+            errors = []
+            defs = {
+                "critpath_profile": "critpath_record",
+                "whatif": "whatif_record",
+            }
+            for i, rec in enumerate(lines):
+                def_name = defs.get(str(rec.get("kind")))
+                if def_name is None:
+                    continue  # meta/unknown lines are out of contract
+                for err in validate_def(rec, schema, def_name):
+                    errors.append(f"line {i + 1}: {err}")
+            if errors:
+                print(
+                    f"{args.critpath_log}: {len(errors)} schema violation(s):",
+                    file=sys.stderr,
+                )
+                for err in errors[:20]:
+                    print(f"  {err}", file=sys.stderr)
+                return 1
+            print(
+                f"{args.critpath_log}: schema OK",
+                file=sys.stderr if as_json else sys.stdout,
+            )
+        if as_json:
+            document["critpath_log"] = critpath_data(lines)
+        else:
+            outputs.append(summarize_critpath(lines, top=args.top))
+
+    if as_json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print("\n\n".join(outputs))
     return 0
 
 
